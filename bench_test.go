@@ -1,0 +1,343 @@
+// Package memorydb_bench holds the top-level benchmark harness: one
+// testing.B benchmark per table/figure of the paper's evaluation (§6),
+// plus ablation benches for the design choices DESIGN.md calls out.
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches report throughput/latency via b.ReportMetric; absolute
+// numbers are machine- and scale-dependent (see bench.CapacityScale), but
+// the orderings and ratios match §6.
+package memorydb_bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"memorydb/internal/bench"
+	"memorydb/internal/clock"
+	"memorydb/internal/core"
+	"memorydb/internal/election"
+	"memorydb/internal/engine"
+	"memorydb/internal/memsim"
+	"memorydb/internal/netsim"
+	"memorydb/internal/s3"
+	"memorydb/internal/snapshot"
+	"memorydb/internal/txlog"
+)
+
+// figureOpts keeps each benchmark iteration short; `go test -bench` runs
+// the body repeatedly and averages.
+var figureOpts = bench.Options{Clients: 256, Duration: 150 * time.Millisecond, Prefill: 2000}
+
+func runFigure4Point(b *testing.B, sys bench.System, it bench.InstanceType, w bench.Workload) {
+	ctx := context.Background()
+	t, err := bench.NewTarget(sys, it)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	if err := t.Prefill(ctx, figureOpts.Prefill, w.ValueBytes); err != nil {
+		b.Fatal(err)
+	}
+	var total float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := bench.RunClosedLoop(ctx, t, w, figureOpts.Clients, figureOpts.Duration)
+		total += sum.Throughput
+	}
+	b.ReportMetric(total/float64(b.N), "ops/s")
+}
+
+// BenchmarkFigure4a reproduces Figure 4a: read-only maximum throughput
+// per instance type, Redis vs MemoryDB.
+func BenchmarkFigure4a(b *testing.B) {
+	for _, it := range bench.R7gSweep {
+		for _, sys := range []bench.System{bench.SystemRedis, bench.SystemMemoryDB} {
+			b.Run(fmt.Sprintf("%s/%s", it.Name, sys), func(b *testing.B) {
+				runFigure4Point(b, sys, it, bench.WorkloadReadOnly)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure4b reproduces Figure 4b: write-only maximum throughput
+// per instance type. MemoryDB commits every write to the multi-AZ log.
+func BenchmarkFigure4b(b *testing.B) {
+	for _, it := range bench.R7gSweep {
+		for _, sys := range []bench.System{bench.SystemRedis, bench.SystemMemoryDB} {
+			b.Run(fmt.Sprintf("%s/%s", it.Name, sys), func(b *testing.B) {
+				runFigure4Point(b, sys, it, bench.WorkloadWriteOnly)
+			})
+		}
+	}
+}
+
+func runFigure5Point(b *testing.B, sys bench.System, w bench.Workload, frac float64) {
+	ctx := context.Background()
+	it := bench.R7g16xlarge
+	kind := bench.OpWrite
+	if w.ReadRatio == 1.0 {
+		kind = bench.OpRead
+	}
+	lo := bench.Capacity(bench.SystemMemoryDB, kind, it)
+	if c := bench.Capacity(bench.SystemRedis, kind, it); c < lo {
+		lo = c
+	}
+	t, err := bench.NewTarget(sys, it)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer t.Close()
+	if err := t.Prefill(ctx, figureOpts.Prefill, w.ValueBytes); err != nil {
+		b.Fatal(err)
+	}
+	var p50, p99 float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := bench.RunOffered(ctx, t, w, lo*frac, figureOpts.Clients, figureOpts.Duration)
+		p50 += float64(sum.P50) / 1e6
+		p99 += float64(sum.P99) / 1e6
+	}
+	b.ReportMetric(p50/float64(b.N), "p50_ms")
+	b.ReportMetric(p99/float64(b.N), "p99_ms")
+}
+
+// BenchmarkFigure5a: read-only latency vs offered throughput (16xlarge).
+func BenchmarkFigure5a(b *testing.B) {
+	for _, sys := range []bench.System{bench.SystemRedis, bench.SystemMemoryDB} {
+		for _, frac := range []float64{0.3, 0.7, 0.9} {
+			b.Run(fmt.Sprintf("%s/load%.0f%%", sys, frac*100), func(b *testing.B) {
+				runFigure5Point(b, sys, bench.WorkloadReadOnly, frac)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5b: write-only latency vs offered throughput. Redis
+// stays sub-ms at the median; MemoryDB pays ~3 ms for multi-AZ commits.
+func BenchmarkFigure5b(b *testing.B) {
+	for _, sys := range []bench.System{bench.SystemRedis, bench.SystemMemoryDB} {
+		for _, frac := range []float64{0.3, 0.7, 0.9} {
+			b.Run(fmt.Sprintf("%s/load%.0f%%", sys, frac*100), func(b *testing.B) {
+				runFigure5Point(b, sys, bench.WorkloadWriteOnly, frac)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure5c: 80/20 mixed latency vs offered throughput.
+func BenchmarkFigure5c(b *testing.B) {
+	for _, sys := range []bench.System{bench.SystemRedis, bench.SystemMemoryDB} {
+		for _, frac := range []float64{0.3, 0.7, 0.9} {
+			b.Run(fmt.Sprintf("%s/load%.0f%%", sys, frac*100), func(b *testing.B) {
+				runFigure5Point(b, sys, bench.WorkloadMixed8020, frac)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure6 regenerates the Redis BGSave memory-pressure series
+// (the discrete simulation; metrics report the collapse depth and peak
+// tail latency).
+func BenchmarkFigure6(b *testing.B) {
+	var minTput, maxP100 float64
+	for i := 0; i < b.N; i++ {
+		samples := memsim.SimulateBGSave(memsim.DefaultRedisBGSave(), 10, 160)
+		minTput = memsim.MinThroughput(samples)
+		maxP100 = memsim.MaxP100(samples)
+	}
+	b.ReportMetric(minTput, "min_ops/s")
+	b.ReportMetric(maxP100, "max_p100_ms")
+}
+
+// BenchmarkFigure7 regenerates the off-box snapshotting series (flat).
+func BenchmarkFigure7(b *testing.B) {
+	var minTput, maxP100 float64
+	for i := 0; i < b.N; i++ {
+		samples := memsim.SimulateOffbox(memsim.DefaultRedisBGSave(), 30, 60, 120)
+		minTput = memsim.MinThroughput(samples)
+		maxP100 = memsim.MaxP100(samples)
+	}
+	b.ReportMetric(minTput, "min_ops/s")
+	b.ReportMetric(maxP100, "max_p100_ms")
+}
+
+// BenchmarkWriteBandwidth reproduces the §6.1.2.1 claim: a single shard
+// sustains on the order of 100 MB/s of pipelined write bandwidth.
+func BenchmarkWriteBandwidth(b *testing.B) {
+	ctx := context.Background()
+	var total float64
+	for i := 0; i < b.N; i++ {
+		mbps, err := bench.WriteBandwidth(ctx, 4096, 64, 300*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += mbps
+	}
+	b.ReportMetric(total/float64(b.N), "MB/s")
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+func newBenchNode(b *testing.B, commit netsim.LatencyModel, globalGate bool) *core.Node {
+	b.Helper()
+	svc := txlog.NewService(txlog.Config{Clock: clock.NewReal(), CommitLatency: commit})
+	log, err := svc.CreateLog(fmt.Sprintf("ablate-%p", &svc))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, err := core.NewNode(core.Config{
+		NodeID: "bench", ShardID: log.ShardID(), Log: log,
+		Lease: 500 * time.Millisecond, Backoff: 650 * time.Millisecond,
+		RenewEvery: 100 * time.Millisecond, GlobalReadGate: globalGate,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n.Start()
+	b.Cleanup(n.Stop)
+	for n.Role() != election.RolePrimary {
+		time.Sleep(time.Millisecond)
+	}
+	return n
+}
+
+// BenchmarkAblationTrackerGranularity compares key-level hazard tracking
+// (MemoryDB's design) against a global read barrier: reads of untouched
+// keys under a concurrent write stream. Key-level gating keeps them at
+// engine latency; a global barrier adds the full commit latency.
+func BenchmarkAblationTrackerGranularity(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		global bool
+	}{{"key-level", false}, {"global", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			n := newBenchNode(b, netsim.Fixed(2*time.Millisecond), mode.global)
+			ctx := context.Background()
+			stop := make(chan struct{})
+			// Enough concurrent writers to keep a not-yet-durable write
+			// in flight essentially always (one serial writer leaves the
+			// pipeline empty between its commit and its next submit).
+			for w := 0; w < 8; w++ {
+				go func() {
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+							n.Do(ctx, [][]byte{[]byte("SET"), []byte("hot"), []byte("v")})
+						}
+					}
+				}()
+			}
+			defer close(stop)
+			n.Do(ctx, [][]byte{[]byte("SET"), []byte("cold"), []byte("v")})
+			time.Sleep(5 * time.Millisecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Do(ctx, [][]byte{[]byte("GET"), []byte("cold")}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationQuorumLatency sweeps the multi-AZ commit latency and
+// reports acknowledged-write latency — the direct cost of durability.
+func BenchmarkAblationQuorumLatency(b *testing.B) {
+	for _, commit := range []time.Duration{0, 500 * time.Microsecond, 2 * time.Millisecond, 4 * time.Millisecond} {
+		b.Run(fmt.Sprintf("commit=%v", commit), func(b *testing.B) {
+			n := newBenchNode(b, netsim.Fixed(commit), false)
+			ctx := context.Background()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Do(ctx, [][]byte{[]byte("SET"), []byte("k"), []byte("v")}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSnapshotFreshness measures restore (resync) cost as a
+// function of how much transaction log must be replayed past the latest
+// snapshot — the §4.2.3 freshness trade-off.
+func BenchmarkAblationSnapshotFreshness(b *testing.B) {
+	for _, replay := range []int{0, 1000, 10000} {
+		b.Run(fmt.Sprintf("replay=%d", replay), func(b *testing.B) {
+			svc := txlog.NewService(txlog.Config{})
+			log, _ := svc.CreateLog("fresh")
+			mgr := snapshot.NewManager(s3.New(), "snaps")
+			eng := engine.New(clock.NewReal())
+			ctx := context.Background()
+			after := txlog.ZeroID
+			appendN := func(n int) {
+				for i := 0; i < n; i++ {
+					res := eng.Exec([][]byte{[]byte("SET"), []byte(fmt.Sprintf("k%d", i%500)), []byte("value-of-moderate-size")})
+					id, err := log.Append(ctx, after, txlog.Entry{Type: txlog.EntryData, Payload: engine.EncodeRecord(res.Effects)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					after = id
+				}
+			}
+			appendN(500) // base state
+			ob := &snapshot.Offbox{Manager: mgr, EngineVersion: 2}
+			if _, err := ob.Run(ctx, "fresh", log); err != nil {
+				b.Fatal(err)
+			}
+			appendN(replay) // staleness
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				restored := engine.New(clock.NewReal())
+				db, meta, ok, err := mgr.Latest("fresh")
+				if err != nil || !ok {
+					b.Fatal(err)
+				}
+				restored.ResetDB(db)
+				if err := snapshot.ReplayRange(ctx, log, restored, meta.LogPos, log.CommittedTail()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNodeOpPath measures the raw single-op path through the node
+// workloop (tracker + dispatch + engine), no commit latency — the
+// fixed overhead MemoryDB adds over a bare engine call.
+func BenchmarkNodeOpPath(b *testing.B) {
+	n := newBenchNode(b, netsim.Zero{}, false)
+	ctx := context.Background()
+	n.Do(ctx, [][]byte{[]byte("SET"), []byte("k"), []byte("v")})
+	b.Run("GET", func(b *testing.B) {
+		argv := [][]byte{[]byte("GET"), []byte("k")}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n.Do(ctx, argv)
+		}
+	})
+	b.Run("SET", func(b *testing.B) {
+		argv := [][]byte{[]byte("SET"), []byte("k"), []byte("v")}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			n.Do(ctx, argv)
+		}
+	})
+}
+
+// BenchmarkEngineDispatch measures the bare engine (no node, no log) as
+// the baseline for BenchmarkNodeOpPath.
+func BenchmarkEngineDispatch(b *testing.B) {
+	e := engine.New(clock.NewReal())
+	e.Exec([][]byte{[]byte("SET"), []byte("k"), []byte("v")})
+	argv := [][]byte{[]byte("GET"), []byte("k")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Exec(argv)
+	}
+}

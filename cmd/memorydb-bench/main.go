@@ -1,0 +1,91 @@
+// Command memorydb-bench regenerates every table and figure from the
+// paper's evaluation (§6). Each -fig value corresponds to one figure:
+//
+//	4a  read-only max throughput per instance type (Redis vs MemoryDB)
+//	4b  write-only max throughput per instance type
+//	5a  read-only latency vs offered throughput (r7g.16xlarge)
+//	5b  write-only latency vs offered throughput
+//	5c  mixed 80/20 latency vs offered throughput
+//	6   Redis BGSave under memory pressure (latency + throughput series)
+//	7   MemoryDB off-box snapshotting (flat series)
+//	bw  single-shard pipelined write bandwidth (~100 MB/s claim)
+//	all everything above
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"memorydb/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw all")
+	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per data point")
+	clients := flag.Int("clients", 256, "concurrent client connections")
+	prefill := flag.Int("prefill", 5000, "keys pre-filled before measuring")
+	flag.Parse()
+
+	opts := bench.Options{Clients: *clients, Duration: *duration, Prefill: *prefill}
+	ctx := context.Background()
+
+	run := func(name string) error {
+		switch name {
+		case "4a":
+			fmt.Println("== Figure 4a: read-only max throughput (op/s) ==")
+			_, err := bench.Figure4(ctx, bench.WorkloadReadOnly, opts, os.Stdout)
+			return err
+		case "4b":
+			fmt.Println("== Figure 4b: write-only max throughput (op/s) ==")
+			_, err := bench.Figure4(ctx, bench.WorkloadWriteOnly, opts, os.Stdout)
+			return err
+		case "5a":
+			fmt.Println("== Figure 5a: read-only latency vs offered throughput (r7g.16xlarge) ==")
+			_, err := bench.Figure5(ctx, bench.WorkloadReadOnly, opts, os.Stdout)
+			return err
+		case "5b":
+			fmt.Println("== Figure 5b: write-only latency vs offered throughput ==")
+			_, err := bench.Figure5(ctx, bench.WorkloadWriteOnly, opts, os.Stdout)
+			return err
+		case "5c":
+			fmt.Println("== Figure 5c: mixed 80/20 latency vs offered throughput ==")
+			_, err := bench.Figure5(ctx, bench.WorkloadMixed8020, opts, os.Stdout)
+			return err
+		case "6":
+			fmt.Println("== Figure 6: Redis BGSave under memory pressure ==")
+			bench.Figure6(os.Stdout)
+			return nil
+		case "7":
+			fmt.Println("== Figure 7: MemoryDB off-box snapshotting ==")
+			bench.Figure7(os.Stdout)
+			return nil
+		case "bw":
+			fmt.Println("== §6.1.2.1: single-shard pipelined write bandwidth ==")
+			mbps, err := bench.WriteBandwidth(ctx, 4096, 64, *duration*4)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("achieved %.1f MB/s (4 KiB values, pipeline depth 64)\n", mbps)
+			return nil
+		default:
+			return fmt.Errorf("unknown figure %q", name)
+		}
+	}
+
+	var names []string
+	if *fig == "all" {
+		names = []string{"4a", "4b", "5a", "5b", "5c", "6", "7", "bw"}
+	} else {
+		names = []string{*fig}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "memorydb-bench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

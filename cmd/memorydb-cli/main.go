@@ -1,0 +1,71 @@
+// Command memorydb-cli is a minimal RESP client: pass a command as
+// arguments for one-shot mode, or run with no arguments for a REPL.
+//
+//	go run ./cmd/memorydb-cli -addr 127.0.0.1:6379 SET k v
+//	go run ./cmd/memorydb-cli -addr 127.0.0.1:6379
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"memorydb/internal/resp"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6379", "server address")
+	flag.Parse()
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memorydb-cli: %v\n", err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+	w := resp.NewWriter(conn)
+	r := resp.NewReader(conn)
+
+	send := func(args []string) bool {
+		if err := w.WriteCommandStrings(args...); err != nil {
+			fmt.Fprintf(os.Stderr, "write: %v\n", err)
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "flush: %v\n", err)
+			return false
+		}
+		v, err := r.ReadValue()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read: %v\n", err)
+			return false
+		}
+		fmt.Println(v.String())
+		return true
+	}
+
+	if args := flag.Args(); len(args) > 0 {
+		if !send(args) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("%s> ", *addr)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "exit" || line == "quit" {
+			return
+		}
+		if line != "" {
+			if !send(strings.Fields(line)) {
+				return
+			}
+		}
+		fmt.Printf("%s> ", *addr)
+	}
+}

@@ -1,0 +1,3 @@
+module memorydb
+
+go 1.22

@@ -1,0 +1,199 @@
+package baseline
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/netsim"
+)
+
+func do(t *testing.T, n *Node, args ...string) string {
+	t.Helper()
+	argv := make([][]byte, len(args))
+	for i, a := range args {
+		argv[i] = []byte(a)
+	}
+	v, err := n.Do(context.Background(), argv)
+	if err != nil {
+		t.Fatalf("Do(%v): %v", args, err)
+	}
+	if v.IsError() {
+		t.Fatalf("Do(%v) = %v", args, v)
+	}
+	if v.Null {
+		return "<nil>"
+	}
+	return v.Text()
+}
+
+func TestPrimaryReadWrite(t *testing.T) {
+	n := NewPrimary(Config{NodeID: "p"})
+	defer n.Stop()
+	if got := do(t, n, "SET", "k", "v"); got != "OK" {
+		t.Fatalf("SET = %q", got)
+	}
+	if got := do(t, n, "GET", "k"); got != "v" {
+		t.Fatalf("GET = %q", got)
+	}
+}
+
+func TestAsyncReplicationEventuallyApplies(t *testing.T) {
+	p := NewPrimary(Config{NodeID: "p"})
+	defer p.Stop()
+	r := p.AddReplica(Config{NodeID: "r", ReplDelay: netsim.Fixed(time.Millisecond)})
+	defer r.Stop()
+	do(t, p, "SET", "k", "v")
+	deadline := time.Now().Add(2 * time.Second)
+	for do(t, r, "GET", "k") != "v" {
+		if time.Now().After(deadline) {
+			t.Fatal("replica never applied the write")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if r.AckedOffset() != p.MasterOffset() {
+		t.Fatalf("offsets: replica %d, primary %d", r.AckedOffset(), p.MasterOffset())
+	}
+}
+
+func TestWaitBlocksForReplicas(t *testing.T) {
+	p := NewPrimary(Config{NodeID: "p"})
+	defer p.Stop()
+	r := p.AddReplica(Config{NodeID: "r", ReplDelay: netsim.Fixed(2 * time.Millisecond)})
+	defer r.Stop()
+	do(t, p, "SET", "k", "v")
+	n, err := p.Wait(context.Background(), 1)
+	if err != nil || n != 1 {
+		t.Fatalf("Wait = %d %v", n, err)
+	}
+	if r.AckedOffset() < p.MasterOffset() {
+		t.Fatal("Wait returned before the replica acked")
+	}
+}
+
+func TestFailoverCanLoseAcknowledgedWrites(t *testing.T) {
+	s := NewShard(Config{
+		NodeID:    "redis",
+		ReplDelay: netsim.Fixed(5 * time.Millisecond),
+	}, 1)
+	defer s.Stop()
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if _, err := s.Primary.Do(ctx, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("k%d", i)), []byte("v")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newPrimary, lost := s.Failover()
+	if newPrimary == nil {
+		t.Fatal("no replica promoted")
+	}
+	if !newPrimary.IsPrimary() {
+		t.Fatal("promoted node not primary")
+	}
+	if lost == 0 {
+		t.Fatal("expected acknowledged bytes to be lost with a 5ms replication lag")
+	}
+	// Writes continue on the new primary.
+	do(t, newPrimary, "SET", "after", "failover")
+}
+
+func TestFailoverPicksMostUpToDateReplica(t *testing.T) {
+	s := NewShard(Config{NodeID: "redis"}, 0)
+	fresh := s.Primary.AddReplica(Config{NodeID: "fresh", ReplDelay: netsim.Zero{}})
+	laggy := s.Primary.AddReplica(Config{NodeID: "laggy", ReplDelay: netsim.Fixed(50 * time.Millisecond)})
+	s.Replicas = []*Node{laggy, fresh}
+	defer s.Stop()
+	ctx := context.Background()
+	for i := 0; i < 20; i++ {
+		s.Primary.Do(ctx, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("k%d", i)), []byte("v")})
+	}
+	// Let the fresh replica drain.
+	if _, err := s.Primary.Wait(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	promoted, _ := s.Failover()
+	if promoted.ID() != "fresh" {
+		t.Fatalf("promoted %s, want the most caught-up replica", promoted.ID())
+	}
+}
+
+func TestAOFAlwaysDurable(t *testing.T) {
+	clk := clock.NewReal()
+	aof := NewAOF(FsyncAlways, 0, clk)
+	p := NewPrimary(Config{NodeID: "p", AOF: aof})
+	defer p.Stop()
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		do(t, p, "SET", fmt.Sprintf("k%d", i), "v")
+	}
+	if aof.UnsyncedBytes() != 0 {
+		t.Fatal("FsyncAlways left unsynced bytes")
+	}
+	// Crash recovery: replay the durable prefix into a fresh node.
+	n2 := NewPrimary(Config{NodeID: "p2"})
+	defer n2.Stop()
+	if err := aof.RecoverInto(ctx, n2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got := do(t, n2, "GET", fmt.Sprintf("k%d", i)); got != "v" {
+			t.Fatalf("k%d = %q after AOF recovery", i, got)
+		}
+	}
+}
+
+func TestAOFEverySecLosesRecentWrites(t *testing.T) {
+	clk := clock.NewSim(time.Unix(0, 0))
+	aof := NewAOF(FsyncEverySec, 0, clk)
+	// Append directly (unit-level: policy behaviour).
+	aof.Append([]byte("one"))
+	if aof.DurableBytes() != 0 {
+		t.Fatal("everysec synced immediately")
+	}
+	clk.Advance(1100 * time.Millisecond)
+	aof.Append([]byte("two"))
+	if aof.DurableBytes() != 6 {
+		t.Fatalf("DurableBytes = %d, want 6 after the 1s window", aof.DurableBytes())
+	}
+	aof.Append([]byte("three"))
+	if aof.UnsyncedBytes() != 5 {
+		t.Fatalf("UnsyncedBytes = %d — a crash now loses these", aof.UnsyncedBytes())
+	}
+}
+
+func TestAOFFsyncAlwaysPaysLatency(t *testing.T) {
+	clk := clock.NewReal()
+	aof := NewAOF(FsyncAlways, 2*time.Millisecond, clk)
+	start := time.Now()
+	aof.Append([]byte("x"))
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("fsync latency not charged")
+	}
+	appends, fsyncs := aof.Stats()
+	if appends != 1 || fsyncs != 1 {
+		t.Fatalf("stats = %d %d", appends, fsyncs)
+	}
+}
+
+func TestReplicaOffsetsMonotonic(t *testing.T) {
+	p := NewPrimary(Config{NodeID: "p"})
+	defer p.Stop()
+	r := p.AddReplica(Config{NodeID: "r"})
+	defer r.Stop()
+	ctx := context.Background()
+	last := int64(0)
+	for i := 0; i < 50; i++ {
+		p.Do(ctx, [][]byte{[]byte("SET"), []byte("k"), []byte("v")})
+		if off := p.MasterOffset(); off < last {
+			t.Fatal("master offset regressed")
+		} else {
+			last = off
+		}
+	}
+	p.Wait(ctx, 1)
+	if r.AckedOffset() != p.MasterOffset() {
+		t.Fatal("replica did not converge")
+	}
+}

@@ -1,0 +1,121 @@
+// Package bench reproduces the paper's evaluation (§6): workload
+// generators, closed- and paced-loop clients, latency percentile
+// recording, and an instance-type capacity model. Every table and figure
+// in §6 has a Run function here; cmd/memorydb-bench and the root
+// bench_test.go print the same rows/series the paper reports.
+//
+// The capacity model stands in for EC2 hardware: each Graviton3 instance
+// type contributes a per-op engine cost and an IO path cost, and the
+// single-threaded engine is modeled as a deterministic-service queue (the
+// Pacer). Everything else — the tracker, the transaction log commit, the
+// replication stream — is the real implementation.
+package bench
+
+import "fmt"
+
+// InstanceType models one EC2 shape from the paper's §6.1.1 sweep
+// (r7g.large … r7g.16xlarge).
+type InstanceType struct {
+	Name  string
+	VCPUs int
+}
+
+// R7gSweep is the instance list of Figure 4.
+var R7gSweep = []InstanceType{
+	{"r7g.large", 2},
+	{"r7g.xlarge", 4},
+	{"r7g.2xlarge", 8},
+	{"r7g.4xlarge", 16},
+	{"r7g.8xlarge", 32},
+	{"r7g.12xlarge", 48},
+	{"r7g.16xlarge", 64},
+}
+
+// R7g16xlarge is the Figure 5 host.
+var R7g16xlarge = InstanceType{"r7g.16xlarge", 64}
+
+// System selects which side of the comparison is being modeled.
+type System int
+
+// Systems under test.
+const (
+	SystemRedis System = iota
+	SystemMemoryDB
+)
+
+// String names the system.
+func (s System) String() string {
+	if s == SystemMemoryDB {
+		return "MemoryDB"
+	}
+	return "Redis"
+}
+
+// OpKind is the workload operation class.
+type OpKind int
+
+// Operation classes.
+const (
+	OpRead OpKind = iota
+	OpWrite
+)
+
+// CapacityScale scales every modeled capacity. The paper's absolute
+// plateaus (500K/330K read op/s) exceed what a single Go workloop
+// sustains on a laptop, so the model is scaled to half: the binding
+// resource stays the instance model rather than the Go runtime, and
+// every ratio the figures care about — between systems and across
+// instance types — is preserved. Set to 1.0 on a machine that can
+// sustain >600K op/s through one node.
+var CapacityScale = 0.5
+
+// Capacity returns the engine throughput ceiling (ops/sec) for the given
+// system, op kind and instance type, scaled by CapacityScale.
+//
+// The shape follows §6.1.2: small instances are vCPU-bound and the two
+// systems are comparable; large instances hit the single-threaded
+// engine's ceiling — ~330K op/s for Redis reads with threaded IO vs
+// ~500K for MemoryDB with Enhanced IO Multiplexing (client connections
+// aggregated into one engine connection); ~300K for Redis writes vs
+// ~185K for MemoryDB writes, whose engine path additionally chunks and
+// ships every mutation to the transaction log.
+func Capacity(sys System, kind OpKind, it InstanceType) float64 {
+	var plateau, perCore float64
+	switch {
+	case sys == SystemRedis && kind == OpRead:
+		plateau, perCore = 330_000, 55_000
+	case sys == SystemMemoryDB && kind == OpRead:
+		plateau, perCore = 500_000, 62_000
+	case sys == SystemRedis && kind == OpWrite:
+		plateau, perCore = 300_000, 50_000
+	case sys == SystemMemoryDB && kind == OpWrite:
+		plateau, perCore = 185_000, 40_000
+	}
+	cap := float64(it.VCPUs) * perCore
+	if cap > plateau {
+		cap = plateau
+	}
+	return cap * CapacityScale
+}
+
+// Row is one formatted output line of a regenerated table/figure.
+type Row struct {
+	Label  string
+	Values map[string]float64
+	Order  []string
+}
+
+// Format renders the row as "label  k=v  k=v ...".
+func (r Row) Format() string {
+	s := fmt.Sprintf("%-14s", r.Label)
+	for _, k := range r.Order {
+		v := r.Values[k]
+		switch {
+		case v >= 1000:
+			s += fmt.Sprintf("  %s=%.0f", k, v)
+		default:
+			s += fmt.Sprintf("  %s=%.3f", k, v)
+		}
+	}
+	return s
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates latency samples from many client goroutines.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	errs    int
+}
+
+// Record adds one sample.
+func (r *Recorder) Record(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.mu.Unlock()
+}
+
+// RecordErr counts a failed operation.
+func (r *Recorder) RecordErr() {
+	r.mu.Lock()
+	r.errs++
+	r.mu.Unlock()
+}
+
+// Summary holds the percentile digest of a run.
+type Summary struct {
+	Count      int
+	Errors     int
+	Throughput float64 // ops/sec over the measured window
+	Avg        time.Duration
+	P50        time.Duration
+	P99        time.Duration
+	P100       time.Duration
+}
+
+// Summarize computes the digest over a window of elapsed wall time.
+func (r *Recorder) Summarize(elapsed time.Duration) Summary {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Summary{Count: len(r.samples), Errors: r.errs}
+	if elapsed > 0 {
+		s.Throughput = float64(len(r.samples)) / elapsed.Seconds()
+	}
+	if len(r.samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var total time.Duration
+	for _, d := range sorted {
+		total += d
+	}
+	s.Avg = total / time.Duration(len(sorted))
+	s.P50 = sorted[len(sorted)/2]
+	s.P99 = sorted[min(len(sorted)-1, len(sorted)*99/100)]
+	s.P100 = sorted[len(sorted)-1]
+	return s
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,164 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/netsim"
+	"memorydb/internal/s3"
+	"memorydb/internal/snapshot"
+	"memorydb/internal/txlog"
+)
+
+// TestChaosAcknowledgedWritesSurvive is the paper's core durability claim
+// under a randomized fault storm: while writers hammer a cluster, the
+// control plane keeps killing primaries and replicas, forcing hand-overs,
+// taking off-box snapshots, and migrating slots. At the end, the latest
+// acknowledged value of every key must be readable. Writes that errored
+// or timed out are ambiguous and excluded — but anything the system
+// acknowledged is sacred.
+func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	svc := txlog.NewService(txlog.Config{
+		Clock:         clock.NewReal(),
+		CommitLatency: netsim.NewUniform(100*time.Microsecond, time.Millisecond, 5),
+	})
+	snaps := snapshot.NewManager(s3.New(), "snaps")
+	c, err := New(Config{
+		Name: "chaos", NumShards: 2, ReplicasPerShard: 1,
+		LogService: svc, Snapshots: snaps,
+		Lease: 100 * time.Millisecond, Backoff: 140 * time.Millisecond,
+		RenewEvery: 25 * time.Millisecond, ReplicaPoll: time.Millisecond,
+		ChecksumEvery: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	for _, sh := range c.Shards() {
+		if _, err := sh.WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const keys = 40
+	type ackEntry struct {
+		gen int
+	}
+	var ackMu sync.Mutex
+	acked := make(map[string]ackEntry)
+
+	ctx := context.Background()
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			cl := c.Client()
+			gen := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gen++
+				key := fmt.Sprintf("chaos-k%d", rng.Intn(keys))
+				val := fmt.Sprintf("s%d-g%d", seed, gen)
+				cctx, cancel := context.WithTimeout(ctx, 300*time.Millisecond)
+				v, err := cl.Do(cctx, "SET", key, val)
+				cancel()
+				if err != nil || v.IsError() {
+					continue // ambiguous or rejected: not acknowledged
+				}
+				ackMu.Lock()
+				acked[key] = ackEntry{gen: gen}
+				ackMu.Unlock()
+			}
+		}(int64(w + 1))
+	}
+
+	// Fault storm.
+	chaosRng := rand.New(rand.NewSource(99))
+	ob := &snapshot.Offbox{Manager: snaps, EngineVersion: 2}
+	deadline := time.Now().Add(2 * time.Second)
+	faults := 0
+	for time.Now().Before(deadline) {
+		shards := c.Shards()
+		sh := shards[chaosRng.Intn(len(shards))]
+		switch chaosRng.Intn(4) {
+		case 0: // kill the primary
+			if p, ok := sh.Primary(); ok {
+				if _, err := c.ReplaceNode(p.ID()); err == nil {
+					faults++
+				}
+			}
+		case 1: // kill a replica
+			if reps := sh.Replicas(); len(reps) > 0 {
+				if _, err := c.ReplaceNode(reps[0].ID()); err == nil {
+					faults++
+				}
+			}
+		case 2: // collaborative hand-over
+			if p, ok := sh.Primary(); ok {
+				cctx, cancel := context.WithTimeout(ctx, time.Second)
+				if err := p.StepDown(cctx); err == nil {
+					faults++
+				}
+				cancel()
+			}
+		case 3: // off-box snapshot of a random shard
+			cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+			if _, err := ob.Run(cctx, sh.ID, sh.Log); err == nil {
+				faults++
+			}
+			cancel()
+		}
+		time.Sleep(time.Duration(50+chaosRng.Intn(150)) * time.Millisecond)
+	}
+	close(stop)
+	writers.Wait()
+	if faults < 5 {
+		t.Fatalf("fault storm too tame: only %d faults injected", faults)
+	}
+
+	// Let the cluster settle, then audit every acknowledged key.
+	for _, sh := range c.Shards() {
+		if _, err := sh.WaitForPrimary(c.Clock(), 5*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl := c.Client()
+	missing := 0
+	ackMu.Lock()
+	keysToCheck := make([]string, 0, len(acked))
+	for k := range acked {
+		keysToCheck = append(keysToCheck, k)
+	}
+	ackMu.Unlock()
+	if len(keysToCheck) == 0 {
+		t.Fatal("no writes were acknowledged during the storm")
+	}
+	for _, k := range keysToCheck {
+		cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		v, err := cl.Do(cctx, "GET", k)
+		cancel()
+		if err != nil || v.Null || v.IsError() {
+			missing++
+			t.Errorf("acknowledged key %s lost: %v %v", k, v, err)
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d/%d acknowledged keys lost across the fault storm", missing, len(keysToCheck))
+	}
+	t.Logf("chaos survived: %d faults, %d acknowledged keys intact", faults, len(keysToCheck))
+}

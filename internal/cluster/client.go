@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"memorydb/internal/core"
+	"memorydb/internal/crc16"
+	"memorydb/internal/engine"
+	"memorydb/internal/resp"
+)
+
+// Client routes commands to the owning shard, exactly as a cluster-aware
+// Redis client does: it computes the key slot locally and follows MOVED
+// redirects when the mapping changes (paper §2.1).
+type Client struct {
+	c *Cluster
+	// readonly routes reads to replicas when true (the READONLY opt-in).
+	readonly bool
+}
+
+// Client returns a routing client for the cluster.
+func (c *Cluster) Client() *Client { return &Client{c: c} }
+
+// ReadOnlyClient returns a client that opts into replica reads
+// (sequentially consistent, §3.2).
+func (c *Cluster) ReadOnlyClient() *Client { return &Client{c: c, readonly: true} }
+
+// Do executes one command, following up to 3 MOVED redirects.
+func (cl *Client) Do(ctx context.Context, args ...string) (resp.Value, error) {
+	argv := make([][]byte, len(args))
+	for i, a := range args {
+		argv[i] = []byte(a)
+	}
+	return cl.DoArgv(ctx, argv)
+}
+
+// DoArgv executes one command given raw argv.
+func (cl *Client) DoArgv(ctx context.Context, argv [][]byte) (resp.Value, error) {
+	sh, err := cl.route(argv)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	for attempt := 0; ; attempt++ {
+		node, err := cl.pick(sh, argv)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		var v resp.Value
+		if cl.readonly {
+			v, err = node.DoReadOnly(ctx, argv)
+		} else {
+			v, err = node.Do(ctx, argv)
+		}
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if v.IsError() && strings.HasPrefix(v.Text(), "MOVED ") && attempt < 3 {
+			// Refresh the route from the redirect and retry.
+			sh2, ok := cl.shardFromMoved(v.Text())
+			if ok {
+				sh = sh2
+				continue
+			}
+		}
+		return v, nil
+	}
+}
+
+// MultiExec runs an atomic transaction (MULTI/EXEC) against the shard
+// owning the commands' keys. All keys must hash to one slot.
+func (cl *Client) MultiExec(ctx context.Context, cmds [][]string) (resp.Value, error) {
+	if len(cmds) == 0 {
+		return resp.ArrayV(), nil
+	}
+	batch := make([][][]byte, len(cmds))
+	for i, cmd := range cmds {
+		argv := make([][]byte, len(cmd))
+		for j, a := range cmd {
+			argv[j] = []byte(a)
+		}
+		batch[i] = argv
+	}
+	sh, err := cl.route(batch[0])
+	if err != nil {
+		return resp.Value{}, err
+	}
+	p, err := sh.WaitForPrimary(cl.c.Clock(), waitPrimaryTimeout)
+	if err != nil {
+		return resp.Value{}, err
+	}
+	return p.DoBatch(ctx, batch)
+}
+
+const waitPrimaryTimeout = 5 * time.Second
+
+// route picks the shard owning the command's first key; keyless commands
+// go to the first shard.
+func (cl *Client) route(argv [][]byte) (*Shard, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("cluster: empty command")
+	}
+	cmd, ok := engine.LookupCommand(string(argv[0]))
+	if ok {
+		if keys := cmd.Keys(argv); len(keys) > 0 {
+			slot := crc16.Slot(keys[0])
+			if sh := cl.c.SlotOwner(slot); sh != nil {
+				return sh, nil
+			}
+			return nil, fmt.Errorf("cluster: slot %d not served", slot)
+		}
+	}
+	shards := cl.c.Shards()
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards")
+	}
+	return shards[0], nil
+}
+
+// pick selects the node to talk to within the shard.
+func (cl *Client) pick(sh *Shard, argv [][]byte) (*core.Node, error) {
+	if cl.readonly {
+		if cmd, ok := engine.LookupCommand(string(argv[0])); ok && !cmd.Writes() {
+			if reps := sh.Replicas(); len(reps) > 0 {
+				// Cheap spread: pick by first key byte so a single hot
+				// client still fans out.
+				idx := 0
+				if len(argv) > 1 && len(argv[1]) > 0 {
+					idx = int(argv[1][0]) % len(reps)
+				}
+				return reps[idx], nil
+			}
+		}
+	}
+	return sh.WaitForPrimary(cl.c.Clock(), waitPrimaryTimeout)
+}
+
+func (cl *Client) shardFromMoved(msg string) (*Shard, bool) {
+	// "MOVED <slot> <endpoint>"; endpoint is a node or shard ID.
+	parts := strings.Fields(msg)
+	if len(parts) != 3 {
+		return nil, false
+	}
+	for _, sh := range cl.c.Shards() {
+		if sh.ID == parts[2] {
+			return sh, true
+		}
+		for _, n := range sh.Nodes() {
+			if n.ID() == parts[2] {
+				return sh, true
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,247 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/crc16"
+	"memorydb/internal/netsim"
+	"memorydb/internal/txlog"
+)
+
+func testCluster(t *testing.T, shards, replicas int) *Cluster {
+	t.Helper()
+	svc := txlog.NewService(txlog.Config{Clock: clock.NewReal(), CommitLatency: netsim.Zero{}})
+	c, err := New(Config{
+		Name:             "t",
+		NumShards:        shards,
+		ReplicasPerShard: replicas,
+		LogService:       svc,
+		Lease:            120 * time.Millisecond,
+		Backoff:          160 * time.Millisecond,
+		RenewEvery:       30 * time.Millisecond,
+		ReplicaPoll:      time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(c.Stop)
+	for _, sh := range c.Shards() {
+		if _, err := sh.WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return c
+}
+
+func TestClusterRoutingAcrossShards(t *testing.T) {
+	c := testCluster(t, 3, 0)
+	cl := c.Client()
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if v, err := cl.Do(ctx, "SET", k, "v"); err != nil || v.Text() != "OK" {
+			t.Fatalf("SET %s: %v %v", k, v, err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if v, err := cl.Do(ctx, "GET", k); err != nil || v.Text() != "v" {
+			t.Fatalf("GET %s: %v %v", k, v, err)
+		}
+	}
+	// Keys really spread over multiple shards.
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		slot := crc16.Slot(fmt.Sprintf("key-%d", i))
+		seen[c.SlotOwner(slot).ID] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("expected keys on multiple shards, got %v", seen)
+	}
+}
+
+func TestCrossSlotRejected(t *testing.T) {
+	c := testCluster(t, 2, 0)
+	ctx := context.Background()
+	// Find two keys in different slots, issue MSET through one primary.
+	sh := c.Shards()[0]
+	p, _ := sh.Primary()
+	var k1, k2 string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.SlotOwner(crc16.Slot(k)) == sh {
+			if k1 == "" {
+				k1 = k
+			} else if crc16.Slot(k) != crc16.Slot(k1) {
+				k2 = k
+				break
+			}
+		}
+	}
+	v, err := p.Do(ctx, [][]byte{[]byte("MSET"), []byte(k1), []byte("a"), []byte(k2), []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(v.Text(), "CROSSSLOT") {
+		t.Fatalf("expected CROSSSLOT, got %v", v)
+	}
+	// Hash tags force co-location, making the multi-key op legal.
+	v, err = p.Do(ctx, [][]byte{[]byte("MSET"), []byte("{tag}a"), []byte("1"), []byte("{tag}b"), []byte("2")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.IsError() && !strings.HasPrefix(v.Text(), "MOVED") {
+		t.Fatalf("hash-tagged MSET failed: %v", v)
+	}
+}
+
+func TestMovedRedirect(t *testing.T) {
+	c := testCluster(t, 2, 0)
+	ctx := context.Background()
+	shards := c.Shards()
+	// Find a key owned by shard 1 and send it to shard 0's primary.
+	var key string
+	for i := 0; ; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if c.SlotOwner(crc16.Slot(k)) == shards[1] {
+			key = k
+			break
+		}
+	}
+	p0, _ := shards[0].Primary()
+	v, err := p0.Do(ctx, [][]byte{[]byte("GET"), []byte(key)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(v.Text(), "MOVED ") {
+		t.Fatalf("expected MOVED, got %v", v)
+	}
+}
+
+func TestSlotMigration(t *testing.T) {
+	c := testCluster(t, 2, 0)
+	ctx := context.Background()
+	cl := c.Client()
+
+	// Pick a slot with traffic: write 50 keys into one slot via hash tag.
+	slot := crc16.Slot("{mig}")
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("{mig}k%d", i)
+		if v, err := cl.Do(ctx, "SET", k, fmt.Sprintf("v%d", i)); err != nil || v.IsError() {
+			t.Fatalf("SET: %v %v", v, err)
+		}
+	}
+	src := c.SlotOwner(slot)
+	var dst *Shard
+	for _, sh := range c.Shards() {
+		if sh != src {
+			dst = sh
+		}
+	}
+	if err := c.MigrateSlot(ctx, slot, dst.ID); err != nil {
+		t.Fatalf("MigrateSlot: %v", err)
+	}
+	if got := c.SlotOwner(slot); got != dst {
+		t.Fatalf("slot owner = %s, want %s", got.ID, dst.ID)
+	}
+	// All keys readable through routing after migration.
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("{mig}k%d", i)
+		v, err := cl.Do(ctx, "GET", k)
+		if err != nil || v.Text() != fmt.Sprintf("v%d", i) {
+			t.Fatalf("GET %s after migration: %v %v", k, v, err)
+		}
+	}
+	// The 2PC record trail exists on both logs.
+	srcHist := SlotTransferHistory(src.Log)
+	dstHist := SlotTransferHistory(dst.Log)
+	if len(srcHist) < 2 || len(dstHist) < 2 {
+		t.Fatalf("missing 2PC records: src=%v dst=%v", srcHist, dstHist)
+	}
+	if srcHist[0] != fmt.Sprintf("prepare slot=%d %s->%s", slot, src.ID, dst.ID) {
+		t.Fatalf("unexpected first record: %v", srcHist[0])
+	}
+	if srcHist[len(srcHist)-1] != fmt.Sprintf("commit slot=%d %s->%s", slot, src.ID, dst.ID) {
+		t.Fatalf("unexpected last record: %v", srcHist[len(srcHist)-1])
+	}
+}
+
+func TestMigrationWithConcurrentWrites(t *testing.T) {
+	c := testCluster(t, 2, 0)
+	ctx := context.Background()
+	cl := c.Client()
+	slot := crc16.Slot("{hot}")
+	for i := 0; i < 20; i++ {
+		if v, err := cl.Do(ctx, "SET", fmt.Sprintf("{hot}k%d", i), "init"); err != nil || v.IsError() {
+			t.Fatalf("seed: %v %v", v, err)
+		}
+	}
+	src := c.SlotOwner(slot)
+	var dst *Shard
+	for _, sh := range c.Shards() {
+		if sh != src {
+			dst = sh
+		}
+	}
+
+	stop := make(chan struct{})
+	writes := make(chan int, 1)
+	go func() {
+		n := 0
+		for {
+			select {
+			case <-stop:
+				writes <- n
+				return
+			default:
+			}
+			v, err := cl.Do(ctx, "SET", fmt.Sprintf("{hot}k%d", n%20), fmt.Sprintf("gen%d", n))
+			if err == nil && !v.IsError() {
+				n++
+			} else if v.IsError() && strings.HasPrefix(v.Text(), "TRYAGAIN") {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := c.MigrateSlot(ctx, slot, dst.ID); err != nil {
+		t.Fatalf("MigrateSlot: %v", err)
+	}
+	close(stop)
+	n := <-writes
+	if n == 0 {
+		t.Fatal("no writes succeeded during migration")
+	}
+	// Every key's latest acknowledged generation must be present on the
+	// new owner.
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("{hot}k%d", i)
+		v, err := cl.Do(ctx, "GET", k)
+		if err != nil || v.Null {
+			t.Fatalf("key %s lost after migration under writes: %v %v", k, v, err)
+		}
+	}
+}
+
+func TestMonitorReplacesDeadReplica(t *testing.T) {
+	c := testCluster(t, 1, 1)
+	sh := c.Shards()[0]
+	reps := sh.Replicas()
+	if len(reps) != 1 {
+		t.Fatalf("expected 1 replica, got %d", len(reps))
+	}
+	reps[0].Stop()
+	m := &Monitor{Cluster: c, Interval: 10 * time.Millisecond}
+	m.Tick()
+	if m.Replacements() != 1 {
+		t.Fatalf("replacements = %d, want 1", m.Replacements())
+	}
+	if got := len(sh.Nodes()); got != 2 {
+		t.Fatalf("shard has %d nodes after replacement, want 2", got)
+	}
+}

@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"memorydb/internal/crc16"
+	"memorydb/internal/resp"
+)
+
+func clusterCmd(c *Cluster, args ...string) resp.Value {
+	argv := make([][]byte, len(args))
+	for i, a := range args {
+		argv[i] = []byte(a)
+	}
+	return c.ClusterCommand(context.Background(), argv)
+}
+
+func TestClusterSlotsCoversKeyspace(t *testing.T) {
+	c := testCluster(t, 3, 1)
+	v := clusterCmd(c, "CLUSTER", "SLOTS")
+	if v.Type != resp.Array || len(v.Array) != 3 {
+		t.Fatalf("SLOTS = %v", v)
+	}
+	covered := 0
+	for _, row := range v.Array {
+		start, end := row.Array[0].Int, row.Array[1].Int
+		covered += int(end - start + 1)
+		// Primary entry + 1 replica entry per row.
+		if len(row.Array) != 4 {
+			t.Fatalf("row = %v", row)
+		}
+	}
+	if covered != crc16.NumSlots {
+		t.Fatalf("covered %d slots, want %d", covered, crc16.NumSlots)
+	}
+}
+
+func TestClusterKeySlot(t *testing.T) {
+	c := testCluster(t, 1, 0)
+	v := clusterCmd(c, "CLUSTER", "KEYSLOT", "foo")
+	if v.Int != 12182 {
+		t.Fatalf("KEYSLOT foo = %v, want 12182", v)
+	}
+}
+
+func TestClusterCountKeysInSlot(t *testing.T) {
+	c := testCluster(t, 1, 0)
+	cl := c.Client()
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		cl.Do(ctx, "SET", "{ck}"+string(rune('a'+i)), "v")
+	}
+	slot := crc16.Slot("{ck}")
+	v := clusterCmd(c, "CLUSTER", "COUNTKEYSINSLOT", itoa(int(slot)))
+	if v.Int != 5 {
+		t.Fatalf("COUNTKEYSINSLOT = %v", v)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestClusterInfoAndShards(t *testing.T) {
+	c := testCluster(t, 2, 1)
+	info := clusterCmd(c, "CLUSTER", "INFO").Text()
+	if !strings.Contains(info, "cluster_state:ok") || !strings.Contains(info, "cluster_size:2") {
+		t.Fatalf("INFO = %q", info)
+	}
+	v := clusterCmd(c, "CLUSTER", "SHARDS")
+	if len(v.Array) != 2 {
+		t.Fatalf("SHARDS = %v", v)
+	}
+	// Each shard row carries slots + nodes with roles.
+	row := v.Array[0]
+	if row.Array[0].Text() != "slots" || row.Array[2].Text() != "nodes" {
+		t.Fatalf("shard row = %v", row)
+	}
+	nodes := row.Array[3]
+	if len(nodes.Array) != 2 {
+		t.Fatalf("nodes = %v", nodes)
+	}
+}
+
+func TestClusterUnknownSubcommand(t *testing.T) {
+	c := testCluster(t, 1, 0)
+	if v := clusterCmd(c, "CLUSTER", "BOGUS"); !v.IsError() {
+		t.Fatalf("BOGUS = %v", v)
+	}
+	if v := clusterCmd(c, "CLUSTER"); !v.IsError() {
+		t.Fatalf("bare CLUSTER = %v", v)
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"memorydb/internal/election"
+)
+
+// Monitor is the external monitoring service (paper §4.2, §5.1): it polls
+// every node on an interval to form an external view of cluster health,
+// repairs configurations that are valid to repair (dead replicas are
+// replaced), and alarms on invalid ones (a shard with no primary in
+// sight). Node-internal failure detection — lease expiry in the log — is
+// the internal view; recovery actions consult both.
+type Monitor struct {
+	Cluster  *Cluster
+	Interval time.Duration
+	// PrimaryAlarmAfter is how long a shard may lack a primary before an
+	// alarm is raised.
+	PrimaryAlarmAfter time.Duration
+
+	mu             sync.Mutex
+	alarms         []string
+	replaced       int
+	primarylessFor map[string]time.Duration
+}
+
+// Alarms returns raised alarm messages.
+func (m *Monitor) Alarms() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.alarms...)
+}
+
+// Replacements returns how many dead replicas the monitor replaced.
+func (m *Monitor) Replacements() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.replaced
+}
+
+// Tick performs one monitoring pass. Run calls this on an interval; tests
+// may call it directly.
+func (m *Monitor) Tick() {
+	if m.primarylessFor == nil {
+		m.primarylessFor = make(map[string]time.Duration)
+	}
+	interval := m.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	for _, sh := range m.Cluster.Shards() {
+		hasPrimary := false
+		for _, n := range sh.Nodes() {
+			if n.Stopped() {
+				// A dead replica is a valid configuration to fix:
+				// provision a replacement that restores from S3 + log.
+				if _, err := m.Cluster.ReplaceNode(n.ID()); err == nil {
+					m.mu.Lock()
+					m.replaced++
+					m.mu.Unlock()
+				}
+				continue
+			}
+			if n.Role() == election.RolePrimary {
+				hasPrimary = true
+			}
+		}
+		m.mu.Lock()
+		if hasPrimary {
+			m.primarylessFor[sh.ID] = 0
+		} else {
+			m.primarylessFor[sh.ID] += interval
+			limit := m.PrimaryAlarmAfter
+			if limit <= 0 {
+				limit = 30 * time.Second
+			}
+			if m.primarylessFor[sh.ID] >= limit {
+				m.alarms = append(m.alarms, "shard "+sh.ID+" has no primary")
+				m.primarylessFor[sh.ID] = 0
+			}
+		}
+		m.mu.Unlock()
+	}
+}
+
+// Run ticks until ctx is cancelled.
+func (m *Monitor) Run(ctx context.Context) {
+	interval := m.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	clk := m.Cluster.Clock()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-clk.After(interval):
+			m.Tick()
+		}
+	}
+}

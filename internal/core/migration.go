@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"memorydb/internal/crc16"
+	"memorydb/internal/election"
+	"memorydb/internal/resp"
+	"memorydb/internal/txlog"
+)
+
+// errNotPrimaryErr is the Go-level counterpart of the -READONLY reply for
+// control-plane callers.
+var errNotPrimaryErr = errors.New("core: not the primary")
+
+// Slot migration support (paper §5.2). The source primary keeps serving
+// the slot while data moves: keys are dumped through the workloop into an
+// ordered stream that also carries the replication effects of concurrent
+// mutations on the slot, so the target observes "serialized keys plus
+// replication stream mutations of keys already transmitted" in a single
+// consistent order. Ownership transfer itself is coordinated by the
+// cluster layer with 2PC records in the transaction logs.
+
+// ForwardItem is one unit of the migration stream: either a batch of
+// commands recreating a dumped key, or the effects of one mutation.
+type ForwardItem struct {
+	// Cmds are decoded commands to apply at the target (dump path).
+	Cmds [][][]byte
+	// Effects are RESP-encoded effect commands (live mutation path).
+	Effects [][]byte
+}
+
+// MigrationStream receives the ordered dump+effect stream for one slot.
+type MigrationStream struct {
+	Slot uint16
+	C    chan ForwardItem
+}
+
+// StartSlotMigration begins streaming mode for slot: subsequent mutations
+// touching keys in the slot are mirrored into the returned stream, and
+// EnqueueSlotDump schedules the bulk copy through the same stream.
+func (n *Node) StartSlotMigration(slot uint16) *MigrationStream {
+	ms := &MigrationStream{Slot: slot, C: make(chan ForwardItem, 1024)}
+	t := &task{kind: taskMigCtl, mig: ms, migOn: true, swapCh: make(chan struct{})}
+	select {
+	case n.tasks <- t:
+		<-t.swapCh
+	case <-n.stopCtx.Done():
+	}
+	return ms
+}
+
+// EnqueueSlotDump dumps every key currently in the slot into the
+// migration stream. It runs inside the workloop, so the dump point is
+// serialized against mutations: effects emitted after it strictly follow
+// the dumped state.
+func (n *Node) EnqueueSlotDump(ctx context.Context, slot uint16) error {
+	t := &task{kind: taskMigDump, slot: slot, swapCh: make(chan struct{})}
+	select {
+	case n.tasks <- t:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.stopCtx.Done():
+		return ErrStopped
+	}
+	select {
+	case <-t.swapCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-n.stopCtx.Done():
+		return ErrStopped
+	}
+}
+
+// EndSlotMigration stops mirroring and closes the stream.
+func (n *Node) EndSlotMigration() {
+	t := &task{kind: taskMigCtl, migOn: false, swapCh: make(chan struct{})}
+	select {
+	case n.tasks <- t:
+		<-t.swapCh
+	case <-n.stopCtx.Done():
+	}
+}
+
+// SetSlotGate installs (or clears, with nil) the slot admission check
+// consulted before executing client commands. The cluster layer uses it
+// for MOVED redirects, CROSSSLOT validation, and the brief write block
+// during slot ownership transfer.
+func (n *Node) SetSlotGate(gate func(name string, keys []string, writing bool) (resp.Value, bool)) {
+	n.mu.Lock()
+	n.slotGate = gate
+	n.mu.Unlock()
+}
+
+// AppendControl appends a control entry (slot 2PC messages etc.) through
+// the primary's append chain, returning once it is durably committed.
+func (n *Node) AppendControl(ctx context.Context, typ txlog.EntryType, payload []byte) (txlog.EntryID, error) {
+	t := &task{kind: taskControl, ctlType: typ, ctlPayload: payload, ctlCh: make(chan ctlResult, 1)}
+	select {
+	case n.tasks <- t:
+	case <-ctx.Done():
+		return txlog.ZeroID, ctx.Err()
+	case <-n.stopCtx.Done():
+		return txlog.ZeroID, ErrStopped
+	}
+	select {
+	case r := <-t.ctlCh:
+		return r.id, r.err
+	case <-ctx.Done():
+		return txlog.ZeroID, ctx.Err()
+	case <-n.stopCtx.Done():
+		return txlog.ZeroID, ErrStopped
+	}
+}
+
+type ctlResult struct {
+	id  txlog.EntryID
+	err error
+}
+
+func (n *Node) handleControl(t *task) {
+	n.mu.Lock()
+	role := n.role
+	epoch := n.epoch
+	trk := n.trk
+	n.mu.Unlock()
+	if role != election.RolePrimary {
+		t.ctlCh <- ctlResult{err: errNotPrimaryErr}
+		return
+	}
+	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+		Type:          t.ctlType,
+		Epoch:         epoch,
+		EngineVersion: n.cfg.EngineVersion,
+		Payload:       t.ctlPayload,
+	})
+	if err != nil {
+		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
+		n.demote()
+		t.ctlCh <- ctlResult{err: err}
+		return
+	}
+	n.lastIssued = p.ID()
+	go func() {
+		id, err := p.Wait(n.stopCtx)
+		if err == nil {
+			trk.Commit(id.Seq)
+		}
+		t.ctlCh <- ctlResult{id: id, err: err}
+	}()
+}
+
+func (n *Node) handleMigCtl(t *task) {
+	if t.migOn {
+		n.migStream = t.mig
+	} else if n.migStream != nil {
+		close(n.migStream.C)
+		n.migStream = nil
+	}
+	close(t.swapCh)
+}
+
+func (n *Node) handleMigDump(t *task) {
+	defer close(t.swapCh)
+	if n.migStream == nil {
+		return
+	}
+	for _, key := range n.eng.DB().SlotKeys(t.slot, 0) {
+		cmds := n.eng.DumpCommands(key)
+		if len(cmds) == 0 {
+			continue
+		}
+		select {
+		case n.migStream.C <- ForwardItem{Cmds: cmds}:
+		case <-n.stopCtx.Done():
+			return
+		}
+	}
+}
+
+// LeaseReleasePayload marks a voluntary leadership hand-over: replicas
+// observing it skip the backoff and campaign immediately, minimizing
+// write unavailability during collaborative transfers (§5.2 instance
+// scaling, §5.1 N+1 upgrades).
+var LeaseReleasePayload = []byte("lease-release")
+
+// StepDown performs a collaborative leadership transfer: the primary
+// appends a lease-release entry and demotes itself. It returns once the
+// release is durably committed (or the node was not primary).
+func (n *Node) StepDown(ctx context.Context) error {
+	_, err := n.AppendControl(ctx, txlog.EntryControl, LeaseReleasePayload)
+	if err != nil {
+		return err
+	}
+	n.demote()
+	return nil
+}
+
+// SlotKeys returns the keys currently stored in slot, read inside the
+// workloop so the view is serialized against writes.
+func (n *Node) SlotKeys(ctx context.Context, slot uint16) ([]string, error) {
+	t := &task{kind: taskSlotInfo, slot: slot, slotCh: make(chan []string, 1)}
+	select {
+	case n.tasks <- t:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.stopCtx.Done():
+		return nil, ErrStopped
+	}
+	select {
+	case keys := <-t.slotCh:
+		return keys, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.stopCtx.Done():
+		return nil, ErrStopped
+	}
+}
+
+// SlotKeyCount returns the number of keys in slot.
+func (n *Node) SlotKeyCount(ctx context.Context, slot uint16) (int, error) {
+	keys, err := n.SlotKeys(ctx, slot)
+	return len(keys), err
+}
+
+// forwardEffects mirrors a mutation's effects into the migration stream
+// when any touched key belongs to the migrating slot. Called from the
+// workloop right after the effects were accepted by the log.
+func (n *Node) forwardEffects(keys []string, effects [][]byte) {
+	ms := n.migStream
+	if ms == nil {
+		return
+	}
+	match := false
+	for _, k := range keys {
+		if crc16.Slot(k) == ms.Slot {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return
+	}
+	select {
+	case ms.C <- ForwardItem{Effects: effects}:
+	case <-n.stopCtx.Done():
+	}
+}

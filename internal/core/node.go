@@ -1,0 +1,307 @@
+// Package core implements the MemoryDB node: a Redis-compatible execution
+// engine whose replication stream is intercepted and redirected into the
+// durable multi-AZ transaction log (paper §3). A primary executes
+// mutations locally, appends their effects to the log, and withholds
+// client replies through the tracker until the log acknowledges
+// durability. Replicas tail the log and apply the same effects, giving an
+// eventually consistent copy that is always a prefix of the committed
+// history — which is what makes consistent failover possible (§4.1.2).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/election"
+	"memorydb/internal/engine"
+	"memorydb/internal/netsim"
+	"memorydb/internal/resp"
+	"memorydb/internal/snapshot"
+	"memorydb/internal/tracker"
+	"memorydb/internal/txlog"
+)
+
+// Config parameterizes a node.
+type Config struct {
+	NodeID  string
+	ShardID string
+	// AZ is the availability zone label (placement/monitoring metadata).
+	AZ string
+	// Log is this shard's transaction log.
+	Log *txlog.Log
+	// Clock drives leases, TTLs and timeouts. Defaults to the wall clock.
+	Clock clock.Clock
+	// EngineVersion tags replication records for upgrade protection
+	// (§7.1). Defaults to engine.Version.
+	EngineVersion uint32
+	// Lease, Backoff, RenewEvery configure leader election (§4.1.3).
+	// Backoff must exceed Lease. Defaults: 2s / 2.5s / 500ms.
+	Lease, Backoff, RenewEvery time.Duration
+	// Snapshots, when set, enables snapshot-based recovery: restores load
+	// the latest snapshot from S3 and replay only the log suffix (§4.2.1).
+	Snapshots *snapshot.Manager
+	// ChecksumEvery makes the primary inject its running log checksum as
+	// an EntryChecksum after every N data entries (§7.2.1). Defaults to
+	// 64; negative disables injection.
+	ChecksumEvery int
+	// GlobalReadGate is an ablation knob: when set, every read waits for
+	// ALL outstanding writes instead of only writes covering its keys.
+	// MemoryDB uses key-level hazards (§3.2); this measures what that
+	// design choice buys.
+	GlobalReadGate bool
+	// Partition, when set, injects a network partition between THIS node
+	// and the transaction log service: its appends and reads fail while
+	// the flag is raised, leaving other nodes unaffected (§4.1 failure
+	// modes).
+	Partition *netsim.Flag
+	// OnRoleChange, when set, is invoked (from node goroutines) after
+	// every role transition — the cluster bus uses it to propagate role
+	// changes to the rest of the cluster.
+	OnRoleChange func(nodeID string, role election.Role, epoch uint64)
+	// ReplicaPoll is the idle polling interval of the replica log tailer.
+	// Defaults to 1ms.
+	ReplicaPoll time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.EngineVersion == 0 {
+		c.EngineVersion = engine.Version
+	}
+	if c.Lease == 0 {
+		c.Lease = 2 * time.Second
+	}
+	if c.Backoff == 0 {
+		c.Backoff = c.Lease + c.Lease/4
+	}
+	if c.RenewEvery == 0 {
+		c.RenewEvery = c.Lease / 4
+	}
+	if c.ReplicaPoll == 0 {
+		c.ReplicaPoll = time.Millisecond
+	}
+	if c.ChecksumEvery == 0 {
+		c.ChecksumEvery = 64
+	}
+	return c
+}
+
+// Errors surfaced by the node API.
+var (
+	ErrStopped = errors.New("core: node stopped")
+)
+
+// Node is one MemoryDB data-plane node (primary or replica of a shard).
+type Node struct {
+	cfg Config
+	clk clock.Clock
+
+	mu      sync.Mutex
+	role    election.Role
+	epoch   uint64
+	lease   *election.Lease
+	trk     *tracker.Tracker
+	stalled bool // upgrade protection tripped (§7.1)
+	// slotGate, when set by the cluster layer, admits or rejects client
+	// commands by slot (MOVED / CROSSSLOT / migration write block, §5.2).
+	slotGate func(name string, keys []string, writing bool) (resp.Value, bool)
+
+	// Workloop-owned state (no locking: single consumer).
+	eng        *engine.Engine
+	lastIssued txlog.EntryID
+	applied    txlog.EntryID
+	migStream  *MigrationStream
+	// Running checksum over data payloads this primary appended, chained
+	// from the value at its leadership claim; injected into the log
+	// every ChecksumEvery data entries (§7.2.1).
+	runningChecksum uint64
+	dataSinceSum    int
+
+	// appliedSeq mirrors applied.Seq for lock-free monitoring reads.
+	appliedSeq atomic.Uint64
+
+	tasks       chan *task
+	roleChanged chan struct{}
+	stopCtx     context.Context
+	stopFn      context.CancelFunc
+	wg          sync.WaitGroup
+
+	stats Stats
+}
+
+// Stats are cumulative node counters.
+type Stats struct {
+	mu               sync.Mutex
+	Commands         int64
+	Mutations        int64
+	GatedReads       int64
+	AppendsFailed    int64
+	Demotions        int64
+	Promotions       int64
+	EntriesApplied   int64
+	SnapshotRestores int64
+}
+
+func (s *Stats) bump(f func(*Stats)) {
+	s.mu.Lock()
+	f(s)
+	s.mu.Unlock()
+}
+
+// StatsView is a plain copy of the counters at one instant.
+type StatsView struct {
+	Commands         int64
+	Mutations        int64
+	GatedReads       int64
+	AppendsFailed    int64
+	Demotions        int64
+	Promotions       int64
+	EntriesApplied   int64
+	SnapshotRestores int64
+}
+
+// Snapshot returns a copy of the counters.
+func (s *Stats) Snapshot() StatsView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StatsView{
+		Commands:         s.Commands,
+		Mutations:        s.Mutations,
+		GatedReads:       s.GatedReads,
+		AppendsFailed:    s.AppendsFailed,
+		Demotions:        s.Demotions,
+		Promotions:       s.Promotions,
+		EntriesApplied:   s.EntriesApplied,
+		SnapshotRestores: s.SnapshotRestores,
+	}
+}
+
+// NewNode constructs a node; Start launches it. All nodes start as
+// replicas (§4.2: "new nodes always start up as replicas").
+func NewNode(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Log == nil {
+		return nil, errors.New("core: Config.Log is required")
+	}
+	if cfg.Backoff <= cfg.Lease {
+		return nil, fmt.Errorf("core: backoff (%v) must be strictly greater than lease (%v)", cfg.Backoff, cfg.Lease)
+	}
+	n := &Node{
+		cfg:         cfg,
+		clk:         cfg.Clock,
+		role:        election.RoleReplica,
+		trk:         tracker.New(0),
+		eng:         engine.New(cfg.Clock),
+		tasks:       make(chan *task, 4096),
+		roleChanged: make(chan struct{}, 4),
+	}
+	n.stopCtx, n.stopFn = context.WithCancel(context.Background())
+	return n, nil
+}
+
+// ID returns the node ID.
+func (n *Node) ID() string { return n.cfg.NodeID }
+
+// ShardID returns the shard this node serves.
+func (n *Node) ShardID() string { return n.cfg.ShardID }
+
+// AZ returns the node's availability zone label.
+func (n *Node) AZ() string { return n.cfg.AZ }
+
+// Role returns the node's current role.
+func (n *Node) Role() election.Role {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.role
+}
+
+// Epoch returns the node's current leadership epoch view.
+func (n *Node) Epoch() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.epoch
+}
+
+// Stalled reports whether upgrade protection has stopped this replica
+// from consuming the log (§7.1).
+func (n *Node) Stalled() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stalled
+}
+
+// Stats exposes the node's counters.
+func (n *Node) Stats() *Stats { return &n.stats }
+
+// Stopped reports whether the node has been stopped.
+func (n *Node) Stopped() bool { return n.stopCtx.Err() != nil }
+
+// AppliedSeq returns the log sequence this node has applied through —
+// the monitoring view of replica lag.
+func (n *Node) AppliedSeq() uint64 { return n.appliedSeq.Load() }
+
+// EngineVersion returns the engine version this node runs.
+func (n *Node) EngineVersion() uint32 { return n.cfg.EngineVersion }
+
+// Start launches the workloop and role management.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.workloop()
+	go n.roleLoop()
+}
+
+// Stop terminates the node. Pending gated replies are aborted.
+func (n *Node) Stop() {
+	n.stopFn()
+	n.mu.Lock()
+	trk := n.trk
+	n.mu.Unlock()
+	trk.Abort()
+	n.wg.Wait()
+}
+
+// setRole transitions the node's role under lock and notifies the role
+// loop and the cluster bus.
+func (n *Node) setRole(role election.Role, epoch uint64) {
+	n.mu.Lock()
+	n.role = role
+	if epoch > n.epoch {
+		n.epoch = epoch
+	}
+	cb := n.cfg.OnRoleChange
+	n.mu.Unlock()
+	select {
+	case n.roleChanged <- struct{}{}:
+	default:
+	}
+	if cb != nil {
+		cb(n.cfg.NodeID, role, epoch)
+	}
+	switch role {
+	case election.RolePrimary:
+		n.stats.bump(func(s *Stats) { s.Promotions++ })
+	case election.RoleDemoted:
+		n.stats.bump(func(s *Stats) { s.Demotions++ })
+	}
+}
+
+// partitioned reports whether this node is currently cut off from the
+// transaction log service.
+func (n *Node) partitioned() bool {
+	return n.cfg.Partition != nil && n.cfg.Partition.On()
+}
+
+// startAppend wraps Log.StartAppend with the node-level partition check.
+func (n *Node) startAppend(after txlog.EntryID, e txlog.Entry) (*txlog.Pending, error) {
+	if n.partitioned() {
+		return nil, txlog.ErrUnavailable
+	}
+	return n.cfg.Log.StartAppend(after, e)
+}

@@ -1,0 +1,293 @@
+package core
+
+import (
+	"errors"
+
+	"memorydb/internal/election"
+	"memorydb/internal/engine"
+	"memorydb/internal/snapshot"
+	"memorydb/internal/tracker"
+	"memorydb/internal/txlog"
+)
+
+func (n *Node) electionConfig() election.Config {
+	return election.Config{
+		NodeID:     n.cfg.NodeID,
+		Lease:      n.cfg.Lease,
+		Backoff:    n.cfg.Backoff,
+		RenewEvery: n.cfg.RenewEvery,
+		Clock:      n.clk,
+	}
+}
+
+// roleLoop drives the node through its lifecycle: replica (tail the log,
+// campaign when the primary goes silent) → primary (renew lease) →
+// demoted (resynchronize) → replica.
+func (n *Node) roleLoop() {
+	defer n.wg.Done()
+	// Initial bootstrap: restore state before serving, retrying through
+	// transient log/S3 unavailability.
+	for n.resync() != nil {
+		if n.stopCtx.Err() != nil {
+			return
+		}
+		n.clk.Sleep(n.cfg.ReplicaPoll * 10)
+	}
+	for {
+		select {
+		case <-n.stopCtx.Done():
+			return
+		default:
+		}
+		switch n.Role() {
+		case election.RoleReplica:
+			n.runReplica()
+		case election.RolePrimary:
+			n.runPrimary()
+		case election.RoleDemoted:
+			if err := n.resync(); err != nil {
+				if n.stopCtx.Err() != nil {
+					return
+				}
+				// Transient restore failure (log/S3 unavailable): retry.
+				n.clk.Sleep(n.cfg.ReplicaPoll * 10)
+				continue
+			}
+			n.setRole(election.RoleReplica, 0)
+		}
+	}
+}
+
+// runReplica tails the transaction log, applying entries through the
+// workloop, observing lease renewals, and campaigning for leadership when
+// the backoff window elapses with no renewal observed (§4.1).
+func (n *Node) runReplica() {
+	reader := n.cfg.Log.NewReader(n.appliedPos())
+	obs := election.NewObserver(n.electionConfig())
+	// A pristine shard has never had a leader; there is no lease to
+	// respect, so the first replica may campaign immediately.
+	bootstrap := n.cfg.Log.CurrentEpoch() == 0 && n.cfg.Log.CommittedTail() == txlog.ZeroID
+
+	for {
+		select {
+		case <-n.stopCtx.Done():
+			return
+		default:
+		}
+		if n.partitioned() {
+			// Cut off from the log service: no reads, no campaigning.
+			n.clk.Sleep(n.cfg.ReplicaPoll)
+			continue
+		}
+		progressed := false
+		for {
+			e, ok, err := reader.TryNext()
+			if err != nil {
+				// The log was trimmed past our position: fall back to a
+				// full restore from snapshot.
+				n.setRole(election.RoleDemoted, 0)
+				return
+			}
+			if !ok {
+				break
+			}
+			progressed = true
+			switch e.Type {
+			case txlog.EntryLease, txlog.EntryLeadership:
+				obs.ObserveRenewal()
+				bootstrap = false
+				if e.Type == txlog.EntryLeadership {
+					n.mu.Lock()
+					if e.Epoch > n.epoch {
+						n.epoch = e.Epoch
+					}
+					n.mu.Unlock()
+				}
+				n.applyViaWorkloop(e)
+			case txlog.EntryControl:
+				if string(e.Payload) == string(LeaseReleasePayload) {
+					// Collaborative hand-over: the primary released its
+					// lease, so the backoff no longer applies.
+					bootstrap = true
+				}
+				n.applyViaWorkloop(e)
+			default:
+				if err := n.applyViaWorkloop(e); err != nil {
+					if errors.Is(err, errUpgradeStall) {
+						// Stop consuming the log (§7.1) but keep serving
+						// stale reads until the control plane replaces us.
+						n.waitUntilStopped()
+						return
+					}
+					n.setRole(election.RoleDemoted, 0)
+					return
+				}
+			}
+		}
+		if !progressed {
+			if (bootstrap || obs.CanCampaign()) && reader.CaughtUp() && !n.Stalled() {
+				if n.campaign(reader.Position()) {
+					return // promoted; role loop switches to runPrimary
+				}
+				// Lost the race or log unavailable; refresh the reader
+				// position view and keep tailing.
+				obs.ObserveRenewal()
+				bootstrap = false
+			}
+			n.clk.Sleep(n.cfg.ReplicaPoll)
+		}
+	}
+}
+
+func (n *Node) applyViaWorkloop(e txlog.Entry) error {
+	t := &task{kind: taskApply, entry: e, applyCh: make(chan error, 1)}
+	select {
+	case n.tasks <- t:
+	case <-n.stopCtx.Done():
+		return ErrStopped
+	}
+	select {
+	case err := <-t.applyCh:
+		return err
+	case <-n.stopCtx.Done():
+		return ErrStopped
+	}
+}
+
+// campaign attempts to acquire leadership conditioned on the replica's
+// observed tail. Only a fully caught-up replica can succeed (§4.1.2).
+func (n *Node) campaign(observedTail txlog.EntryID) bool {
+	if n.partitioned() {
+		return false
+	}
+	lease, claimID, err := election.Campaign(n.stopCtx, n.cfg.Log, n.electionConfig(), observedTail)
+	if err != nil {
+		return false
+	}
+	n.mu.Lock()
+	n.lease = lease
+	n.epoch = lease.Epoch()
+	// Fresh tracker: the durable watermark starts at the claim entry.
+	n.trk = tracker.New(claimID.Seq)
+	n.mu.Unlock()
+	// The workloop chains appends after the claim entry; install the
+	// positions through the workloop so no other goroutine touches its
+	// state. The running checksum continues from the log's value at the
+	// claim (the claim is committed, so ChecksumAt cannot fail except on
+	// a concurrent trim, in which case zero restarts verification).
+	sum, _ := n.cfg.Log.ChecksumAt(claimID)
+	t := &task{kind: taskSwap, newApplied: claimID, setIssued: true, newChecksum: sum, swapCh: make(chan struct{})}
+	select {
+	case n.tasks <- t:
+		<-t.swapCh
+	case <-n.stopCtx.Done():
+		return false
+	}
+	n.setRole(election.RolePrimary, lease.Epoch())
+	return true
+}
+
+// runPrimary renews the lease periodically and self-demotes when the
+// lease can no longer be extended.
+func (n *Node) runPrimary() {
+	ticker := n.cfg.RenewEvery
+	sweepCounter := 0
+	for {
+		select {
+		case <-n.stopCtx.Done():
+			return
+		case <-n.roleChanged:
+			if n.Role() != election.RolePrimary {
+				return
+			}
+		case <-n.clk.After(ticker):
+			n.mu.Lock()
+			lease := n.lease
+			role := n.role
+			n.mu.Unlock()
+			if role != election.RolePrimary {
+				return
+			}
+			if lease == nil || !lease.Valid() {
+				n.demote()
+				return
+			}
+			select {
+			case n.tasks <- &task{kind: taskRenew}:
+			case <-n.stopCtx.Done():
+				return
+			}
+			sweepCounter++
+			if sweepCounter%4 == 0 {
+				select {
+				case n.tasks <- &task{kind: taskSweep}:
+				default:
+				}
+			}
+		}
+	}
+}
+
+// resync rebuilds the node's state from durable sources: the latest
+// snapshot in S3 (when configured) plus the transaction log suffix
+// (§4.2.1). It runs entirely against shared, separately scaled services —
+// no interaction with live peers.
+func (n *Node) resync() error {
+	if n.partitioned() {
+		return errors.New("core: partitioned from durable sources")
+	}
+	eng := engine.New(n.clk)
+	from := txlog.ZeroID
+	if n.cfg.Snapshots != nil {
+		db, meta, ok, err := n.cfg.Snapshots.Latest(n.cfg.ShardID)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if meta.EngineVersion > n.cfg.EngineVersion {
+				return errors.New("core: snapshot produced by newer engine version")
+			}
+			eng.ResetDB(db)
+			from = meta.LogPos
+			n.stats.bump(func(s *Stats) { s.SnapshotRestores++ })
+		}
+	}
+	// Replay the suffix up to the committed tail at restore time; the
+	// replica tailer continues from there.
+	target := n.cfg.Log.CommittedTail()
+	if err := snapshot.ReplayRange(n.stopCtx, n.cfg.Log, eng, from, target); err != nil {
+		if errors.Is(err, txlog.ErrTrimmed) && n.cfg.Snapshots == nil {
+			return errors.New("core: log trimmed and no snapshot store configured")
+		}
+		return err
+	}
+	// Install the rebuilt state and a fresh tracker via the workloop.
+	t := &task{kind: taskSwap, newEng: eng, newApplied: target, swapCh: make(chan struct{})}
+	select {
+	case n.tasks <- t:
+	case <-n.stopCtx.Done():
+		return ErrStopped
+	}
+	select {
+	case <-t.swapCh:
+	case <-n.stopCtx.Done():
+		return ErrStopped
+	}
+	n.mu.Lock()
+	n.trk = tracker.New(target.Seq)
+	n.stalled = false
+	n.mu.Unlock()
+	return nil
+}
+
+func (n *Node) appliedPos() txlog.EntryID {
+	// applied is workloop-owned; reading from the role loop is safe
+	// because applies are driven synchronously by this same goroutine
+	// while in replica role, and across role transitions the workloop is
+	// quiescent for apply tasks.
+	return n.applied
+}
+
+func (n *Node) waitUntilStopped() {
+	<-n.stopCtx.Done()
+}

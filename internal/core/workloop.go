@@ -1,0 +1,548 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"memorydb/internal/election"
+	"memorydb/internal/engine"
+	"memorydb/internal/resp"
+	"memorydb/internal/txlog"
+)
+
+type taskKind int
+
+const (
+	taskCmd taskKind = iota
+	taskBatch
+	taskApply
+	taskRenew
+	taskSwap
+	taskSweep
+	taskControl
+	taskMigCtl
+	taskMigDump
+	taskSlotInfo
+)
+
+type task struct {
+	kind     taskKind
+	argv     [][]byte
+	batch    [][][]byte
+	readonly bool // client opted into replica reads (READONLY)
+	reply    func(v resp.Value)
+
+	// taskApply
+	entry   txlog.Entry
+	applyCh chan error
+
+	// taskSwap: install restored engine state and/or log positions from
+	// the role loop without racing the workloop.
+	newEng      *engine.Engine
+	newApplied  txlog.EntryID
+	setIssued   bool
+	newChecksum uint64
+	swapCh      chan struct{}
+
+	// taskControl
+	ctlType    txlog.EntryType
+	ctlPayload []byte
+	ctlCh      chan ctlResult
+
+	// taskMigCtl / taskMigDump / taskSlotInfo
+	mig    *MigrationStream
+	migOn  bool
+	slot   uint16
+	slotCh chan []string
+}
+
+// Do executes a client command on this node. Writes require the node to
+// be a primary holding a valid lease; replies for mutations are withheld
+// until the transaction log acknowledges durability.
+func (n *Node) Do(ctx context.Context, argv [][]byte) (resp.Value, error) {
+	return n.submit(ctx, &task{kind: taskCmd, argv: argv})
+}
+
+// DoReadOnly executes a command with replica reads permitted (the client
+// issued READONLY). On a replica only read commands are served, yielding
+// sequential consistency (§3.2).
+func (n *Node) DoReadOnly(ctx context.Context, argv [][]byte) (resp.Value, error) {
+	return n.submit(ctx, &task{kind: taskCmd, argv: argv, readonly: true})
+}
+
+// DoBatch executes an atomic MULTI/EXEC group: all commands run
+// back-to-back in the workloop and their effects are logged as a single
+// record, so the group is atomic both locally and in the log (§2.1).
+func (n *Node) DoBatch(ctx context.Context, cmds [][][]byte) (resp.Value, error) {
+	return n.submit(ctx, &task{kind: taskBatch, batch: cmds})
+}
+
+func (n *Node) submit(ctx context.Context, t *task) (resp.Value, error) {
+	ch := make(chan resp.Value, 1)
+	t.reply = func(v resp.Value) { ch <- v }
+	select {
+	case n.tasks <- t:
+	case <-ctx.Done():
+		return resp.Value{}, ctx.Err()
+	case <-n.stopCtx.Done():
+		return resp.Value{}, ErrStopped
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return resp.Value{}, ctx.Err()
+	case <-n.stopCtx.Done():
+		return resp.Value{}, ErrStopped
+	}
+}
+
+func (n *Node) workloop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCtx.Done():
+			return
+		case t := <-n.tasks:
+			switch t.kind {
+			case taskCmd:
+				n.handleCmd(t)
+			case taskBatch:
+				n.handleBatch(t)
+			case taskApply:
+				t.applyCh <- n.handleApply(t.entry)
+			case taskRenew:
+				n.handleRenew()
+			case taskSweep:
+				n.handleSweep()
+			case taskControl:
+				n.handleControl(t)
+			case taskMigCtl:
+				n.handleMigCtl(t)
+			case taskMigDump:
+				n.handleMigDump(t)
+			case taskSlotInfo:
+				t.slotCh <- n.eng.DB().SlotKeys(t.slot, 0)
+			case taskSwap:
+				if t.newEng != nil {
+					n.eng = t.newEng
+				}
+				n.applied = t.newApplied
+				n.appliedSeq.Store(t.newApplied.Seq)
+				if t.setIssued {
+					n.lastIssued = t.newApplied
+					n.runningChecksum = t.newChecksum
+					n.dataSinceSum = 0
+				} else {
+					n.lastIssued = txlog.ZeroID
+				}
+				close(t.swapCh)
+			}
+		}
+	}
+}
+
+var (
+	errNotPrimary = resp.Err("READONLY You can't write against a read only replica.")
+	errDemoted    = resp.Err("CLUSTERDOWN node lost its leadership lease")
+	errStalledVal = resp.Err("CLUSTERDOWN replica stalled by newer engine version in replication stream")
+	errLogDown    = resp.Err("CLUSTERDOWN transaction log unavailable")
+)
+
+func (n *Node) handleCmd(t *task) {
+	n.stats.bump(func(s *Stats) { s.Commands++ })
+	name := strings.ToUpper(string(t.argv[0]))
+	if name == "WAIT" {
+		n.handleWait(t)
+		return
+	}
+	if name == "INFO" {
+		t.reply(resp.BulkStr(n.infoText()))
+		return
+	}
+	cmd, known := engine.LookupCommand(name)
+
+	n.mu.Lock()
+	role := n.role
+	lease := n.lease
+	trk := n.trk
+	stalled := n.stalled
+	gate := n.slotGate
+	n.mu.Unlock()
+
+	if gate != nil && known && !isAlwaysLocal(name) {
+		if errReply, rejected := gate(name, cmd.Keys(t.argv), cmd.Writes()); rejected {
+			t.reply(errReply)
+			return
+		}
+	}
+
+	switch role {
+	case election.RolePrimary:
+		if lease == nil || !lease.Valid() {
+			// A primary that cannot renew voluntarily stops servicing
+			// reads and writes at the end of its lease (§4.1.3).
+			n.demote()
+			t.reply(errDemoted)
+			return
+		}
+	case election.RoleReplica:
+		if stalled {
+			t.reply(errStalledVal)
+			return
+		}
+		if !known || (cmd.Writes() && name != "PING") {
+			t.reply(errNotPrimary)
+			return
+		}
+		if !t.readonly && !isAlwaysLocal(name) {
+			t.reply(errNotPrimary)
+			return
+		}
+		// Replica read: mutations only become visible once committed to
+		// the log, so no blocking is required (§3.2).
+		res := n.eng.Exec(t.argv)
+		t.reply(res.Reply)
+		return
+	default:
+		t.reply(errDemoted)
+		return
+	}
+
+	// Primary path.
+	res := n.eng.Exec(t.argv)
+	if !res.Mutated() {
+		// Read: delay the reply if any observed key has a not-yet-durable
+		// mutation (key-level hazards, §3.2).
+		keys := readKeys(cmd, t.argv, name)
+		if keys == nil && gatesOnFullKeyspace(name) || n.cfg.GlobalReadGate {
+			seq := n.lastIssued.Seq
+			n.stats.bump(func(s *Stats) { s.GatedReads++ })
+			trk.RegisterWrite(seq, nil, func(aborted bool) {
+				if aborted {
+					t.reply(errDemoted)
+				} else {
+					t.reply(res.Reply)
+				}
+			})
+			return
+		}
+		trk.GateRead(keys, func(aborted bool) {
+			if aborted {
+				t.reply(errDemoted)
+			} else {
+				t.reply(res.Reply)
+			}
+		})
+		return
+	}
+	n.logMutation(t, res, trk)
+}
+
+func (n *Node) handleBatch(t *task) {
+	n.stats.bump(func(s *Stats) { s.Commands++ })
+	n.mu.Lock()
+	role := n.role
+	lease := n.lease
+	trk := n.trk
+	n.mu.Unlock()
+	if role != election.RolePrimary {
+		t.reply(errNotPrimary)
+		return
+	}
+	if lease == nil || !lease.Valid() {
+		n.demote()
+		t.reply(errDemoted)
+		return
+	}
+	res := n.eng.ExecBatch(t.batch)
+	if !res.Mutated() {
+		// Read-only transaction: gate on everything outstanding, since
+		// computing the union of read keys across the group costs more
+		// than the conservative barrier.
+		seq := n.lastIssued.Seq
+		trk.RegisterWrite(seq, nil, func(aborted bool) {
+			if aborted {
+				t.reply(errDemoted)
+			} else {
+				t.reply(res.Reply)
+			}
+		})
+		return
+	}
+	n.logMutation(t, res, trk)
+}
+
+// logMutation appends the effects of an executed mutation to the
+// transaction log and gates the reply on durability.
+func (n *Node) logMutation(t *task, res engine.Result, trk trackerIface) {
+	n.stats.bump(func(s *Stats) { s.Mutations++ })
+	payload := engine.EncodeRecord(res.Effects)
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+		Type:          txlog.EntryData,
+		Epoch:         epoch,
+		EngineVersion: n.cfg.EngineVersion,
+		Payload:       payload,
+	})
+	if err != nil {
+		// The commit failed: the change must not be acknowledged and must
+		// not become visible (§3.2). The node demotes and resynchronizes
+		// from the log, discarding the un-logged local mutation.
+		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
+		n.demote()
+		t.reply(errLogDown)
+		return
+	}
+	n.lastIssued = p.ID()
+	seq := p.ID().Seq
+	trk.RegisterWrite(seq, res.Keys, func(aborted bool) {
+		if aborted {
+			t.reply(errDemoted)
+		} else {
+			t.reply(res.Reply)
+		}
+	})
+	go func() {
+		if _, err := p.Wait(n.stopCtx); err == nil {
+			trk.Commit(seq)
+		}
+	}()
+	n.forwardEffects(res.Keys, res.Effects)
+	n.runningChecksum = txlog.ChainChecksum(n.runningChecksum, payload)
+	n.dataSinceSum++
+	if n.cfg.ChecksumEvery > 0 && n.dataSinceSum >= n.cfg.ChecksumEvery {
+		n.injectChecksum()
+	}
+}
+
+// injectChecksum appends the primary's running log checksum so snapshot
+// verification can rehearse against it (§7.2.1).
+func (n *Node) injectChecksum() {
+	n.mu.Lock()
+	epoch := n.epoch
+	trk := n.trk
+	n.mu.Unlock()
+	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+		Type:          txlog.EntryChecksum,
+		Epoch:         epoch,
+		EngineVersion: n.cfg.EngineVersion,
+		Payload:       txlog.EncodeChecksumPayload(n.runningChecksum),
+	})
+	if err != nil {
+		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
+		n.demote()
+		return
+	}
+	n.lastIssued = p.ID()
+	n.dataSinceSum = 0
+	n.commitWatermarkAsync(p, trk)
+}
+
+// commitWatermarkAsync advances the tracker's durable watermark once a
+// non-data entry commits, so reads gated at lastIssued are not stuck
+// behind control traffic.
+func (n *Node) commitWatermarkAsync(p *txlog.Pending, trk trackerIface) {
+	go func() {
+		if id, err := p.Wait(n.stopCtx); err == nil {
+			trk.Commit(id.Seq)
+		}
+	}()
+}
+
+// handleWait implements WAIT: on MemoryDB every acknowledged write is
+// already durable across AZs, so WAIT degenerates to a barrier on the
+// client's outstanding writes; the reply is the number of replicating
+// AZs beyond the primary's.
+func (n *Node) handleWait(t *task) {
+	n.mu.Lock()
+	role := n.role
+	trk := n.trk
+	n.mu.Unlock()
+	if role != election.RolePrimary {
+		t.reply(errNotPrimary)
+		return
+	}
+	seq := n.lastIssued.Seq
+	trk.RegisterWrite(seq, nil, func(aborted bool) {
+		if aborted {
+			t.reply(errDemoted)
+		} else {
+			t.reply(resp.Int64(2))
+		}
+	})
+}
+
+// infoText renders the INFO reply: the per-node view the monitoring
+// service polls every few seconds (§5.1). Runs in the workloop, so the
+// log positions are consistent.
+func (n *Node) infoText() string {
+	n.mu.Lock()
+	role := n.role
+	epoch := n.epoch
+	stalled := n.stalled
+	n.mu.Unlock()
+	st := n.stats.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Replication\r\n")
+	fmt.Fprintf(&b, "role:%s\r\n", role)
+	fmt.Fprintf(&b, "epoch:%d\r\n", epoch)
+	fmt.Fprintf(&b, "applied_seq:%d\r\n", n.applied.Seq)
+	fmt.Fprintf(&b, "log_committed_seq:%d\r\n", n.cfg.Log.CommittedTail().Seq)
+	fmt.Fprintf(&b, "upgrade_stalled:%v\r\n", stalled)
+	fmt.Fprintf(&b, "engine_version:%d\r\n", n.cfg.EngineVersion)
+	fmt.Fprintf(&b, "# Stats\r\n")
+	fmt.Fprintf(&b, "commands:%d\r\n", st.Commands)
+	fmt.Fprintf(&b, "mutations:%d\r\n", st.Mutations)
+	fmt.Fprintf(&b, "entries_applied:%d\r\n", st.EntriesApplied)
+	fmt.Fprintf(&b, "promotions:%d\r\n", st.Promotions)
+	fmt.Fprintf(&b, "demotions:%d\r\n", st.Demotions)
+	fmt.Fprintf(&b, "# Keyspace\r\n")
+	fmt.Fprintf(&b, "keys:%d\r\n", n.eng.DB().Len())
+	fmt.Fprintf(&b, "used_bytes:%d\r\n", n.eng.DB().UsedBytes())
+	return b.String()
+}
+
+// handleApply applies one replicated log entry on a replica.
+func (n *Node) handleApply(e txlog.Entry) error {
+	if e.Type != txlog.EntryData {
+		n.applied = e.ID
+		n.appliedSeq.Store(e.ID.Seq)
+		return nil
+	}
+	if e.EngineVersion > n.cfg.EngineVersion {
+		// Upgrade protection (§7.1): a replica running an older engine
+		// must not misinterpret records from a newer one; it stops
+		// consuming the log.
+		n.mu.Lock()
+		n.stalled = true
+		n.mu.Unlock()
+		return errUpgradeStall
+	}
+	if err := n.eng.Apply(e.Payload); err != nil {
+		return err
+	}
+	n.applied = e.ID
+	n.appliedSeq.Store(e.ID.Seq)
+	n.stats.bump(func(s *Stats) { s.EntriesApplied++ })
+	return nil
+}
+
+// handleRenew appends a lease renewal (primary only). The append is
+// pipelined like any other: assignment happens synchronously (so the
+// chain stays intact) and the lease extends from issue time — safe
+// because the backoff replicas observe is strictly longer than the lease.
+func (n *Node) handleRenew() {
+	n.mu.Lock()
+	role := n.role
+	lease := n.lease
+	epoch := n.epoch
+	trk := n.trk
+	n.mu.Unlock()
+	if role != election.RolePrimary || lease == nil {
+		return
+	}
+	if !lease.Valid() {
+		n.demote()
+		return
+	}
+	r := election.Renewal{NodeID: n.cfg.NodeID, Epoch: epoch, LeaseMs: n.cfg.Lease.Milliseconds()}
+	issued := n.clk.Now()
+	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+		Type:    txlog.EntryLease,
+		Epoch:   epoch,
+		Payload: election.EncodeRenewal(r),
+	})
+	if err != nil {
+		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
+		// Could not renew: serve out the current lease, then self-demote
+		// (checked on the next command and by the primary loop).
+		return
+	}
+	lease.Renewed(issued)
+	n.lastIssued = p.ID()
+	n.commitWatermarkAsync(p, trk)
+}
+
+// handleSweep runs one active-expiry cycle on the primary, replicating
+// deterministic DELs for reaped keys.
+func (n *Node) handleSweep() {
+	n.mu.Lock()
+	role := n.role
+	trk := n.trk
+	n.mu.Unlock()
+	if role != election.RolePrimary {
+		return
+	}
+	res := n.eng.SweepExpired(32)
+	if !res.Mutated() {
+		return
+	}
+	t := &task{reply: func(resp.Value) {}}
+	n.logMutation(t, res, trk)
+}
+
+// demote moves the node to the demoted role; the role loop will
+// resynchronize it from the log and rejoin as a replica.
+func (n *Node) demote() {
+	n.mu.Lock()
+	if n.role != election.RolePrimary {
+		n.mu.Unlock()
+		return
+	}
+	n.role = election.RoleDemoted
+	n.lease = nil
+	trk := n.trk
+	epoch := n.epoch
+	cb := n.cfg.OnRoleChange
+	n.mu.Unlock()
+	trk.Abort()
+	n.stats.bump(func(s *Stats) { s.Demotions++ })
+	select {
+	case n.roleChanged <- struct{}{}:
+	default:
+	}
+	if cb != nil {
+		cb(n.cfg.NodeID, election.RoleDemoted, epoch)
+	}
+}
+
+// trackerIface narrows tracker.Tracker for logMutation (test seam).
+type trackerIface interface {
+	RegisterWrite(seq uint64, keys []string, deliver func(aborted bool))
+	Commit(seq uint64)
+}
+
+// readKeys returns the keys a read command observed.
+func readKeys(cmd *engine.Command, argv [][]byte, name string) []string {
+	if cmd == nil {
+		return nil
+	}
+	return cmd.Keys(argv)
+}
+
+// gatesOnFullKeyspace lists keyless reads whose results reflect the whole
+// keyspace and therefore must wait for every outstanding write.
+func gatesOnFullKeyspace(name string) bool {
+	switch name {
+	case "KEYS", "SCAN", "DBSIZE", "RANDOMKEY":
+		return true
+	}
+	return false
+}
+
+// isAlwaysLocal lists commands any node answers regardless of role or
+// READONLY state.
+func isAlwaysLocal(name string) bool {
+	switch name {
+	case "PING", "ECHO", "TIME", "COMMAND":
+		return true
+	}
+	return false
+}
+
+var errUpgradeStall = errors.New("core: replication stream from newer engine version; consumption stopped")

@@ -1,0 +1,80 @@
+package crc16
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Reference values from the Redis cluster specification.
+func TestChecksumKnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint16
+	}{
+		{"", 0x0000},
+		{"123456789", 0x31C3}, // canonical XModem check value
+	}
+	for _, c := range cases {
+		if got := Checksum([]byte(c.in)); got != c.want {
+			t.Errorf("Checksum(%q) = %#04x, want %#04x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSlotKnownVectors(t *testing.T) {
+	// "foo" is slot 12182 in Redis cluster; "bar" is 5061.
+	cases := []struct {
+		key  string
+		want uint16
+	}{
+		{"foo", 12182},
+		{"bar", 5061},
+	}
+	for _, c := range cases {
+		if got := Slot(c.key); got != c.want {
+			t.Errorf("Slot(%q) = %d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestSlotInRange(t *testing.T) {
+	f := func(key string) bool { return Slot(key) < NumSlots }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashTagRouting(t *testing.T) {
+	// Keys sharing a tag land in the same slot.
+	if Slot("{user1000}.following") != Slot("{user1000}.followers") {
+		t.Fatal("hash-tagged keys must share a slot")
+	}
+	if Slot("{user1000}.following") != Slot("user1000") {
+		t.Fatal("tag must hash like the bare tag content")
+	}
+}
+
+func TestHashTagEdgeCases(t *testing.T) {
+	// Empty tag "{}" hashes the whole key.
+	if Slot("foo{}bar") != Checksum([]byte("foo{}bar"))%NumSlots {
+		t.Fatal("empty tag must hash the whole key")
+	}
+	// Unterminated '{' hashes the whole key.
+	if Slot("foo{bar") != Checksum([]byte("foo{bar"))%NumSlots {
+		t.Fatal("unterminated tag must hash the whole key")
+	}
+	// Only the first tag counts.
+	if Slot("{a}{b}") != Slot("a") {
+		t.Fatal("first tag wins")
+	}
+	// Nested braces: first '}' closes.
+	if Slot("{a{b}c}") != Slot("a{b") {
+		t.Fatal("first closing brace terminates the tag")
+	}
+}
+
+func TestChecksumDiffersForDifferentInputs(t *testing.T) {
+	if Checksum([]byte("abc")) == Checksum([]byte("abd")) {
+		t.Fatal("adjacent inputs should differ (sanity)")
+	}
+}

@@ -1,0 +1,227 @@
+// Package election implements MemoryDB's leader election atop the
+// transaction log (paper §4.1). Leadership is acquired by appending a
+// leadership entry with the conditional-append API: only a replica that
+// has observed the latest committed entry can name the current tail, so
+// only fully caught-up replicas can win (consistent failover). Leases
+// appended to the log keep exactly one primary active at a time (leader
+// singularity): replicas back off for strictly longer than the lease
+// duration after observing a renewal, and a primary that cannot renew
+// self-demotes at lease expiry.
+package election
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/txlog"
+)
+
+// Role is a node's current role within its shard.
+type Role int32
+
+// Roles.
+const (
+	RoleReplica Role = iota
+	RolePrimary
+	RoleDemoted
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleReplica:
+		return "replica"
+	case RoleDemoted:
+		return "demoted"
+	}
+	return "unknown"
+}
+
+// Claim is the payload of an EntryLeadership record.
+type Claim struct {
+	NodeID string `json:"node"`
+	Epoch  uint64 `json:"epoch"`
+	// LeaseMs is the lease duration granted by this claim.
+	LeaseMs int64 `json:"lease_ms"`
+}
+
+// Renewal is the payload of an EntryLease record (heartbeat + extension).
+type Renewal struct {
+	NodeID  string `json:"node"`
+	Epoch   uint64 `json:"epoch"`
+	LeaseMs int64  `json:"lease_ms"`
+}
+
+// EncodeClaim serializes a leadership claim.
+func EncodeClaim(c Claim) []byte {
+	b, _ := json.Marshal(c)
+	return b
+}
+
+// DecodeClaim parses a leadership claim payload.
+func DecodeClaim(b []byte) (Claim, error) {
+	var c Claim
+	if err := json.Unmarshal(b, &c); err != nil {
+		return Claim{}, fmt.Errorf("election: bad claim payload: %w", err)
+	}
+	return c, nil
+}
+
+// EncodeRenewal serializes a lease renewal.
+func EncodeRenewal(r Renewal) []byte {
+	b, _ := json.Marshal(r)
+	return b
+}
+
+// DecodeRenewal parses a lease renewal payload.
+func DecodeRenewal(b []byte) (Renewal, error) {
+	var r Renewal
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Renewal{}, fmt.Errorf("election: bad renewal payload: %w", err)
+	}
+	return r, nil
+}
+
+// Config holds the lease timing parameters. Backoff must be strictly
+// greater than Lease: a replica refrains from campaigning for Backoff
+// after each observed renewal, while the primary self-demotes once its
+// lease (Lease after the last successful renewal) expires — so the old
+// primary is always silent before a new one can be elected.
+type Config struct {
+	NodeID  string
+	Lease   time.Duration
+	Backoff time.Duration
+	// RenewEvery is how often the primary appends renewals; must be
+	// comfortably below Lease.
+	RenewEvery time.Duration
+	Clock      clock.Clock
+}
+
+// Validate checks the safety constraint between lease and backoff.
+func (c Config) Validate() error {
+	if c.Backoff <= c.Lease {
+		return fmt.Errorf("election: backoff (%v) must be strictly greater than lease (%v)", c.Backoff, c.Lease)
+	}
+	if c.RenewEvery >= c.Lease {
+		return fmt.Errorf("election: renew interval (%v) must be below lease (%v)", c.RenewEvery, c.Lease)
+	}
+	return nil
+}
+
+// Observer is the replica-side lease state machine: it watches lease and
+// leadership entries streaming from the log and answers "may I campaign?".
+type Observer struct {
+	cfg          Config
+	lastRenewal  time.Time
+	everObserved bool
+}
+
+// NewObserver returns an observer that, having seen nothing, starts its
+// backoff window at construction time (a fresh replica must not instantly
+// campaign against a healthy primary it hasn't heard from yet).
+func NewObserver(cfg Config) *Observer {
+	return &Observer{cfg: cfg, lastRenewal: cfg.Clock.Now()}
+}
+
+// ObserveRenewal records a lease renewal or leadership claim seen in the
+// log at the observer's local clock.
+func (o *Observer) ObserveRenewal() {
+	o.lastRenewal = o.cfg.Clock.Now()
+	o.everObserved = true
+}
+
+// CanCampaign reports whether the backoff window since the last observed
+// renewal has fully elapsed.
+func (o *Observer) CanCampaign() bool {
+	return o.cfg.Clock.Now().Sub(o.lastRenewal) > o.cfg.Backoff
+}
+
+// Lease is the primary-side state: the wall-clock deadline until which
+// this node may serve reads and writes. Safe for concurrent use (the
+// workloop renews while the primary loop validates).
+type Lease struct {
+	cfg   Config
+	epoch uint64
+
+	mu        sync.Mutex
+	expiresAt time.Time
+}
+
+// NewLease returns the lease state granted by winning epoch at now.
+func NewLease(cfg Config, epoch uint64) *Lease {
+	return &Lease{cfg: cfg, epoch: epoch, expiresAt: cfg.Clock.Now().Add(cfg.Lease)}
+}
+
+// Epoch returns the leadership epoch this lease belongs to.
+func (l *Lease) Epoch() uint64 { return l.epoch }
+
+// Renewed extends the lease after a successful renewal append. The
+// extension is measured from the time the renewal was *issued*, not
+// acknowledged, so clock skew on commit latency cannot overextend it;
+// issuedAt is when the primary created the renewal entry.
+func (l *Lease) Renewed(issuedAt time.Time) {
+	exp := issuedAt.Add(l.cfg.Lease)
+	l.mu.Lock()
+	if exp.After(l.expiresAt) {
+		l.expiresAt = exp
+	}
+	l.mu.Unlock()
+}
+
+// Valid reports whether the lease still holds.
+func (l *Lease) Valid() bool {
+	return l.cfg.Clock.Now().Before(l.ExpiresAt())
+}
+
+// ExpiresAt returns the current lease deadline.
+func (l *Lease) ExpiresAt() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.expiresAt
+}
+
+// Campaign attempts to win leadership for cfg.NodeID by appending a
+// leadership claim conditioned on observedTail. It returns the new lease
+// on success. txlog.ErrConditionFailed means another node appended first
+// (or we were not truly caught up) — the caller resumes tailing.
+func Campaign(ctx context.Context, log *txlog.Log, cfg Config, observedTail txlog.EntryID) (*Lease, txlog.EntryID, error) {
+	epoch := log.CurrentEpoch() + 1
+	claim := Claim{NodeID: cfg.NodeID, Epoch: epoch, LeaseMs: cfg.Lease.Milliseconds()}
+	issued := cfg.Clock.Now()
+	id, err := log.Append(ctx, observedTail, txlog.Entry{
+		Type:    txlog.EntryLeadership,
+		Epoch:   epoch,
+		Payload: EncodeClaim(claim),
+	})
+	if err != nil {
+		return nil, txlog.ZeroID, err
+	}
+	lease := NewLease(cfg, epoch)
+	lease.Renewed(issued)
+	return lease, id, nil
+}
+
+// Renew appends a lease renewal entry conditioned on after (the primary's
+// last appended entry). On success it extends lease and returns the new
+// tail. Any error means the primary could not renew — on lease expiry it
+// must self-demote.
+func Renew(ctx context.Context, log *txlog.Log, cfg Config, lease *Lease, after txlog.EntryID) (txlog.EntryID, error) {
+	r := Renewal{NodeID: cfg.NodeID, Epoch: lease.Epoch(), LeaseMs: cfg.Lease.Milliseconds()}
+	issued := cfg.Clock.Now()
+	id, err := log.Append(ctx, after, txlog.Entry{
+		Type:    txlog.EntryLease,
+		Epoch:   lease.Epoch(),
+		Payload: EncodeRenewal(r),
+	})
+	if err != nil {
+		return txlog.ZeroID, err
+	}
+	lease.Renewed(issued)
+	return id, nil
+}

@@ -1,0 +1,334 @@
+// Package engine implements the in-memory execution engine: the command
+// table, single-threaded execution semantics, and — critically for
+// MemoryDB — the generation of the replication stream as *effects*
+// (write-behind logging, paper §3.2). Non-deterministic commands such as
+// SPOP are executed once on the primary and replicated as their
+// deterministic effects; relative expirations are rewritten as absolute
+// ones; atomic groups (MULTI/EXEC) replicate as a single record.
+//
+// The engine is deliberately not synchronized: exactly one goroutine (the
+// node's workloop) may call Exec/Apply, mirroring Redis's single-threaded
+// execution model.
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/resp"
+	"memorydb/internal/store"
+)
+
+// Version is the current engine version, stamped onto replication records
+// for upgrade protection (§7.1).
+const Version uint32 = 2
+
+// Flags describe command properties.
+type Flags uint8
+
+// Command flags.
+const (
+	// FlagWrite marks commands that may mutate the keyspace.
+	FlagWrite Flags = 1 << iota
+	// FlagReadOnly marks pure reads (safe on replicas).
+	FlagReadOnly
+	// FlagFast marks O(1)-ish commands (informational).
+	FlagFast
+)
+
+// Command is one entry in the command table.
+type Command struct {
+	Name    string
+	Arity   int // minimum argc including the name; negative = exact -Arity
+	Flags   Flags
+	Handler func(e *Engine, argv [][]byte) resp.Value
+	// Key extraction spec (Redis-style): FirstKey/LastKey/KeyStep, all in
+	// argv indices; LastKey -1 means "through the end".
+	FirstKey, LastKey, KeyStep int
+}
+
+// Keys extracts the key arguments of argv according to the command spec.
+func (c *Command) Keys(argv [][]byte) []string {
+	if c.FirstKey == 0 || len(argv) <= c.FirstKey {
+		return nil
+	}
+	last := c.LastKey
+	if last < 0 {
+		last = len(argv) + last
+	}
+	if last >= len(argv) {
+		last = len(argv) - 1
+	}
+	step := c.KeyStep
+	if step <= 0 {
+		step = 1
+	}
+	var keys []string
+	for i := c.FirstKey; i <= last; i += step {
+		keys = append(keys, string(argv[i]))
+	}
+	return keys
+}
+
+// Writes reports whether the command may mutate.
+func (c *Command) Writes() bool { return c.Flags&FlagWrite != 0 }
+
+var commandTable = map[string]*Command{}
+
+func register(c *Command) {
+	commandTable[c.Name] = c
+}
+
+// LookupCommand returns the command table entry for name
+// (case-insensitive).
+func LookupCommand(name string) (*Command, bool) {
+	c, ok := commandTable[strings.ToUpper(name)]
+	return c, ok
+}
+
+// CommandNames returns every registered command name, sorted.
+func CommandNames() []string {
+	out := make([]string, 0, len(commandTable))
+	for n := range commandTable {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Result is the outcome of executing one command (or one atomic batch).
+type Result struct {
+	Reply resp.Value
+	// Effects are the RESP-encoded deterministic commands to replicate.
+	// Empty for pure reads that caused no lazy expiry.
+	Effects [][]byte
+	// Keys are the keys whose data changed; the tracker hazards reads on
+	// them until the covering log entry commits.
+	Keys []string
+}
+
+// Mutated reports whether the command produced replication effects.
+func (r *Result) Mutated() bool { return len(r.Effects) > 0 }
+
+// Engine wraps a keyspace with command execution.
+type Engine struct {
+	db  *store.DB
+	clk clock.Clock
+	rng *rand.Rand
+
+	// Per-command scratch state, reset by Exec.
+	effects   [][]byte
+	dirtyKeys []string
+	applying  bool // true while replaying replicated effects
+}
+
+// New returns an engine over a fresh keyspace.
+func New(clk clock.Clock) *Engine {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	return &Engine{
+		db:  store.NewDB(),
+		clk: clk,
+		rng: rand.New(rand.NewSource(0xda7aba5e)),
+	}
+}
+
+// DB exposes the underlying keyspace (snapshotting, tests).
+func (e *Engine) DB() *store.DB { return e.db }
+
+// ResetDB replaces the engine's keyspace wholesale — the snapshot restore
+// path builds a DB from a snapshot and swaps it in before log replay.
+func (e *Engine) ResetDB(db *store.DB) { e.db = db }
+
+// Now returns the engine's current time.
+func (e *Engine) Now() time.Time { return e.clk.Now() }
+
+// Exec executes one command, returning the reply and the replication
+// effects. Only the node workloop may call it.
+func (e *Engine) Exec(argv [][]byte) Result {
+	e.effects = nil
+	e.dirtyKeys = nil
+	reply := e.dispatch(argv)
+	return Result{Reply: reply, Effects: e.effects, Keys: dedup(e.dirtyKeys)}
+}
+
+// ExecBatch executes an atomic group (MULTI/EXEC or a script-like batch).
+// All replies are collected into one array and all effects into a single
+// Result so the node can log them as one atomic record (§2.1, §3.2).
+func (e *Engine) ExecBatch(cmds [][][]byte) Result {
+	e.effects = nil
+	e.dirtyKeys = nil
+	replies := make([]resp.Value, 0, len(cmds))
+	for _, argv := range cmds {
+		replies = append(replies, e.dispatch(argv))
+	}
+	return Result{
+		Reply:   resp.ArrayV(replies...),
+		Effects: e.effects,
+		Keys:    dedup(e.dirtyKeys),
+	}
+}
+
+// Apply executes a replicated record payload: one or more RESP-encoded
+// commands, applied without generating further effects. Replicas and
+// recovering nodes use this to consume the transaction log.
+func (e *Engine) Apply(record []byte) error {
+	cmds, err := DecodeRecord(record)
+	if err != nil {
+		return err
+	}
+	e.applying = true
+	defer func() { e.applying = false }()
+	for _, argv := range cmds {
+		e.effects = nil
+		e.dirtyKeys = nil
+		if reply := e.dispatch(argv); reply.IsError() {
+			return fmt.Errorf("engine: replicated command %s failed: %s",
+				strings.ToUpper(string(argv[0])), reply.Text())
+		}
+	}
+	return nil
+}
+
+func (e *Engine) dispatch(argv [][]byte) resp.Value {
+	if len(argv) == 0 {
+		return resp.Err("ERR empty command")
+	}
+	name := strings.ToUpper(string(argv[0]))
+	cmd, ok := commandTable[name]
+	if !ok {
+		return resp.Errf("ERR unknown command '%s'", string(argv[0]))
+	}
+	if cmd.Arity < 0 {
+		if len(argv) != -cmd.Arity {
+			return wrongArity(name)
+		}
+	} else if len(argv) < cmd.Arity {
+		return wrongArity(name)
+	}
+	return cmd.Handler(e, argv)
+}
+
+func wrongArity(name string) resp.Value {
+	return resp.Errf("ERR wrong number of arguments for '%s' command", strings.ToLower(name))
+}
+
+// propagate records an effect command for the replication stream. During
+// Apply (replica path) effects are suppressed.
+func (e *Engine) propagate(argv ...[]byte) {
+	if e.applying {
+		return
+	}
+	e.effects = append(e.effects, resp.EncodeCommand(argv...))
+}
+
+// propagateStrings is propagate over strings.
+func (e *Engine) propagateStrings(argv ...string) {
+	if e.applying {
+		return
+	}
+	e.effects = append(e.effects, resp.EncodeCommandStrings(argv...))
+}
+
+// propagateVerbatim replicates the command exactly as received — the
+// common case for deterministic writes.
+func (e *Engine) propagateVerbatim(argv [][]byte) {
+	e.propagate(argv...)
+}
+
+// touch marks key as mutated by the current command.
+func (e *Engine) touch(key string) {
+	e.dirtyKeys = append(e.dirtyKeys, key)
+}
+
+// lookup reads key, propagating a DEL effect if a lazy expiry fired (so
+// replicas and the log observe deterministic expiry, §2.1).
+func (e *Engine) lookup(key string) *store.Object {
+	obj, reaped := e.db.Lookup(key, e.Now())
+	if reaped {
+		e.propagateStrings("DEL", key)
+		e.touch(key)
+	}
+	return obj
+}
+
+// lookupKind reads key and enforces its kind, returning (nil, errReply)
+// on a WRONGTYPE violation; (nil, Nil-kind ok) when absent.
+func (e *Engine) lookupKind(key string, kind store.Kind) (*store.Object, resp.Value, bool) {
+	obj := e.lookup(key)
+	if obj == nil {
+		return nil, resp.Value{}, true
+	}
+	if obj.Kind != kind {
+		return nil, wrongType(), false
+	}
+	return obj, resp.Value{}, true
+}
+
+func wrongType() resp.Value {
+	return resp.Err("WRONGTYPE Operation against a key holding the wrong kind of value")
+}
+
+func dedup(keys []string) []string {
+	if len(keys) <= 1 {
+		return keys
+	}
+	seen := make(map[string]struct{}, len(keys))
+	out := keys[:0]
+	for _, k := range keys {
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, k)
+	}
+	return out
+}
+
+// SweepExpired proactively expires up to limit keys, producing DEL effects
+// for each (the active expiry cycle).
+func (e *Engine) SweepExpired(limit int) Result {
+	e.effects = nil
+	e.dirtyKeys = nil
+	for _, k := range e.db.SweepExpired(e.Now(), limit) {
+		e.propagateStrings("DEL", k)
+		e.touch(k)
+	}
+	return Result{Effects: e.effects, Keys: dedup(e.dirtyKeys)}
+}
+
+// Parsing helpers shared by command handlers.
+
+func parseInt(b []byte) (int64, bool) {
+	n, err := strconv.ParseInt(string(b), 10, 64)
+	return n, err == nil
+}
+
+func parseFloat(b []byte) (float64, bool) {
+	f, err := strconv.ParseFloat(string(b), 64)
+	return f, err == nil
+}
+
+func errNotInt() resp.Value {
+	return resp.Err("ERR value is not an integer or out of range")
+}
+
+func errNotFloat() resp.Value {
+	return resp.Err("ERR value is not a valid float")
+}
+
+func errSyntax() resp.Value {
+	return resp.Err("ERR syntax error")
+}
+
+// fmtScore renders a zset score the way Redis replies (shortest
+// round-trippable form).
+func fmtScore(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

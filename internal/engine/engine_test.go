@@ -1,0 +1,277 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/resp"
+)
+
+// testEngine returns an engine on a simulated clock (expiry tests advance
+// it) and a helper that executes commands from strings.
+func testEngine(t *testing.T) (*Engine, *clock.Sim, func(args ...string) resp.Value) {
+	t.Helper()
+	clk := clock.NewSim(time.Unix(1700000000, 0))
+	e := New(clk)
+	do := func(args ...string) resp.Value {
+		argv := make([][]byte, len(args))
+		for i, a := range args {
+			argv[i] = []byte(a)
+		}
+		return e.Exec(argv).Reply
+	}
+	return e, clk, do
+}
+
+// exec returns the full Result for effect inspection.
+func exec(e *Engine, args ...string) Result {
+	argv := make([][]byte, len(args))
+	for i, a := range args {
+		argv[i] = []byte(a)
+	}
+	return e.Exec(argv)
+}
+
+func wantText(t *testing.T, v resp.Value, want string) {
+	t.Helper()
+	if v.Text() != want {
+		t.Fatalf("reply = %v, want %q", v, want)
+	}
+}
+
+func wantInt(t *testing.T, v resp.Value, want int64) {
+	t.Helper()
+	if v.Type != resp.Integer || v.Int != want {
+		t.Fatalf("reply = %v, want :%d", v, want)
+	}
+}
+
+func wantNil(t *testing.T, v resp.Value) {
+	t.Helper()
+	if !v.Null {
+		t.Fatalf("reply = %v, want nil", v)
+	}
+}
+
+func wantErrPrefix(t *testing.T, v resp.Value, prefix string) {
+	t.Helper()
+	if !v.IsError() || !strings.HasPrefix(v.Text(), prefix) {
+		t.Fatalf("reply = %v, want error with prefix %q", v, prefix)
+	}
+}
+
+func wantArrayLen(t *testing.T, v resp.Value, n int) {
+	t.Helper()
+	if v.Type != resp.Array || len(v.Array) != n {
+		t.Fatalf("reply = %v, want array of %d", v, n)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	_, _, do := testEngine(t)
+	wantErrPrefix(t, do("NOTACOMMAND"), "ERR unknown command")
+}
+
+func TestArityChecks(t *testing.T) {
+	_, _, do := testEngine(t)
+	wantErrPrefix(t, do("GET"), "ERR wrong number of arguments")
+	wantErrPrefix(t, do("GET", "a", "b"), "ERR wrong number of arguments")
+	wantErrPrefix(t, do("SET", "k"), "ERR wrong number of arguments")
+}
+
+func TestWrongTypeErrors(t *testing.T) {
+	_, _, do := testEngine(t)
+	do("LPUSH", "list", "x")
+	wantErrPrefix(t, do("GET", "list"), "WRONGTYPE")
+	wantErrPrefix(t, do("INCR", "list"), "WRONGTYPE")
+	wantErrPrefix(t, do("HGET", "list", "f"), "WRONGTYPE")
+	wantErrPrefix(t, do("SADD", "list", "x"), "WRONGTYPE")
+	wantErrPrefix(t, do("ZADD", "list", "1", "x"), "WRONGTYPE")
+	do("SET", "str", "v")
+	wantErrPrefix(t, do("LPUSH", "str", "x"), "WRONGTYPE")
+}
+
+func TestCommandTableKeySpecs(t *testing.T) {
+	cases := []struct {
+		cmd  []string
+		keys []string
+	}{
+		{[]string{"GET", "k"}, []string{"k"}},
+		{[]string{"MSET", "a", "1", "b", "2"}, []string{"a", "b"}},
+		{[]string{"MGET", "a", "b", "c"}, []string{"a", "b", "c"}},
+		{[]string{"SMOVE", "s", "d", "m"}, []string{"s", "d"}},
+		{[]string{"PING"}, nil},
+	}
+	for _, c := range cases {
+		cmd, ok := LookupCommand(c.cmd[0])
+		if !ok {
+			t.Fatalf("LookupCommand(%s) missing", c.cmd[0])
+		}
+		argv := make([][]byte, len(c.cmd))
+		for i, a := range c.cmd {
+			argv[i] = []byte(a)
+		}
+		got := cmd.Keys(argv)
+		if len(got) != len(c.keys) {
+			t.Fatalf("%v keys = %v, want %v", c.cmd, got, c.keys)
+		}
+		for i := range got {
+			if got[i] != c.keys[i] {
+				t.Fatalf("%v keys = %v, want %v", c.cmd, got, c.keys)
+			}
+		}
+	}
+}
+
+func TestCommandNamesSortedAndFlagged(t *testing.T) {
+	names := CommandNames()
+	if len(names) < 60 {
+		t.Fatalf("only %d commands registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("CommandNames not sorted")
+		}
+	}
+	get, _ := LookupCommand("get") // case-insensitive
+	if get == nil || get.Writes() {
+		t.Fatal("GET lookup/flags broken")
+	}
+	set, _ := LookupCommand("SET")
+	if !set.Writes() {
+		t.Fatal("SET must be a write")
+	}
+}
+
+func TestExecBatchAtomicReplyAndEffects(t *testing.T) {
+	e, _, _ := testEngine(t)
+	res := e.ExecBatch([][][]byte{
+		{[]byte("SET"), []byte("a"), []byte("1")},
+		{[]byte("INCR"), []byte("a")},
+		{[]byte("GET"), []byte("a")},
+	})
+	wantArrayLen(t, res.Reply, 3)
+	if res.Reply.Array[2].Text() != "2" {
+		t.Fatalf("batch GET = %v", res.Reply.Array[2])
+	}
+	if len(res.Effects) != 2 {
+		t.Fatalf("effects = %d, want 2", len(res.Effects))
+	}
+	if len(res.Keys) != 1 || res.Keys[0] != "a" {
+		t.Fatalf("keys = %v", res.Keys)
+	}
+}
+
+func TestApplyReplicatesDeterministically(t *testing.T) {
+	// Run a series of commands on a primary engine, apply the effect
+	// records to a replica engine, and compare observable state.
+	p, _, _ := testEngine(t)
+	r, _, _ := testEngine(t)
+	script := [][]string{
+		{"SET", "s", "v"},
+		{"APPEND", "s", "!"},
+		{"INCR", "counter"},
+		{"HSET", "h", "f1", "a", "f2", "b"},
+		{"RPUSH", "l", "1", "2", "3"},
+		{"LPOP", "l"},
+		{"SADD", "set", "x", "y", "z"},
+		{"SPOP", "set"},
+		{"ZADD", "z", "1", "a", "2", "b"},
+		{"ZINCRBY", "z", "5", "a"},
+		{"PFADD", "hll", "e1", "e2"},
+		{"EXPIRE", "s", "1000"},
+	}
+	for _, cmd := range script {
+		res := exec(p, cmd...)
+		if res.Reply.IsError() {
+			t.Fatalf("%v: %v", cmd, res.Reply)
+		}
+		record := EncodeRecord(res.Effects)
+		if err := r.Apply(record); err != nil {
+			t.Fatalf("Apply(%v): %v", cmd, err)
+		}
+	}
+	for _, probe := range [][]string{
+		{"GET", "s"}, {"GET", "counter"}, {"HGETALL", "h"},
+		{"LRANGE", "l", "0", "-1"}, {"SMEMBERS", "set"},
+		{"ZRANGE", "z", "0", "-1", "WITHSCORES"}, {"PFCOUNT", "hll"},
+		{"PTTL", "s"},
+	} {
+		pv := exec(p, probe...).Reply
+		rv := exec(r, probe...).Reply
+		if !pv.Equal(rv) {
+			t.Fatalf("%v diverged: primary %v, replica %v", probe, pv, rv)
+		}
+	}
+}
+
+func TestApplySuppressesEffects(t *testing.T) {
+	e, _, _ := testEngine(t)
+	if err := e.Apply(resp.EncodeCommandStrings("SET", "k", "v")); err != nil {
+		t.Fatal(err)
+	}
+	// A subsequent Exec must not see leaked effects.
+	res := exec(e, "GET", "k")
+	if res.Mutated() {
+		t.Fatal("read after Apply leaked effects")
+	}
+	wantText(t, res.Reply, "v")
+}
+
+func TestApplyRejectsMalformedRecord(t *testing.T) {
+	e, _, _ := testEngine(t)
+	if err := e.Apply([]byte("*1\r\n$3\r\nab")); err == nil {
+		t.Fatal("malformed record accepted")
+	}
+}
+
+func TestSweepExpiredEmitsDeleteEffects(t *testing.T) {
+	e, clk, do := testEngine(t)
+	do("SET", "k", "v")
+	do("PEXPIRE", "k", "100")
+	clk.Advance(200 * time.Millisecond)
+	res := e.SweepExpired(10)
+	if !res.Mutated() {
+		t.Fatal("sweep produced no effects")
+	}
+	cmds, err := DecodeRecord(EncodeRecord(res.Effects))
+	if err != nil || len(cmds) != 1 || string(cmds[0][0]) != "DEL" {
+		t.Fatalf("sweep effects = %v (%v)", cmds, err)
+	}
+}
+
+func TestLazyExpiryOnReadEmitsDelete(t *testing.T) {
+	e, clk, do := testEngine(t)
+	do("SET", "k", "v")
+	do("PEXPIRE", "k", "100")
+	clk.Advance(time.Second)
+	res := exec(e, "GET", "k")
+	wantNil(t, res.Reply)
+	if len(res.Effects) != 1 {
+		t.Fatalf("lazy expiry effects = %d", len(res.Effects))
+	}
+	cmds, _ := DecodeRecord(res.Effects[0])
+	if string(cmds[0][0]) != "DEL" || string(cmds[0][1]) != "k" {
+		t.Fatalf("effect = %q", cmds[0])
+	}
+}
+
+func TestRecordEncodeDecodeMulti(t *testing.T) {
+	effects := [][]byte{
+		resp.EncodeCommandStrings("SET", "a", "1"),
+		resp.EncodeCommandStrings("DEL", "b"),
+	}
+	cmds, err := DecodeRecord(EncodeRecord(effects))
+	if err != nil || len(cmds) != 2 {
+		t.Fatalf("decode: %v %v", cmds, err)
+	}
+	if string(cmds[0][0]) != "SET" || string(cmds[1][0]) != "DEL" {
+		t.Fatalf("cmds = %q", cmds)
+	}
+	// Empty record decodes to nothing.
+	if cmds, err := DecodeRecord(nil); err != nil || len(cmds) != 0 {
+		t.Fatalf("empty record: %v %v", cmds, err)
+	}
+}

@@ -1,0 +1,88 @@
+package engine
+
+import "testing"
+
+func TestPFAddPFCount(t *testing.T) {
+	_, _, do := testEngine(t)
+	wantInt(t, do("PFADD", "h", "a", "b", "c"), 1)
+	wantInt(t, do("PFADD", "h", "a"), 0) // no register change
+	v := do("PFCOUNT", "h")
+	if v.Int != 3 {
+		t.Fatalf("PFCOUNT = %v", v)
+	}
+	wantInt(t, do("PFCOUNT", "missing"), 0)
+}
+
+func TestPFCountMultiKey(t *testing.T) {
+	_, _, do := testEngine(t)
+	do("PFADD", "h1", "a", "b")
+	do("PFADD", "h2", "b", "c")
+	v := do("PFCOUNT", "h1", "h2")
+	if v.Int != 3 {
+		t.Fatalf("union PFCOUNT = %v", v)
+	}
+}
+
+func TestPFMerge(t *testing.T) {
+	_, _, do := testEngine(t)
+	do("PFADD", "h1", "a", "b")
+	do("PFADD", "h2", "c")
+	wantText(t, do("PFMERGE", "dst", "h1", "h2"), "OK")
+	v := do("PFCOUNT", "dst")
+	if v.Int != 3 {
+		t.Fatalf("merged PFCOUNT = %v", v)
+	}
+}
+
+func TestPFWrongTypeOnPlainString(t *testing.T) {
+	_, _, do := testEngine(t)
+	do("SET", "s", "not an hll")
+	wantErrPrefix(t, do("PFADD", "s", "x"), "WRONGTYPE")
+	wantErrPrefix(t, do("PFCOUNT", "s"), "WRONGTYPE")
+}
+
+func TestDumpCommandsRecreateState(t *testing.T) {
+	src, _, _ := testEngine(t)
+	dst, _, _ := testEngine(t)
+	setup := [][]string{
+		{"SET", "str", "value"},
+		{"EXPIRE", "str", "1000"},
+		{"HSET", "hash", "a", "1", "b", "2"},
+		{"RPUSH", "list", "x", "y", "z"},
+		{"SADD", "set", "m1", "m2"},
+		{"ZADD", "zset", "1.5", "a", "2.5", "b"},
+		{"XADD", "stream", "7-0", "f", "v"},
+	}
+	for _, cmd := range setup {
+		if r := exec(src, cmd...); r.Reply.IsError() {
+			t.Fatalf("%v: %v", cmd, r.Reply)
+		}
+	}
+	for _, key := range []string{"str", "hash", "list", "set", "zset", "stream"} {
+		for _, argv := range src.DumpCommands(key) {
+			if r := dst.Exec(argv); r.Reply.IsError() {
+				t.Fatalf("dump cmd %q: %v", argv, r.Reply)
+			}
+		}
+	}
+	probes := [][]string{
+		{"GET", "str"}, {"PTTL", "str"}, {"HGETALL", "hash"},
+		{"LRANGE", "list", "0", "-1"}, {"SMEMBERS", "set"},
+		{"ZRANGE", "zset", "0", "-1", "WITHSCORES"},
+		{"XRANGE", "stream", "-", "+"},
+	}
+	for _, p := range probes {
+		a := exec(src, p...).Reply
+		b := exec(dst, p...).Reply
+		if !a.Equal(b) {
+			t.Fatalf("%v: src %v, dst %v", p, a, b)
+		}
+	}
+}
+
+func TestDumpCommandsMissingKey(t *testing.T) {
+	e, _, _ := testEngine(t)
+	if cmds := e.DumpCommands("missing"); cmds != nil {
+		t.Fatalf("dump of missing key = %v", cmds)
+	}
+}

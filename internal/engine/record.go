@@ -1,0 +1,40 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"memorydb/internal/resp"
+)
+
+// EncodeRecord concatenates encoded effect commands into one replication
+// record payload — the unit MemoryDB chunks the replication stream into
+// before appending to the transaction log (§3.1).
+func EncodeRecord(effects [][]byte) []byte {
+	var n int
+	for _, e := range effects {
+		n += len(e)
+	}
+	out := make([]byte, 0, n)
+	for _, e := range effects {
+		out = append(out, e...)
+	}
+	return out
+}
+
+// DecodeRecord parses a record payload back into its command argvs.
+func DecodeRecord(record []byte) ([][][]byte, error) {
+	r := resp.NewReader(bytes.NewReader(record))
+	var cmds [][][]byte
+	for {
+		argv, err := r.ReadCommand()
+		if err == io.EOF {
+			return cmds, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: bad replication record: %w", err)
+		}
+		cmds = append(cmds, argv)
+	}
+}

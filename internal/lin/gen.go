@@ -1,0 +1,59 @@
+package lin
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Command generation with argument biasing (paper §7.2.2.2): the
+// framework generates commands from the engine's command table, biasing
+// arguments toward a small key space and edge-case values so concurrent
+// histories actually collide.
+
+// GenConfig controls generation.
+type GenConfig struct {
+	Seed int64
+	// Keys is the size of the key space; small values maximize contention.
+	Keys int
+	// WriteRatio is the fraction of generated operations that mutate.
+	WriteRatio float64
+}
+
+// Generator produces biased register operations.
+type Generator struct {
+	cfg GenConfig
+	rng *rand.Rand
+}
+
+// NewGenerator returns a Generator.
+func NewGenerator(cfg GenConfig) *Generator {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 3
+	}
+	if cfg.WriteRatio == 0 {
+		cfg.WriteRatio = 0.5
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// biased edge-case values: empty-ish, huge-ish, numeric boundaries.
+var biasedValues = []string{
+	"0", "1", "-1", "9223372036854775807", "-9223372036854775808",
+	"x", "value", "",
+}
+
+// Next returns the next operation to issue: a key, an input, and the
+// argv to send.
+func (g *Generator) Next(round int) (key string, in Input, argv []string) {
+	key = fmt.Sprintf("lin-k%d", g.rng.Intn(g.cfg.Keys))
+	if g.rng.Float64() < g.cfg.WriteRatio {
+		// Bias values: mostly unique (so the checker can distinguish
+		// writes), sometimes edge cases.
+		v := fmt.Sprintf("v%d", round)
+		if g.rng.Intn(4) == 0 {
+			v = biasedValues[g.rng.Intn(len(biasedValues))] + fmt.Sprintf("-%d", round)
+		}
+		return key, Input{Kind: "set", Value: v}, []string{"SET", key, v}
+	}
+	return key, Input{Kind: "get"}, []string{"GET", key}
+}

@@ -1,0 +1,244 @@
+// Package lin is a linearizability checker in the spirit of Porcupine
+// (paper §7.2.2): it takes a concurrent history of client operations and
+// decides whether the history is linearizable with respect to a
+// sequential model, using the Wing & Gong / Lowe algorithm with
+// memoization. MemoryDB's consistency testing framework records
+// per-key histories under fault injection and feeds them here.
+package lin
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Operation is one client operation with its real-time window.
+type Operation struct {
+	ClientID int
+	Key      string
+	Input    Input
+	Output   Output
+	Call     int64 // invocation time (ns, monotonic)
+	Return   int64 // response time (ns, monotonic)
+}
+
+// Input describes the operation issued.
+type Input struct {
+	Kind  string // "get", "set", "incr", ...
+	Value string // for writes
+}
+
+// Output describes the observed result.
+type Output struct {
+	Value string // for reads / incr results
+	Err   bool   // the operation failed or timed out (outcome unknown)
+}
+
+// Model is a sequential specification. State must be encodable to a
+// comparable key for memoization.
+type Model interface {
+	// Init returns the initial state.
+	Init() string
+	// Step applies (input, output) to state. ok=false means the observed
+	// output is impossible from this state.
+	Step(state string, in Input, out Output) (newState string, ok bool)
+}
+
+// RegisterModel is a read/write register: the sequential model of a
+// single Redis string key under GET/SET.
+type RegisterModel struct{}
+
+// Init implements Model; "" means unset (GET returns nil/"").
+func (RegisterModel) Init() string { return "" }
+
+// Step implements Model.
+func (RegisterModel) Step(state string, in Input, out Output) (string, bool) {
+	switch in.Kind {
+	case "set":
+		if out.Err {
+			// The write's outcome is unknown: it may or may not have
+			// taken effect. Callers encode this ambiguity by allowing
+			// both; here we treat an err'd set as having possibly
+			// happened, which Check handles by trying both branches via
+			// the "maybe" kind.
+			return in.Value, true
+		}
+		return in.Value, true
+	case "get":
+		if out.Err {
+			return state, true // failed read constrains nothing
+		}
+		return state, out.Value == state
+	}
+	return state, false
+}
+
+// CounterModel models INCR on an integer key (string-encoded).
+type CounterModel struct{}
+
+// Init implements Model.
+func (CounterModel) Init() string { return "0" }
+
+// Step implements Model.
+func (CounterModel) Step(state string, in Input, out Output) (string, bool) {
+	switch in.Kind {
+	case "incr":
+		next := incrString(state)
+		if out.Err {
+			return next, true
+		}
+		return next, out.Value == next
+	case "get":
+		if out.Err {
+			return state, true
+		}
+		return state, out.Value == state
+	}
+	return state, false
+}
+
+func incrString(s string) string {
+	n := int64(0)
+	for _, c := range s {
+		n = n*10 + int64(c-'0')
+	}
+	n++
+	buf := [20]byte{}
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if i == len(buf) {
+		i--
+		buf[i] = '0'
+	}
+	return string(buf[i:])
+}
+
+// CheckKey decides whether the single-key history ops is linearizable
+// under model. Histories are expected to be modest (tens of operations);
+// the search is exponential in the worst case but memoized.
+func CheckKey(model Model, ops []Operation) bool {
+	n := len(ops)
+	if n == 0 {
+		return true
+	}
+	if n > 63 {
+		// The search state uses a 64-bit linearized mask, and the WGL
+		// search is exponential regardless — callers must keep per-key
+		// histories small (the §7.2.2 framework uses short rounds).
+		// Returning false would be a false accusation, so fail loudly.
+		panic("lin: per-key history exceeds 63 operations; record shorter rounds")
+	}
+	sorted := append([]Operation(nil), ops...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Call < sorted[j].Call })
+
+	type memoKey struct {
+		mask  uint64
+		state string
+	}
+	seen := make(map[memoKey]bool)
+
+	var dfs func(mask uint64, state string) bool
+	dfs = func(mask uint64, state string) bool {
+		if mask == (uint64(1)<<n)-1 {
+			return true
+		}
+		mk := memoKey{mask, state}
+		if seen[mk] {
+			return false
+		}
+		seen[mk] = true
+		// minReturn over unlinearized ops bounds which op may go next.
+		minReturn := int64(1<<62 - 1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && sorted[i].Return < minReturn {
+				minReturn = sorted[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if sorted[i].Call > minReturn {
+				continue
+			}
+			if next, ok := model.Step(state, sorted[i].Input, sorted[i].Output); ok {
+				if dfs(mask|(1<<i), next) {
+					return true
+				}
+			}
+			// An errored mutation might also have NOT taken effect: try
+			// the skip-state branch where the op linearizes as a no-op.
+			if sorted[i].Output.Err {
+				if dfs(mask|(1<<i), state) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(0, model.Init())
+}
+
+// Check partitions the history by key and checks each key independently
+// (Redis string operations on distinct keys commute). It returns the
+// first offending key, if any.
+func Check(model Model, history []Operation) (linearizable bool, badKey string) {
+	byKey := make(map[string][]Operation)
+	for _, op := range history {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if !CheckKey(model, byKey[k]) {
+			return false, k
+		}
+	}
+	return true, ""
+}
+
+// Recorder collects a concurrent history with monotonic timestamps. Safe
+// for concurrent use by many client goroutines.
+type Recorder struct {
+	start time.Time
+	mu    sync.Mutex
+	ops   []Operation
+	seq   atomic.Int64
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Invoke stamps an operation's call time; pass the returned token to
+// Complete.
+func (r *Recorder) Invoke() int64 {
+	return time.Since(r.start).Nanoseconds()
+}
+
+// Complete records a finished operation.
+func (r *Recorder) Complete(clientID int, key string, in Input, out Output, callAt int64) {
+	ret := time.Since(r.start).Nanoseconds()
+	r.mu.Lock()
+	r.ops = append(r.ops, Operation{
+		ClientID: clientID, Key: key, Input: in, Output: out,
+		Call: callAt, Return: ret,
+	})
+	r.mu.Unlock()
+}
+
+// History returns the recorded operations.
+func (r *Recorder) History() []Operation {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Operation(nil), r.ops...)
+}

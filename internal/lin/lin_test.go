@@ -1,0 +1,173 @@
+package lin
+
+import (
+	"testing"
+)
+
+// op builds an Operation succinctly for hand-written histories.
+func op(client int, kind, val, out string, call, ret int64) Operation {
+	return Operation{
+		ClientID: client,
+		Key:      "k",
+		Input:    Input{Kind: kind, Value: val},
+		Output:   Output{Value: out},
+		Call:     call,
+		Return:   ret,
+	}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	h := []Operation{
+		op(1, "set", "a", "", 0, 10),
+		op(1, "get", "", "a", 20, 30),
+		op(1, "set", "b", "", 40, 50),
+		op(1, "get", "", "b", 60, 70),
+	}
+	if ok, _ := Check(RegisterModel{}, h); !ok {
+		t.Fatal("sequential history rejected")
+	}
+}
+
+func TestStaleReadNotLinearizable(t *testing.T) {
+	h := []Operation{
+		op(1, "set", "a", "", 0, 10),
+		op(1, "set", "b", "", 20, 30),
+		// A read strictly after both writes returning the older value.
+		op(2, "get", "", "a", 40, 50),
+	}
+	if ok, key := Check(RegisterModel{}, h); ok {
+		t.Fatal("stale read accepted")
+	} else if key != "k" {
+		t.Fatalf("bad key = %q", key)
+	}
+}
+
+func TestConcurrentWriteEitherOrderOK(t *testing.T) {
+	// Two overlapping writes; a later read may see either.
+	base := []Operation{
+		op(1, "set", "a", "", 0, 100),
+		op(2, "set", "b", "", 0, 100),
+	}
+	for _, final := range []string{"a", "b"} {
+		h := append(append([]Operation(nil), base...), op(3, "get", "", final, 200, 210))
+		if ok, _ := Check(RegisterModel{}, h); !ok {
+			t.Fatalf("read of %q after concurrent writes rejected", final)
+		}
+	}
+	// But not a value never written.
+	h := append(append([]Operation(nil), base...), op(3, "get", "", "c", 200, 210))
+	if ok, _ := Check(RegisterModel{}, h); ok {
+		t.Fatal("phantom value accepted")
+	}
+}
+
+func TestReadMustNotTravelBackwards(t *testing.T) {
+	// get=b completes before get=a starts, but b was written after a:
+	// the second read travels backwards in time.
+	h := []Operation{
+		op(1, "set", "a", "", 0, 10),
+		op(1, "set", "b", "", 20, 30),
+		op(2, "get", "", "b", 40, 50),
+		op(2, "get", "", "a", 60, 70),
+	}
+	if ok, _ := Check(RegisterModel{}, h); ok {
+		t.Fatal("time-travelling read accepted")
+	}
+}
+
+func TestConcurrentReadDuringWriteSeesEither(t *testing.T) {
+	for _, seen := range []string{"", "a"} {
+		h := []Operation{
+			op(1, "set", "a", "", 10, 50),
+			op(2, "get", "", seen, 20, 40), // overlaps the write
+		}
+		if ok, _ := Check(RegisterModel{}, h); !ok {
+			t.Fatalf("concurrent read seeing %q rejected", seen)
+		}
+	}
+}
+
+func TestErroredWriteMayOrMayNotApply(t *testing.T) {
+	failedSet := Operation{
+		ClientID: 1, Key: "k",
+		Input:  Input{Kind: "set", Value: "x"},
+		Output: Output{Err: true},
+		Call:   0, Return: 10,
+	}
+	// Later read sees it (write did happen).
+	h1 := []Operation{failedSet, op(2, "get", "", "x", 20, 30)}
+	if ok, _ := Check(RegisterModel{}, h1); !ok {
+		t.Fatal("ambiguous write (applied) rejected")
+	}
+	// Later read does not see it (write never happened).
+	h2 := []Operation{failedSet, op(2, "get", "", "", 20, 30)}
+	if ok, _ := Check(RegisterModel{}, h2); !ok {
+		t.Fatal("ambiguous write (not applied) rejected")
+	}
+}
+
+func TestCounterModel(t *testing.T) {
+	h := []Operation{
+		{ClientID: 1, Key: "c", Input: Input{Kind: "incr"}, Output: Output{Value: "1"}, Call: 0, Return: 10},
+		{ClientID: 2, Key: "c", Input: Input{Kind: "incr"}, Output: Output{Value: "2"}, Call: 20, Return: 30},
+		{ClientID: 1, Key: "c", Input: Input{Kind: "get"}, Output: Output{Value: "2"}, Call: 40, Return: 50},
+	}
+	if ok, _ := Check(CounterModel{}, h); !ok {
+		t.Fatal("valid counter history rejected")
+	}
+	// Duplicate INCR result is impossible sequentially.
+	bad := []Operation{
+		{ClientID: 1, Key: "c", Input: Input{Kind: "incr"}, Output: Output{Value: "1"}, Call: 0, Return: 10},
+		{ClientID: 2, Key: "c", Input: Input{Kind: "incr"}, Output: Output{Value: "1"}, Call: 20, Return: 30},
+	}
+	if ok, _ := Check(CounterModel{}, bad); ok {
+		t.Fatal("duplicate INCR results accepted")
+	}
+}
+
+func TestCheckPartitionsByKey(t *testing.T) {
+	h := []Operation{
+		op(1, "set", "a", "", 0, 10),
+		{ClientID: 1, Key: "other", Input: Input{Kind: "get"}, Output: Output{Value: ""}, Call: 20, Return: 30},
+		op(1, "get", "", "a", 40, 50),
+	}
+	if ok, _ := Check(RegisterModel{}, h); !ok {
+		t.Fatal("independent keys interfered")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if ok, _ := Check(RegisterModel{}, nil); !ok {
+		t.Fatal("empty history rejected")
+	}
+}
+
+func TestGeneratorBiasedArguments(t *testing.T) {
+	g := NewGenerator(GenConfig{Seed: 1, Keys: 3, WriteRatio: 0.5})
+	keys := map[string]bool{}
+	kinds := map[string]int{}
+	for i := 0; i < 500; i++ {
+		key, in, argv := g.Next(i)
+		keys[key] = true
+		kinds[in.Kind]++
+		if len(argv) == 0 {
+			t.Fatal("empty argv")
+		}
+	}
+	if len(keys) > 3 {
+		t.Fatalf("generator used %d keys, want <= 3 (contention bias)", len(keys))
+	}
+	if kinds["set"] == 0 || kinds["get"] == 0 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	c1 := r.Invoke()
+	r.Complete(1, "k", Input{Kind: "set", Value: "v"}, Output{}, c1)
+	h := r.History()
+	if len(h) != 1 || h[0].Return < h[0].Call {
+		t.Fatalf("history = %+v", h)
+	}
+}

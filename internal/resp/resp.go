@@ -1,0 +1,132 @@
+// Package resp implements the Redis Serialization Protocol (RESP2) used on
+// the wire between clients and servers and inside the replication stream.
+// It provides a value model, a streaming Reader, and a buffered Writer.
+package resp
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+)
+
+// Type identifies the kind of a RESP value.
+type Type byte
+
+// RESP2 value kinds.
+const (
+	SimpleString Type = '+'
+	Error        Type = '-'
+	Integer      Type = ':'
+	BulkString   Type = '$'
+	Array        Type = '*'
+)
+
+// Value is a decoded RESP value. Bulk strings and simple strings both carry
+// their bytes in Str; Null distinguishes the RESP null bulk/array.
+type Value struct {
+	Type  Type
+	Str   []byte  // SimpleString, Error, BulkString payload
+	Int   int64   // Integer payload
+	Array []Value // Array elements
+	Null  bool    // null bulk string ($-1) or null array (*-1)
+}
+
+// Common reusable values.
+var (
+	OK     = Value{Type: SimpleString, Str: []byte("OK")}
+	Pong   = Value{Type: SimpleString, Str: []byte("PONG")}
+	Nil    = Value{Type: BulkString, Null: true}
+	Queued = Value{Type: SimpleString, Str: []byte("QUEUED")}
+)
+
+// Simple returns a simple-string value.
+func Simple(s string) Value { return Value{Type: SimpleString, Str: []byte(s)} }
+
+// Err returns an error value with the given message (including any prefix
+// like "ERR" or "MOVED").
+func Err(msg string) Value { return Value{Type: Error, Str: []byte(msg)} }
+
+// Errf returns a formatted error value.
+func Errf(format string, args ...any) Value { return Err(fmt.Sprintf(format, args...)) }
+
+// Int64 returns an integer value.
+func Int64(n int64) Value { return Value{Type: Integer, Int: n} }
+
+// Bulk returns a bulk-string value holding b. The slice is retained.
+func Bulk(b []byte) Value { return Value{Type: BulkString, Str: b} }
+
+// BulkString2 returns a bulk-string value holding s.
+func BulkStr(s string) Value { return Value{Type: BulkString, Str: []byte(s)} }
+
+// ArrayV returns an array value over vs.
+func ArrayV(vs ...Value) Value { return Value{Type: Array, Array: vs} }
+
+// NullArray is the RESP null array (*-1).
+func NullArray() Value { return Value{Type: Array, Null: true} }
+
+// BulkArray builds an array of bulk strings from ss.
+func BulkArray(ss ...string) Value {
+	vs := make([]Value, len(ss))
+	for i, s := range ss {
+		vs[i] = BulkStr(s)
+	}
+	return ArrayV(vs...)
+}
+
+// IsError reports whether v is a RESP error.
+func (v Value) IsError() bool { return v.Type == Error }
+
+// Text returns the payload of a string-like value as a Go string.
+func (v Value) Text() string { return string(v.Str) }
+
+// String renders v for debugging (not wire format).
+func (v Value) String() string {
+	switch v.Type {
+	case SimpleString:
+		return "+" + string(v.Str)
+	case Error:
+		return "-" + string(v.Str)
+	case Integer:
+		return ":" + strconv.FormatInt(v.Int, 10)
+	case BulkString:
+		if v.Null {
+			return "(nil)"
+		}
+		return strconv.Quote(string(v.Str))
+	case Array:
+		if v.Null {
+			return "(nil array)"
+		}
+		s := "["
+		for i, e := range v.Array {
+			if i > 0 {
+				s += " "
+			}
+			s += e.String()
+		}
+		return s + "]"
+	}
+	return "(?)"
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type || v.Null != o.Null || v.Int != o.Int {
+		return false
+	}
+	if string(v.Str) != string(o.Str) {
+		return false
+	}
+	if len(v.Array) != len(o.Array) {
+		return false
+	}
+	for i := range v.Array {
+		if !v.Array[i].Equal(o.Array[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrProtocol is returned by the Reader on malformed input.
+var ErrProtocol = errors.New("resp: protocol error")

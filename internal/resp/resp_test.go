@@ -1,0 +1,218 @@
+package resp
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, v Value) Value {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteValue(v); err != nil {
+		t.Fatalf("WriteValue: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := NewReader(&buf).ReadValue()
+	if err != nil {
+		t.Fatalf("ReadValue: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripSimpleString(t *testing.T) {
+	v := Simple("OK")
+	if got := roundTrip(t, v); !got.Equal(v) {
+		t.Fatalf("got %v want %v", got, v)
+	}
+}
+
+func TestRoundTripError(t *testing.T) {
+	v := Err("ERR something went wrong")
+	got := roundTrip(t, v)
+	if !got.IsError() || got.Text() != "ERR something went wrong" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRoundTripInteger(t *testing.T) {
+	for _, n := range []int64{0, 1, -1, 1<<62 - 1, -(1 << 62)} {
+		v := Int64(n)
+		if got := roundTrip(t, v); got.Int != n {
+			t.Fatalf("got %d want %d", got.Int, n)
+		}
+	}
+}
+
+func TestRoundTripBulk(t *testing.T) {
+	cases := [][]byte{nil, {}, []byte("hello"), []byte("with\r\nnewlines"), bytes.Repeat([]byte{0}, 1000)}
+	for _, b := range cases {
+		v := Bulk(b)
+		got := roundTrip(t, v)
+		if !bytes.Equal(got.Str, b) {
+			t.Fatalf("got %q want %q", got.Str, b)
+		}
+	}
+}
+
+func TestRoundTripNullBulk(t *testing.T) {
+	got := roundTrip(t, Nil)
+	if !got.Null || got.Type != BulkString {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestRoundTripNullArray(t *testing.T) {
+	got := roundTrip(t, NullArray())
+	if !got.Null || got.Type != Array {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestRoundTripNestedArray(t *testing.T) {
+	v := ArrayV(BulkStr("a"), Int64(2), ArrayV(Simple("x"), Nil), BulkArray("p", "q"))
+	got := roundTrip(t, v)
+	if !got.Equal(v) {
+		t.Fatalf("got %v want %v", got, v)
+	}
+}
+
+func TestRoundTripEmptyArray(t *testing.T) {
+	got := roundTrip(t, ArrayV())
+	if got.Null || len(got.Array) != 0 || got.Type != Array {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+func TestReadCommandMultibulk(t *testing.T) {
+	r := NewReader(strings.NewReader("*3\r\n$3\r\nSET\r\n$1\r\nk\r\n$1\r\nv\r\n"))
+	argv, err := r.ReadCommand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(argv) != 3 || string(argv[0]) != "SET" || string(argv[2]) != "v" {
+		t.Fatalf("argv = %q", argv)
+	}
+}
+
+func TestReadCommandInline(t *testing.T) {
+	r := NewReader(strings.NewReader("PING\r\nSET  k   v\r\n"))
+	argv, err := r.ReadCommand()
+	if err != nil || len(argv) != 1 || string(argv[0]) != "PING" {
+		t.Fatalf("argv=%q err=%v", argv, err)
+	}
+	argv, err = r.ReadCommand()
+	if err != nil || len(argv) != 3 || string(argv[1]) != "k" {
+		t.Fatalf("argv=%q err=%v", argv, err)
+	}
+}
+
+func TestReadCommandRejectsBadLength(t *testing.T) {
+	for _, in := range []string{
+		"*-2\r\n",
+		"*1\r\n$-5\r\n",
+		"*1\r\n$3\r\nab\r\n", // short bulk
+		"*1\r\n:5\r\n",       // non-bulk element
+	} {
+		r := NewReader(strings.NewReader(in))
+		if _, err := r.ReadCommand(); err == nil {
+			t.Fatalf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestReaderRejectsMissingCRLF(t *testing.T) {
+	r := NewReader(strings.NewReader("$3\r\nabcXX"))
+	if _, err := r.ReadValue(); err == nil {
+		t.Fatal("expected error for missing CRLF terminator")
+	}
+}
+
+func TestReaderRejectsUnknownType(t *testing.T) {
+	r := NewReader(strings.NewReader("!3\r\nabc\r\n"))
+	if _, err := r.ReadValue(); err == nil {
+		t.Fatal("expected protocol error")
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.ReadValue(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestEncodeCommandMatchesWriter(t *testing.T) {
+	argv := [][]byte{[]byte("HSET"), []byte("key"), []byte("f"), []byte("value with spaces")}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteCommand(argv...); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if got := EncodeCommand(argv...); !bytes.Equal(got, buf.Bytes()) {
+		t.Fatalf("EncodeCommand = %q, writer = %q", got, buf.Bytes())
+	}
+}
+
+func TestEncodeCommandRoundTripQuick(t *testing.T) {
+	f := func(args [][]byte) bool {
+		if len(args) == 0 {
+			args = [][]byte{[]byte("X")}
+		}
+		enc := EncodeCommand(args...)
+		r := NewReader(bytes.NewReader(enc))
+		got, err := r.ReadCommand()
+		if err != nil || len(got) != len(args) {
+			return false
+		}
+		for i := range args {
+			if !bytes.Equal(got[i], args[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueRoundTripQuick(t *testing.T) {
+	f := func(s []byte, n int64) bool {
+		v := ArrayV(Bulk(s), Int64(n), Nil)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.WriteValue(v) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadValue()
+		return err == nil && got.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Simple("OK"), "+OK"},
+		{Int64(7), ":7"},
+		{Nil, "(nil)"},
+		{BulkStr("x"), `"x"`},
+		{ArrayV(Int64(1), Int64(2)), "[:1 :2]"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package resp
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// Writer encodes RESP values onto a stream with internal buffering; callers
+// must Flush to push bytes to the underlying writer.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w in a RESP encoder.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 64<<10)}
+}
+
+// WriteValue encodes v.
+func (w *Writer) WriteValue(v Value) error {
+	switch v.Type {
+	case SimpleString, Error:
+		if err := w.bw.WriteByte(byte(v.Type)); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(v.Str); err != nil {
+			return err
+		}
+		return w.crlf()
+	case Integer:
+		if err := w.bw.WriteByte(':'); err != nil {
+			return err
+		}
+		if err := w.writeInt(v.Int); err != nil {
+			return err
+		}
+		return w.crlf()
+	case BulkString:
+		if v.Null {
+			_, err := w.bw.WriteString("$-1\r\n")
+			return err
+		}
+		if err := w.bw.WriteByte('$'); err != nil {
+			return err
+		}
+		if err := w.writeInt(int64(len(v.Str))); err != nil {
+			return err
+		}
+		if err := w.crlf(); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(v.Str); err != nil {
+			return err
+		}
+		return w.crlf()
+	case Array:
+		if v.Null {
+			_, err := w.bw.WriteString("*-1\r\n")
+			return err
+		}
+		if err := w.bw.WriteByte('*'); err != nil {
+			return err
+		}
+		if err := w.writeInt(int64(len(v.Array))); err != nil {
+			return err
+		}
+		if err := w.crlf(); err != nil {
+			return err
+		}
+		for _, e := range v.Array {
+			if err := w.WriteValue(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ErrProtocol
+}
+
+// WriteCommand encodes argv as an array of bulk strings (the client →
+// server command format, also used in the replication stream).
+func (w *Writer) WriteCommand(argv ...[]byte) error {
+	if err := w.bw.WriteByte('*'); err != nil {
+		return err
+	}
+	if err := w.writeInt(int64(len(argv))); err != nil {
+		return err
+	}
+	if err := w.crlf(); err != nil {
+		return err
+	}
+	for _, a := range argv {
+		if err := w.bw.WriteByte('$'); err != nil {
+			return err
+		}
+		if err := w.writeInt(int64(len(a))); err != nil {
+			return err
+		}
+		if err := w.crlf(); err != nil {
+			return err
+		}
+		if _, err := w.bw.Write(a); err != nil {
+			return err
+		}
+		if err := w.crlf(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCommandStrings is WriteCommand over string arguments.
+func (w *Writer) WriteCommandStrings(argv ...string) error {
+	bs := make([][]byte, len(argv))
+	for i, s := range argv {
+		bs[i] = []byte(s)
+	}
+	return w.WriteCommand(bs...)
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }
+
+// Buffered reports the number of bytes waiting to be flushed.
+func (w *Writer) Buffered() int { return w.bw.Buffered() }
+
+func (w *Writer) crlf() error {
+	_, err := w.bw.WriteString("\r\n")
+	return err
+}
+
+func (w *Writer) writeInt(n int64) error {
+	var buf [20]byte
+	b := strconv.AppendInt(buf[:0], n, 10)
+	_, err := w.bw.Write(b)
+	return err
+}
+
+// EncodeCommand renders argv in RESP command format into a fresh byte
+// slice. Used for replication records, AOF, and snapshots.
+func EncodeCommand(argv ...[]byte) []byte {
+	size := 1 + intLen(int64(len(argv))) + 2
+	for _, a := range argv {
+		size += 1 + intLen(int64(len(a))) + 2 + len(a) + 2
+	}
+	out := make([]byte, 0, size)
+	out = append(out, '*')
+	out = strconv.AppendInt(out, int64(len(argv)), 10)
+	out = append(out, '\r', '\n')
+	for _, a := range argv {
+		out = append(out, '$')
+		out = strconv.AppendInt(out, int64(len(a)), 10)
+		out = append(out, '\r', '\n')
+		out = append(out, a...)
+		out = append(out, '\r', '\n')
+	}
+	return out
+}
+
+// EncodeCommandStrings is EncodeCommand over strings.
+func EncodeCommandStrings(argv ...string) []byte {
+	bs := make([][]byte, len(argv))
+	for i, s := range argv {
+		bs[i] = []byte(s)
+	}
+	return EncodeCommand(bs...)
+}
+
+func intLen(n int64) int {
+	if n == 0 {
+		return 1
+	}
+	l := 0
+	if n < 0 {
+		l = 1
+		n = -n
+	}
+	for n > 0 {
+		l++
+		n /= 10
+	}
+	return l
+}

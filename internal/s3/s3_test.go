@@ -1,0 +1,109 @@
+package s3
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"memorydb/internal/netsim"
+)
+
+func TestPutGetDelete(t *testing.T) {
+	s := New()
+	if err := s.Put("a/b", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("a/b")
+	if err != nil || string(got) != "data" {
+		t.Fatalf("Get = %q %v", got, err)
+	}
+	if err := s.Delete("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a/b"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("Get after delete: %v", err)
+	}
+	// Deleting a missing key is idempotent.
+	if err := s.Delete("a/b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("abc"))
+	got, _ := s.Get("k")
+	got[0] = 'X'
+	again, _ := s.Get("k")
+	if string(again) != "abc" {
+		t.Fatal("Get returned aliased storage")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := New()
+	data := []byte("abc")
+	s.Put("k", data)
+	data[0] = 'X'
+	got, _ := s.Get("k")
+	if string(got) != "abc" {
+		t.Fatal("Put aliased caller's buffer")
+	}
+}
+
+func TestListPrefixSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"snaps/s1/002", "snaps/s1/001", "snaps/s2/001", "other"} {
+		s.Put(k, []byte("x"))
+	}
+	keys, err := s.List("snaps/s1/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "snaps/s1/001" || keys[1] != "snaps/s1/002" {
+		t.Fatalf("List = %v", keys)
+	}
+	all, _ := s.List("")
+	if len(all) != 4 {
+		t.Fatalf("List(\"\") = %v", all)
+	}
+}
+
+func TestOutageInjection(t *testing.T) {
+	s := New()
+	s.Put("k", []byte("v"))
+	s.SetUnavailable(true)
+	if _, err := s.Get("k"); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Get during outage: %v", err)
+	}
+	if err := s.Put("k2", nil); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Put during outage: %v", err)
+	}
+	if _, err := s.List(""); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("List during outage: %v", err)
+	}
+	s.SetUnavailable(false)
+	if _, err := s.Get("k"); err != nil {
+		t.Fatalf("Get after recovery: %v", err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	s := New(WithLatency(netsim.Fixed(5 * time.Millisecond)))
+	start := time.Now()
+	s.Put("k", []byte("v"))
+	if elapsed := time.Since(start); elapsed < 4*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestSize(t *testing.T) {
+	s := New()
+	s.Put("k", make([]byte, 123))
+	if s.Size("k") != 123 {
+		t.Fatalf("Size = %d", s.Size("k"))
+	}
+	if s.Size("missing") != 0 {
+		t.Fatal("Size of missing key")
+	}
+}

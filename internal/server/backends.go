@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+
+	"memorydb/internal/baseline"
+	"memorydb/internal/cluster"
+	"memorydb/internal/core"
+	"memorydb/internal/resp"
+)
+
+// NodeBackend serves one MemoryDB node.
+type NodeBackend struct {
+	Node *core.Node
+}
+
+// Do implements Backend.
+func (b NodeBackend) Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error) {
+	if readonly {
+		return b.Node.DoReadOnly(ctx, argv)
+	}
+	return b.Node.Do(ctx, argv)
+}
+
+// DoBatch implements Backend.
+func (b NodeBackend) DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error) {
+	return b.Node.DoBatch(ctx, cmds)
+}
+
+// ClusterOps is implemented by backends that can answer CLUSTER
+// introspection subcommands (SLOTS, SHARDS, KEYSLOT, ...).
+type ClusterOps interface {
+	ClusterCommand(ctx context.Context, argv [][]byte) resp.Value
+}
+
+// ClusterBackend routes through the cluster's smart client, so a single
+// endpoint serves the whole keyspace (a convenience proxy; real Redis
+// cluster clients route themselves, which cluster.Client also models).
+type ClusterBackend struct {
+	Cluster *cluster.Cluster
+}
+
+// ClusterCommand implements ClusterOps.
+func (b ClusterBackend) ClusterCommand(ctx context.Context, argv [][]byte) resp.Value {
+	return b.Cluster.ClusterCommand(ctx, argv)
+}
+
+// Do implements Backend.
+func (b ClusterBackend) Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error) {
+	cl := b.Cluster.Client()
+	if readonly {
+		cl = b.Cluster.ReadOnlyClient()
+	}
+	return cl.DoArgv(ctx, argv)
+}
+
+// DoBatch implements Backend.
+func (b ClusterBackend) DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error) {
+	strCmds := make([][]string, len(cmds))
+	for i, c := range cmds {
+		ss := make([]string, len(c))
+		for j, a := range c {
+			ss[j] = string(a)
+		}
+		strCmds[i] = ss
+	}
+	return b.Cluster.Client().MultiExec(ctx, strCmds)
+}
+
+// BaselineBackend serves an OSS-mode node.
+type BaselineBackend struct {
+	Node *baseline.Node
+}
+
+// Do implements Backend.
+func (b BaselineBackend) Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error) {
+	return b.Node.Do(ctx, argv)
+}
+
+// DoBatch implements Backend.
+func (b BaselineBackend) DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error) {
+	replies := make([]resp.Value, 0, len(cmds))
+	for _, argv := range cmds {
+		v, err := b.Node.Do(ctx, argv)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		replies = append(replies, v)
+	}
+	return resp.ArrayV(replies...), nil
+}

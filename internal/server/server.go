@@ -1,0 +1,292 @@
+// Package server is the TCP front-end: it speaks RESP to clients,
+// maintains per-connection state (MULTI transactions, READONLY opt-in),
+// and forwards commands to a backend — a single node or a cluster
+// dispatcher. It models both IO paths from the paper's §6.1.1: plain
+// threaded IO (one goroutine per connection, like Redis io-threads) and
+// Enhanced IO Multiplexing (connections aggregated into a shared
+// dispatch channel, reducing engine wakeups and fan-in/fan-out overhead).
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"memorydb/internal/resp"
+)
+
+// Backend executes commands on behalf of connections.
+type Backend interface {
+	// Do executes one command. readonly reflects the connection's
+	// READONLY state.
+	Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error)
+	// DoBatch executes a MULTI/EXEC transaction atomically.
+	DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error)
+}
+
+// Config parameterizes a server.
+type Config struct {
+	// Addr to listen on, e.g. "127.0.0.1:0".
+	Addr    string
+	Backend Backend
+	// Multiplex enables Enhanced IO Multiplexing: commands from all
+	// connections are aggregated into a shared dispatch queue consumed
+	// by a fixed pool, instead of each connection driving the backend
+	// directly.
+	Multiplex bool
+	// MuxWorkers is the dispatcher pool size when Multiplex is on.
+	MuxWorkers int
+}
+
+// Server accepts RESP connections.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	muxQ chan muxItem
+	ctx  context.Context
+	stop context.CancelFunc
+}
+
+type muxItem struct {
+	argv     [][]byte
+	readonly bool
+	replyCh  chan resp.Value
+}
+
+// New creates a server (not yet listening).
+func New(cfg Config) *Server {
+	if cfg.MuxWorkers <= 0 {
+		cfg.MuxWorkers = 8
+	}
+	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
+	s.ctx, s.stop = context.WithCancel(context.Background())
+	return s
+}
+
+// Start begins listening and serving.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	if s.cfg.Multiplex {
+		s.muxQ = make(chan muxItem, 4096)
+		for i := 0; i < s.cfg.MuxWorkers; i++ {
+			s.wg.Add(1)
+			go s.muxWorker()
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops the server and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.stop()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) muxWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case item := <-s.muxQ:
+			v, err := s.cfg.Backend.Do(s.ctx, item.argv, item.readonly)
+			if err != nil {
+				v = resp.Errf("ERR backend: %v", err)
+			}
+			item.replyCh <- v
+		}
+	}
+}
+
+// connState holds per-connection protocol state.
+type connState struct {
+	readonly bool
+	inMulti  bool
+	queued   [][][]byte
+	multiErr bool
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := resp.NewReader(conn)
+	w := resp.NewWriter(conn)
+	st := &connState{}
+	for {
+		argv, err := r.ReadCommand()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Protocol error: best-effort error reply, then close.
+				_ = w.WriteValue(resp.Errf("ERR Protocol error: %v", err))
+				_ = w.Flush()
+			}
+			return
+		}
+		if len(argv) == 0 {
+			continue
+		}
+		reply, quit := s.handle(st, argv)
+		if err := w.WriteValue(reply); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// handle processes one command against the connection state, forwarding
+// to the backend when appropriate.
+func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bool) {
+	name := strings.ToUpper(string(argv[0]))
+	switch name {
+	case "QUIT":
+		return resp.OK, true
+	case "READONLY":
+		st.readonly = true
+		return resp.OK, false
+	case "READWRITE":
+		st.readonly = false
+		return resp.OK, false
+	case "MULTI":
+		if st.inMulti {
+			return resp.Err("ERR MULTI calls can not be nested"), false
+		}
+		st.inMulti = true
+		st.queued = nil
+		st.multiErr = false
+		return resp.OK, false
+	case "DISCARD":
+		if !st.inMulti {
+			return resp.Err("ERR DISCARD without MULTI"), false
+		}
+		st.inMulti = false
+		st.queued = nil
+		return resp.OK, false
+	case "EXEC":
+		if !st.inMulti {
+			return resp.Err("ERR EXEC without MULTI"), false
+		}
+		st.inMulti = false
+		cmds := st.queued
+		st.queued = nil
+		if st.multiErr {
+			return resp.Err("EXECABORT Transaction discarded because of previous errors."), false
+		}
+		if len(cmds) == 0 {
+			return resp.ArrayV(), false
+		}
+		v, err := s.cfg.Backend.DoBatch(s.ctx, cmds, st.readonly)
+		if err != nil {
+			return resp.Errf("ERR backend: %v", err), false
+		}
+		return v, false
+	case "AUTH":
+		// Authentication/ACLs are control-plane features we accept and
+		// ignore in this reproduction.
+		return resp.OK, false
+	case "CLUSTER":
+		if co, ok := s.cfg.Backend.(ClusterOps); ok {
+			return co.ClusterCommand(s.ctx, argv), false
+		}
+		return resp.Err("ERR This instance has cluster support disabled"), false
+	case "SELECT":
+		if len(argv) == 2 && string(argv[1]) == "0" {
+			return resp.OK, false
+		}
+		return resp.Err("ERR DB index is out of range"), false
+	}
+
+	if st.inMulti {
+		// Queue; malformed commands poison the transaction like Redis.
+		cp := make([][]byte, len(argv))
+		for i, a := range argv {
+			cp[i] = append([]byte(nil), a...)
+		}
+		st.queued = append(st.queued, cp)
+		return resp.Queued, false
+	}
+
+	if s.cfg.Multiplex {
+		item := muxItem{argv: argv, readonly: st.readonly, replyCh: make(chan resp.Value, 1)}
+		select {
+		case s.muxQ <- item:
+		case <-s.ctx.Done():
+			return resp.Err("ERR server shutting down"), true
+		}
+		select {
+		case v := <-item.replyCh:
+			return v, false
+		case <-s.ctx.Done():
+			return resp.Err("ERR server shutting down"), true
+		}
+	}
+	v, err := s.cfg.Backend.Do(s.ctx, argv, st.readonly)
+	if err != nil {
+		return resp.Errf("ERR backend: %v", err), false
+	}
+	return v, false
+}

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"memorydb/internal/baseline"
+	"memorydb/internal/clock"
+	"memorydb/internal/core"
+	"memorydb/internal/election"
+	"memorydb/internal/netsim"
+	"memorydb/internal/resp"
+	"memorydb/internal/txlog"
+)
+
+// startMemoryDBServer boots a single-node MemoryDB behind a TCP server.
+func startMemoryDBServer(t *testing.T, multiplex bool) (*Server, *core.Node) {
+	t.Helper()
+	svc := txlog.NewService(txlog.Config{Clock: clock.NewReal(), CommitLatency: netsim.Zero{}})
+	log, _ := svc.CreateLog("s1")
+	n, err := core.NewNode(core.Config{
+		NodeID: "n1", ShardID: "s1", Log: log,
+		Lease: 200 * time.Millisecond, Backoff: 260 * time.Millisecond,
+		RenewEvery: 50 * time.Millisecond, ReplicaPoll: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	t.Cleanup(n.Stop)
+	deadline := time.Now().Add(3 * time.Second)
+	for n.Role() != election.RolePrimary {
+		if time.Now().After(deadline) {
+			t.Fatal("node never became primary")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	srv := New(Config{Addr: "127.0.0.1:0", Backend: NodeBackend{Node: n}, Multiplex: multiplex})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return srv, n
+}
+
+type testClient struct {
+	conn net.Conn
+	r    *resp.Reader
+	w    *resp.Writer
+}
+
+func dial(t *testing.T, addr string) *testClient {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &testClient{conn: conn, r: resp.NewReader(conn), w: resp.NewWriter(conn)}
+}
+
+func (c *testClient) do(t *testing.T, args ...string) resp.Value {
+	t.Helper()
+	if err := c.w.WriteCommandStrings(args...); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.r.ReadValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestServerBasicCommands(t *testing.T) {
+	for _, multiplex := range []bool{false, true} {
+		srv, _ := startMemoryDBServer(t, multiplex)
+		c := dial(t, srv.Addr().String())
+		if v := c.do(t, "PING"); v.Text() != "PONG" {
+			t.Fatalf("PING = %v", v)
+		}
+		if v := c.do(t, "SET", "k", "v"); v.Text() != "OK" {
+			t.Fatalf("SET = %v", v)
+		}
+		if v := c.do(t, "GET", "k"); v.Text() != "v" {
+			t.Fatalf("GET = %v", v)
+		}
+		if v := c.do(t, "HSET", "h", "f", "1"); v.Int != 1 {
+			t.Fatalf("HSET = %v", v)
+		}
+	}
+}
+
+func TestServerMultiExec(t *testing.T) {
+	srv, _ := startMemoryDBServer(t, false)
+	c := dial(t, srv.Addr().String())
+	if v := c.do(t, "MULTI"); v.Text() != "OK" {
+		t.Fatalf("MULTI = %v", v)
+	}
+	if v := c.do(t, "SET", "a", "1"); v.Text() != "QUEUED" {
+		t.Fatalf("queued = %v", v)
+	}
+	if v := c.do(t, "INCR", "a"); v.Text() != "QUEUED" {
+		t.Fatalf("queued = %v", v)
+	}
+	v := c.do(t, "EXEC")
+	if v.Type != resp.Array || len(v.Array) != 2 || v.Array[1].Int != 2 {
+		t.Fatalf("EXEC = %v", v)
+	}
+	// The transaction applied atomically.
+	if v := c.do(t, "GET", "a"); v.Text() != "2" {
+		t.Fatalf("after EXEC = %v", v)
+	}
+}
+
+func TestServerMultiDiscardAndErrors(t *testing.T) {
+	srv, _ := startMemoryDBServer(t, false)
+	c := dial(t, srv.Addr().String())
+	if v := c.do(t, "EXEC"); !v.IsError() {
+		t.Fatalf("EXEC without MULTI = %v", v)
+	}
+	if v := c.do(t, "DISCARD"); !v.IsError() {
+		t.Fatalf("DISCARD without MULTI = %v", v)
+	}
+	c.do(t, "MULTI")
+	if v := c.do(t, "MULTI"); !v.IsError() {
+		t.Fatalf("nested MULTI = %v", v)
+	}
+	c.do(t, "SET", "x", "1")
+	if v := c.do(t, "DISCARD"); v.Text() != "OK" {
+		t.Fatalf("DISCARD = %v", v)
+	}
+	if v := c.do(t, "GET", "x"); !v.Null {
+		t.Fatalf("discarded write applied: %v", v)
+	}
+}
+
+func TestServerReadOnlyState(t *testing.T) {
+	srv, _ := startMemoryDBServer(t, false)
+	c := dial(t, srv.Addr().String())
+	if v := c.do(t, "READONLY"); v.Text() != "OK" {
+		t.Fatalf("READONLY = %v", v)
+	}
+	if v := c.do(t, "READWRITE"); v.Text() != "OK" {
+		t.Fatalf("READWRITE = %v", v)
+	}
+}
+
+func TestServerSelectAndAuth(t *testing.T) {
+	srv, _ := startMemoryDBServer(t, false)
+	c := dial(t, srv.Addr().String())
+	if v := c.do(t, "SELECT", "0"); v.Text() != "OK" {
+		t.Fatalf("SELECT 0 = %v", v)
+	}
+	if v := c.do(t, "SELECT", "1"); !v.IsError() {
+		t.Fatalf("SELECT 1 = %v", v)
+	}
+	if v := c.do(t, "AUTH", "password"); v.Text() != "OK" {
+		t.Fatalf("AUTH = %v", v)
+	}
+}
+
+func TestServerQuitClosesConnection(t *testing.T) {
+	srv, _ := startMemoryDBServer(t, false)
+	c := dial(t, srv.Addr().String())
+	if v := c.do(t, "QUIT"); v.Text() != "OK" {
+		t.Fatalf("QUIT = %v", v)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := c.r.ReadValue(); err == nil {
+		t.Fatal("connection still open after QUIT")
+	}
+}
+
+func TestServerInlineCommands(t *testing.T) {
+	srv, _ := startMemoryDBServer(t, false)
+	c := dial(t, srv.Addr().String())
+	if _, err := c.conn.Write([]byte("PING\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.r.ReadValue()
+	if err != nil || v.Text() != "PONG" {
+		t.Fatalf("inline PING = %v %v", v, err)
+	}
+}
+
+func TestServerBaselineBackend(t *testing.T) {
+	node := baseline.NewPrimary(baseline.Config{NodeID: "r1"})
+	t.Cleanup(node.Stop)
+	srv := New(Config{Addr: "127.0.0.1:0", Backend: BaselineBackend{Node: node}})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	c := dial(t, srv.Addr().String())
+	if v := c.do(t, "SET", "k", "v"); v.Text() != "OK" {
+		t.Fatalf("SET = %v", v)
+	}
+	if v := c.do(t, "GET", "k"); v.Text() != "v" {
+		t.Fatalf("GET = %v", v)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv, _ := startMemoryDBServer(t, true)
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(id int) {
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer conn.Close()
+			r, w := resp.NewReader(conn), resp.NewWriter(conn)
+			for i := 0; i < 50; i++ {
+				if err := w.WriteCommandStrings("INCR", "counter"); err != nil {
+					done <- err
+					return
+				}
+				w.Flush()
+				if _, err := r.ReadValue(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := dial(t, srv.Addr().String())
+	if v := c.do(t, "GET", "counter"); v.Text() != "400" {
+		t.Fatalf("counter = %v, want 400", v)
+	}
+}

@@ -1,0 +1,447 @@
+// Package snapshot implements MemoryDB's point-in-time snapshots: a
+// compact, checksummed serialization of the keyspace stamped with the
+// transaction log position (and running log checksum) it covers. The
+// package also provides the off-box snapshotter (§4.2.2), the restore
+// rehearsal verifier (§7.2.1), and the freshness-based scheduler (§4.2.3).
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"time"
+
+	"memorydb/internal/store"
+	"memorydb/internal/txlog"
+)
+
+// Magic values framing a snapshot file.
+var (
+	magicHeader = []byte("MDBSNAP1")
+	magicFooter = []byte("MDBSNAPE")
+)
+
+// Meta is the snapshot's provenance: which shard, which engine version
+// produced it, and exactly which transaction log prefix it captures.
+type Meta struct {
+	ShardID       string
+	EngineVersion uint32
+	// LogPos is the positional identifier of the last log entry included.
+	LogPos txlog.EntryID
+	// LogChecksum is the log's running checksum as of LogPos; restore
+	// rehearsal chains from this value (§7.2.1).
+	LogChecksum uint64
+}
+
+// Errors returned by the decoder.
+var (
+	ErrBadSnapshot = errors.New("snapshot: malformed snapshot")
+	ErrChecksum    = errors.New("snapshot: data checksum mismatch")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// timeZero is the "no expiry filtering" instant passed to keyspace
+// iteration: snapshots capture every stored key verbatim — expiry is
+// enforced by the engine and replicated as explicit deletes, so the
+// snapshot must not second-guess it with its own clock.
+func timeZero() time.Time { return time.Time{} }
+
+// Write serializes db and meta to w. The body is covered by a CRC64
+// stored in the footer, so corruption is detected before a restore is
+// attempted.
+func Write(w io.Writer, db *store.DB, meta Meta) error {
+	bw := bufio.NewWriterSize(w, 256<<10)
+	if _, err := bw.Write(magicHeader); err != nil {
+		return err
+	}
+	if err := writeString(bw, meta.ShardID); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, meta.EngineVersion); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, meta.LogPos.Seq); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, meta.LogChecksum); err != nil {
+		return err
+	}
+
+	var body bytes.Buffer
+	var encodeErr error
+	// Snapshot writers run on quiescent copies (off-box replicas), so a
+	// plain iteration is a consistent cut.
+	db.ForEach(timeZero(), func(key string, obj *store.Object, expireAt int64) bool {
+		if err := encodeObject(&body, key, obj, expireAt); err != nil {
+			encodeErr = err
+			return false
+		}
+		return true
+	})
+	if encodeErr != nil {
+		return encodeErr
+	}
+	if err := binary.Write(bw, binary.BigEndian, uint64(body.Len())); err != nil {
+		return err
+	}
+	sum := crc64.Checksum(body.Bytes(), crcTable)
+	if _, err := bw.Write(body.Bytes()); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.BigEndian, sum); err != nil {
+		return err
+	}
+	if _, err := bw.Write(magicFooter); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses a snapshot, returning a freshly built keyspace and its
+// meta. The body checksum is verified before any object is returned.
+func Read(r io.Reader) (*store.DB, Meta, error) {
+	br := bufio.NewReaderSize(r, 256<<10)
+	var meta Meta
+	hdr := make([]byte, len(magicHeader))
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, meta, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
+	}
+	if !bytes.Equal(hdr, magicHeader) {
+		return nil, meta, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	}
+	shardID, err := readString(br)
+	if err != nil {
+		return nil, meta, err
+	}
+	meta.ShardID = shardID
+	if err := binary.Read(br, binary.BigEndian, &meta.EngineVersion); err != nil {
+		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := binary.Read(br, binary.BigEndian, &meta.LogPos.Seq); err != nil {
+		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if err := binary.Read(br, binary.BigEndian, &meta.LogChecksum); err != nil {
+		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	var bodyLen uint64
+	if err := binary.Read(br, binary.BigEndian, &bodyLen); err != nil {
+		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if bodyLen > 16<<30 {
+		return nil, meta, fmt.Errorf("%w: implausible body length %d", ErrBadSnapshot, bodyLen)
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, meta, fmt.Errorf("%w: short body: %v", ErrBadSnapshot, err)
+	}
+	var storedSum uint64
+	if err := binary.Read(br, binary.BigEndian, &storedSum); err != nil {
+		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	ftr := make([]byte, len(magicFooter))
+	if _, err := io.ReadFull(br, ftr); err != nil || !bytes.Equal(ftr, magicFooter) {
+		return nil, meta, fmt.Errorf("%w: bad footer", ErrBadSnapshot)
+	}
+	if crc64.Checksum(body, crcTable) != storedSum {
+		return nil, meta, ErrChecksum
+	}
+
+	db := store.NewDB()
+	rd := bytes.NewReader(body)
+	for rd.Len() > 0 {
+		if err := decodeObject(rd, db); err != nil {
+			return nil, meta, err
+		}
+	}
+	return db, meta, nil
+}
+
+// object kinds on the wire (decoupled from store.Kind ordering).
+const (
+	wireString byte = 1
+	wireHash   byte = 2
+	wireList   byte = 3
+	wireSet    byte = 4
+	wireZSet   byte = 5
+	wireStream byte = 6
+)
+
+func encodeObject(w *bytes.Buffer, key string, obj *store.Object, expireAt int64) error {
+	if err := writeString(w, key); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, expireAt); err != nil {
+		return err
+	}
+	switch obj.Kind {
+	case store.KindString:
+		w.WriteByte(wireString)
+		return writeBytes(w, obj.Str)
+	case store.KindHash:
+		w.WriteByte(wireHash)
+		if err := writeCount(w, len(obj.Hash)); err != nil {
+			return err
+		}
+		for f, v := range obj.Hash {
+			if err := writeString(w, f); err != nil {
+				return err
+			}
+			if err := writeBytes(w, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	case store.KindList:
+		w.WriteByte(wireList)
+		if err := writeCount(w, obj.List.Len()); err != nil {
+			return err
+		}
+		var walkErr error
+		obj.List.Walk(func(v []byte) bool {
+			walkErr = writeBytes(w, v)
+			return walkErr == nil
+		})
+		return walkErr
+	case store.KindSet:
+		w.WriteByte(wireSet)
+		if err := writeCount(w, len(obj.Set)); err != nil {
+			return err
+		}
+		for m := range obj.Set {
+			if err := writeString(w, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	case store.KindZSet:
+		w.WriteByte(wireZSet)
+		if err := writeCount(w, obj.ZSet.Len()); err != nil {
+			return err
+		}
+		for _, en := range obj.ZSet.Range(0, obj.ZSet.Len()-1) {
+			if err := writeString(w, en.Member); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.BigEndian, math.Float64bits(en.Score)); err != nil {
+				return err
+			}
+		}
+		return nil
+	case store.KindStream:
+		w.WriteByte(wireStream)
+		if err := writeCount(w, obj.Stream.Len()); err != nil {
+			return err
+		}
+		var walkErr error
+		obj.Stream.Walk(func(en store.StreamEntry) bool {
+			if err := binary.Write(w, binary.BigEndian, en.ID.Ms); err != nil {
+				walkErr = err
+				return false
+			}
+			if err := binary.Write(w, binary.BigEndian, en.ID.Seq); err != nil {
+				walkErr = err
+				return false
+			}
+			if err := writeCount(w, len(en.Fields)); err != nil {
+				walkErr = err
+				return false
+			}
+			for _, f := range en.Fields {
+				if err := writeBytes(w, f); err != nil {
+					walkErr = err
+					return false
+				}
+			}
+			return true
+		})
+		return walkErr
+	}
+	return fmt.Errorf("snapshot: cannot encode kind %v", obj.Kind)
+}
+
+func decodeObject(r *bytes.Reader, db *store.DB) error {
+	key, err := readStringR(r)
+	if err != nil {
+		return err
+	}
+	var expireAt int64
+	if err := binary.Read(r, binary.BigEndian, &expireAt); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	kind, err := r.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	obj := &store.Object{}
+	switch kind {
+	case wireString:
+		obj.Kind = store.KindString
+		obj.Str, err = readBytesR(r)
+		if err != nil {
+			return err
+		}
+	case wireHash:
+		obj.Kind = store.KindHash
+		n, err := readCount(r)
+		if err != nil {
+			return err
+		}
+		obj.Hash = make(map[string][]byte, n)
+		for i := 0; i < n; i++ {
+			f, err := readStringR(r)
+			if err != nil {
+				return err
+			}
+			v, err := readBytesR(r)
+			if err != nil {
+				return err
+			}
+			obj.Hash[f] = v
+		}
+	case wireList:
+		obj.Kind = store.KindList
+		n, err := readCount(r)
+		if err != nil {
+			return err
+		}
+		obj.List = store.NewList()
+		for i := 0; i < n; i++ {
+			v, err := readBytesR(r)
+			if err != nil {
+				return err
+			}
+			obj.List.PushBack(v)
+		}
+	case wireSet:
+		obj.Kind = store.KindSet
+		n, err := readCount(r)
+		if err != nil {
+			return err
+		}
+		obj.Set = make(map[string]struct{}, n)
+		for i := 0; i < n; i++ {
+			m, err := readStringR(r)
+			if err != nil {
+				return err
+			}
+			obj.Set[m] = struct{}{}
+		}
+	case wireZSet:
+		obj.Kind = store.KindZSet
+		n, err := readCount(r)
+		if err != nil {
+			return err
+		}
+		obj.ZSet = store.NewZSet()
+		for i := 0; i < n; i++ {
+			m, err := readStringR(r)
+			if err != nil {
+				return err
+			}
+			var bits uint64
+			if err := binary.Read(r, binary.BigEndian, &bits); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			obj.ZSet.Add(m, math.Float64frombits(bits))
+		}
+	case wireStream:
+		obj.Kind = store.KindStream
+		n, err := readCount(r)
+		if err != nil {
+			return err
+		}
+		obj.Stream = store.NewStream()
+		for i := 0; i < n; i++ {
+			var id store.StreamID
+			if err := binary.Read(r, binary.BigEndian, &id.Ms); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			if err := binary.Read(r, binary.BigEndian, &id.Seq); err != nil {
+				return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+			}
+			nf, err := readCount(r)
+			if err != nil {
+				return err
+			}
+			fields := make([][]byte, nf)
+			for j := 0; j < nf; j++ {
+				fields[j], err = readBytesR(r)
+				if err != nil {
+					return err
+				}
+			}
+			if _, err := obj.Stream.Add(id, false, 0, fields); err != nil {
+				return fmt.Errorf("%w: out-of-order stream entry: %v", ErrBadSnapshot, err)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: unknown object kind %d", ErrBadSnapshot, kind)
+	}
+	db.Set(key, obj)
+	if expireAt > 0 {
+		db.Expire(key, expireAt, timeZero())
+	}
+	return nil
+}
+
+func writeCount(w *bytes.Buffer, n int) error {
+	return binary.Write(w, binary.BigEndian, uint32(n))
+}
+
+func readCount(r *bytes.Reader) (int, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if n > 1<<28 {
+		return 0, fmt.Errorf("%w: implausible count %d", ErrBadSnapshot, n)
+	}
+	return int(n), nil
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func writeBytes(w *bytes.Buffer, b []byte) error {
+	if err := binary.Write(w, binary.BigEndian, uint32(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint32
+	if err := binary.Read(r, binary.BigEndian, &n); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if n > 1<<28 {
+		return "", fmt.Errorf("%w: implausible string length %d", ErrBadSnapshot, n)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	return string(b), nil
+}
+
+func readStringR(r *bytes.Reader) (string, error) { return readString(r) }
+
+func readBytesR(r *bytes.Reader) ([]byte, error) {
+	s, err := readString(r)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(s), nil
+}

@@ -1,0 +1,108 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"memorydb/internal/s3"
+	"memorydb/internal/store"
+	"memorydb/internal/txlog"
+)
+
+// Manager names, stores, and retrieves snapshots in S3. Keys are
+// "<prefix>/<shardID>/<logPos padded>" so the lexically greatest key for a
+// shard is also the freshest snapshot.
+type Manager struct {
+	store  *s3.Store
+	prefix string
+}
+
+// NewManager returns a manager writing under prefix.
+func NewManager(st *s3.Store, prefix string) *Manager {
+	if prefix == "" {
+		prefix = "snapshots"
+	}
+	return &Manager{store: st, prefix: prefix}
+}
+
+func (m *Manager) key(shardID string, pos txlog.EntryID) string {
+	return fmt.Sprintf("%s/%s/%020d", m.prefix, shardID, pos.Seq)
+}
+
+// Save serializes db+meta and uploads it.
+func (m *Manager) Save(db *store.DB, meta Meta) error {
+	var buf bytes.Buffer
+	if err := Write(&buf, db, meta); err != nil {
+		return err
+	}
+	return m.store.Put(m.key(meta.ShardID, meta.LogPos), buf.Bytes())
+}
+
+// SaveRaw uploads pre-serialized snapshot bytes (used by verification
+// rehearsal, which must store exactly what it validated).
+func (m *Manager) SaveRaw(shardID string, pos txlog.EntryID, data []byte) error {
+	return m.store.Put(m.key(shardID, pos), data)
+}
+
+// Latest fetches the freshest snapshot for shardID. ok=false when the
+// shard has no snapshot yet (cold start replays the whole log).
+func (m *Manager) Latest(shardID string) (*store.DB, Meta, bool, error) {
+	keys, err := m.store.List(m.prefix + "/" + shardID + "/")
+	if err != nil {
+		return nil, Meta{}, false, err
+	}
+	if len(keys) == 0 {
+		return nil, Meta{}, false, nil
+	}
+	data, err := m.store.Get(keys[len(keys)-1])
+	if err != nil {
+		return nil, Meta{}, false, err
+	}
+	db, meta, err := Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, Meta{}, false, err
+	}
+	return db, meta, true, nil
+}
+
+// LatestRaw returns the freshest snapshot's raw bytes and log position.
+func (m *Manager) LatestRaw(shardID string) ([]byte, txlog.EntryID, bool, error) {
+	keys, err := m.store.List(m.prefix + "/" + shardID + "/")
+	if err != nil {
+		return nil, txlog.ZeroID, false, err
+	}
+	if len(keys) == 0 {
+		return nil, txlog.ZeroID, false, nil
+	}
+	k := keys[len(keys)-1]
+	data, err := m.store.Get(k)
+	if err != nil {
+		return nil, txlog.ZeroID, false, err
+	}
+	seqStr := k[strings.LastIndexByte(k, '/')+1:]
+	seq, err := strconv.ParseUint(seqStr, 10, 64)
+	if err != nil {
+		return nil, txlog.ZeroID, false, fmt.Errorf("snapshot: bad key %q: %w", k, err)
+	}
+	return data, txlog.EntryID{Seq: seq}, true, nil
+}
+
+// LatestPos returns the log position of the freshest snapshot without
+// fetching its body (the scheduler polls this to compute freshness).
+func (m *Manager) LatestPos(shardID string) (txlog.EntryID, bool, error) {
+	keys, err := m.store.List(m.prefix + "/" + shardID + "/")
+	if err != nil {
+		return txlog.ZeroID, false, err
+	}
+	if len(keys) == 0 {
+		return txlog.ZeroID, false, nil
+	}
+	k := keys[len(keys)-1]
+	seq, err := strconv.ParseUint(k[strings.LastIndexByte(k, '/')+1:], 10, 64)
+	if err != nil {
+		return txlog.ZeroID, false, fmt.Errorf("snapshot: bad key %q: %w", k, err)
+	}
+	return txlog.EntryID{Seq: seq}, true, nil
+}

@@ -1,0 +1,99 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/engine"
+	"memorydb/internal/txlog"
+)
+
+// Offbox creates snapshots on ephemeral clusters that never touch the
+// customer cluster (paper §4.2.2). An off-box replica restores the
+// shard's latest snapshot from S3, replays the transaction log up to the
+// tail recorded at creation time, stops, and dumps a fresh snapshot —
+// guaranteed fresher than the previous one, produced with zero load on
+// customer nodes.
+type Offbox struct {
+	Manager *Manager
+	Clock   clock.Clock
+	// EngineVersion stamps produced snapshots. During mixed-version
+	// upgrades the control plane pins this to the *oldest* version running
+	// in the cluster (§7.1) so every node can restore from it.
+	EngineVersion uint32
+}
+
+// Run performs one off-box snapshot of shardID against log, returning the
+// meta of the snapshot it produced. Verification (restore rehearsal) is a
+// separate step; see Verify.
+func (o *Offbox) Run(ctx context.Context, shardID string, log *txlog.Log) (Meta, error) {
+	clk := o.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	// (1) Record the tail position at creation time.
+	target := log.CommittedTail()
+
+	// Bootstrap exactly like a recovering customer replica.
+	eng := engine.New(clk)
+	from := txlog.ZeroID
+	if db, meta, ok, err := o.Manager.Latest(shardID); err != nil {
+		return Meta{}, fmt.Errorf("offbox: loading base snapshot: %w", err)
+	} else if ok {
+		eng.ResetDB(db)
+		from = meta.LogPos
+	}
+	// Replay the log up to the recorded tail, then stop: a static data
+	// view fresher than any previous snapshot.
+	if err := ReplayRange(ctx, log, eng, from, target); err != nil {
+		return Meta{}, fmt.Errorf("offbox: replay: %w", err)
+	}
+
+	sum, err := log.ChecksumAt(target)
+	if err != nil {
+		return Meta{}, fmt.Errorf("offbox: checksum at %v: %w", target, err)
+	}
+	meta := Meta{
+		ShardID:       shardID,
+		EngineVersion: o.EngineVersion,
+		LogPos:        target,
+		LogChecksum:   sum,
+	}
+	// (2) Dump the data view into a new snapshot and upload it.
+	var buf bytes.Buffer
+	if err := Write(&buf, eng.DB(), meta); err != nil {
+		return Meta{}, fmt.Errorf("offbox: serialize: %w", err)
+	}
+	if err := o.Manager.SaveRaw(shardID, target, buf.Bytes()); err != nil {
+		return Meta{}, fmt.Errorf("offbox: upload: %w", err)
+	}
+	return meta, nil
+}
+
+// ReplayRange applies committed data entries in (from, to] to eng.
+// Checksum, lease and other control entries are skipped — they carry no
+// keyspace mutations.
+func ReplayRange(ctx context.Context, log *txlog.Log, eng *engine.Engine, from, to txlog.EntryID) error {
+	if !from.Less(to) {
+		return nil
+	}
+	r := log.NewReader(from)
+	for r.Position().Less(to) {
+		e, err := r.Next(ctx)
+		if err != nil {
+			return err
+		}
+		if e.ID.Seq > to.Seq {
+			return fmt.Errorf("snapshot: reader overran target %v at %v", to, e.ID)
+		}
+		if e.Type != txlog.EntryData {
+			continue
+		}
+		if err := eng.Apply(e.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

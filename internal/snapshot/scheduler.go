@@ -1,0 +1,156 @@
+package snapshot
+
+import (
+	"context"
+	"sync"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/txlog"
+	"time"
+)
+
+// Policy decides when a shard's latest snapshot has become too stale
+// (paper §4.2.3). Freshness is the snapshot's distance from the log tail;
+// it deteriorates faster under high write throughput, and larger data
+// sets tolerate less replay before restores stop being snapshot-dominant.
+type Policy struct {
+	// MaxLogDistance triggers a snapshot once the tail has moved this
+	// many entries past the latest snapshot.
+	MaxLogDistance uint64
+	// ReplayPerEntry and LoadPerByte model restore costs; a snapshot is
+	// also scheduled when estimated replay time exceeds estimated
+	// snapshot load time (the "snapshot-dominant" restoration rule).
+	ReplayPerEntry time.Duration
+	LoadPerByte    time.Duration
+}
+
+// DefaultPolicy mirrors the shape of the production heuristic: bounded
+// log replay with a dominance ratio.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxLogDistance: 10000,
+		ReplayPerEntry: 50 * time.Microsecond,
+		LoadPerByte:    2 * time.Nanosecond,
+	}
+}
+
+// Stale reports whether a new snapshot should be created given the log
+// distance since the last snapshot and the data set size in bytes.
+func (p Policy) Stale(distance uint64, datasetBytes int64) bool {
+	if p.MaxLogDistance > 0 && distance > p.MaxLogDistance {
+		return true
+	}
+	replay := time.Duration(distance) * p.ReplayPerEntry
+	load := time.Duration(datasetBytes) * p.LoadPerByte
+	// Keep restores snapshot-dominant: replay must stay below load time.
+	return replay > load && distance > 0
+}
+
+// Shard is the scheduler's view of one shard: its log plus a callback
+// reporting the current data set size (sampled from live clusters by the
+// monitoring service in the paper).
+type Shard struct {
+	ShardID     string
+	Log         *txlog.Log
+	DatasetSize func() int64
+}
+
+// Scheduler polls shard freshness and runs off-box snapshots (with
+// verification) when a shard goes stale.
+type Scheduler struct {
+	Policy   Policy
+	Offbox   *Offbox
+	Interval time.Duration
+	Clock    clock.Clock
+	// Verify enables the restore rehearsal after each snapshot; failed
+	// verifications leave the previous snapshot as latest-verified.
+	Verify bool
+
+	mu     sync.Mutex
+	shards []Shard
+	// counters for tests/metrics
+	created  int
+	verified int
+	failures int
+}
+
+// AddShard registers a shard for monitoring.
+func (s *Scheduler) AddShard(sh Shard) {
+	s.mu.Lock()
+	s.shards = append(s.shards, sh)
+	s.mu.Unlock()
+}
+
+// Stats returns (snapshots created, verified, failures).
+func (s *Scheduler) Stats() (created, verified, failures int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.created, s.verified, s.failures
+}
+
+// Tick performs one monitoring pass over all shards, creating snapshots
+// where freshness is too stale. Run calls this on an interval; tests may
+// call it directly.
+func (s *Scheduler) Tick(ctx context.Context) {
+	s.mu.Lock()
+	shards := append([]Shard(nil), s.shards...)
+	s.mu.Unlock()
+	for _, sh := range shards {
+		tail := sh.Log.CommittedTail()
+		last, _, err := s.Offbox.Manager.LatestPos(sh.ShardID)
+		if err != nil {
+			s.countFailure()
+			continue
+		}
+		distance := tail.Seq - last.Seq
+		var size int64
+		if sh.DatasetSize != nil {
+			size = sh.DatasetSize()
+		}
+		if !s.Policy.Stale(distance, size) {
+			continue
+		}
+		if _, err := s.Offbox.Run(ctx, sh.ShardID, sh.Log); err != nil {
+			s.countFailure()
+			continue
+		}
+		s.mu.Lock()
+		s.created++
+		s.mu.Unlock()
+		if s.Verify {
+			if err := Verify(ctx, s.Offbox.Manager, sh.ShardID, sh.Log, s.Clock); err != nil {
+				s.countFailure()
+				continue
+			}
+			s.mu.Lock()
+			s.verified++
+			s.mu.Unlock()
+		}
+	}
+}
+
+func (s *Scheduler) countFailure() {
+	s.mu.Lock()
+	s.failures++
+	s.mu.Unlock()
+}
+
+// Run ticks until ctx is cancelled.
+func (s *Scheduler) Run(ctx context.Context) {
+	clk := s.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	interval := s.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-clk.After(interval):
+			s.Tick(ctx)
+		}
+	}
+}

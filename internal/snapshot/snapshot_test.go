@@ -1,0 +1,318 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/engine"
+	"memorydb/internal/s3"
+	"memorydb/internal/store"
+	"memorydb/internal/txlog"
+)
+
+func populatedEngine(t *testing.T) *engine.Engine {
+	t.Helper()
+	e := engine.New(clock.NewSim(time.Unix(1700000000, 0)))
+	for _, cmd := range [][]string{
+		{"SET", "str", "value"},
+		{"SET", "volatile", "v", "EX", "3600"},
+		{"HSET", "hash", "f1", "a", "f2", "b"},
+		{"RPUSH", "list", "x", "y"},
+		{"SADD", "set", "m1", "m2", "m3"},
+		{"ZADD", "zset", "1.5", "a", "-2", "b"},
+		{"XADD", "stream", "5-1", "f", "v"},
+		{"PFADD", "hll", "e1", "e2", "e3"},
+	} {
+		argv := make([][]byte, len(cmd))
+		for i, a := range cmd {
+			argv[i] = []byte(a)
+		}
+		if r := e.Exec(argv); r.Reply.IsError() {
+			t.Fatalf("%v: %v", cmd, r.Reply)
+		}
+	}
+	return e
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	e := populatedEngine(t)
+	meta := Meta{ShardID: "s1", EngineVersion: 2, LogPos: txlog.EntryID{Seq: 42}, LogChecksum: 0xabc}
+	var buf bytes.Buffer
+	if err := Write(&buf, e.DB(), meta); err != nil {
+		t.Fatal(err)
+	}
+	db, gotMeta, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMeta != meta {
+		t.Fatalf("meta = %+v, want %+v", gotMeta, meta)
+	}
+	if db.Len() != e.DB().Len() {
+		t.Fatalf("restored %d keys, want %d", db.Len(), e.DB().Len())
+	}
+	// Compare every object through engine probes.
+	restored := engine.New(clock.NewSim(time.Unix(1700000000, 0)))
+	restored.ResetDB(db)
+	for _, probe := range [][]string{
+		{"GET", "str"}, {"PTTL", "volatile"}, {"HGETALL", "hash"},
+		{"LRANGE", "list", "0", "-1"}, {"SMEMBERS", "set"},
+		{"ZRANGE", "zset", "0", "-1", "WITHSCORES"},
+		{"XRANGE", "stream", "-", "+"}, {"PFCOUNT", "hll"},
+	} {
+		argv := make([][]byte, len(probe))
+		for i, a := range probe {
+			argv[i] = []byte(a)
+		}
+		a := e.Exec(argv).Reply
+		b := restored.Exec(argv).Reply
+		if !a.Equal(b) {
+			t.Fatalf("%v: original %v, restored %v", probe, a, b)
+		}
+	}
+}
+
+func TestSnapshotDetectsCorruption(t *testing.T) {
+	e := populatedEngine(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, e.DB(), Meta{ShardID: "s1"}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip a byte in the body.
+	data[len(data)/2] ^= 0xff
+	if _, _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("corrupted snapshot accepted: %v", err)
+	}
+}
+
+func TestSnapshotRejectsTruncation(t *testing.T) {
+	e := populatedEngine(t)
+	var buf bytes.Buffer
+	Write(&buf, e.DB(), Meta{ShardID: "s1"})
+	data := buf.Bytes()
+	for _, n := range []int{0, 4, len(data) / 2, len(data) - 1} {
+		if _, _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestSnapshotRejectsBadMagic(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte("NOTASNAPSHOT....."))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestManagerLatestOrdering(t *testing.T) {
+	mgr := NewManager(s3.New(), "snaps")
+	db := store.NewDB()
+	for _, seq := range []uint64{5, 100, 20} {
+		meta := Meta{ShardID: "s1", LogPos: txlog.EntryID{Seq: seq}}
+		if err := mgr.Save(db, meta); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, meta, ok, err := mgr.Latest("s1")
+	if err != nil || !ok {
+		t.Fatalf("Latest: %v %v", ok, err)
+	}
+	if meta.LogPos.Seq != 100 {
+		t.Fatalf("Latest picked seq %d, want 100 (zero-padded key ordering)", meta.LogPos.Seq)
+	}
+	pos, ok, _ := mgr.LatestPos("s1")
+	if !ok || pos.Seq != 100 {
+		t.Fatalf("LatestPos = %v %v", pos, ok)
+	}
+	if _, _, ok, _ := mgr.Latest("other-shard"); ok {
+		t.Fatal("Latest for unknown shard reported ok")
+	}
+}
+
+// buildLoggedShard appends n SET commands to a log through an engine and
+// returns (log, engine) — a minimal primary stand-in for offbox tests.
+func buildLoggedShard(t *testing.T, n int) (*txlog.Log, *engine.Engine) {
+	t.Helper()
+	svc := txlog.NewService(txlog.Config{})
+	log, _ := svc.CreateLog("s1")
+	e := engine.New(clock.NewReal())
+	after := txlog.ZeroID
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		res := e.Exec([][]byte{[]byte("SET"), []byte("k" + string(rune('a'+i%26))), []byte{byte('0' + i%10)}})
+		payload := engine.EncodeRecord(res.Effects)
+		id, err := log.Append(ctx, after, txlog.Entry{Type: txlog.EntryData, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = id
+	}
+	return log, e
+}
+
+func TestOffboxSnapshotAndRestore(t *testing.T) {
+	log, primary := buildLoggedShard(t, 40)
+	mgr := NewManager(s3.New(), "snaps")
+	ob := &Offbox{Manager: mgr, EngineVersion: 2}
+	ctx := context.Background()
+	meta, err := ob.Run(ctx, "s1", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.LogPos != log.CommittedTail() {
+		t.Fatalf("snapshot pos %v, tail %v", meta.LogPos, log.CommittedTail())
+	}
+	db, gotMeta, ok, err := mgr.Latest("s1")
+	if err != nil || !ok {
+		t.Fatalf("Latest: %v %v", ok, err)
+	}
+	if gotMeta.LogChecksum == 0 {
+		t.Fatal("snapshot did not record the running log checksum")
+	}
+	if db.Len() != primary.DB().Len() {
+		t.Fatalf("offbox snapshot has %d keys, primary %d", db.Len(), primary.DB().Len())
+	}
+}
+
+func TestOffboxIncrementalFromPreviousSnapshot(t *testing.T) {
+	log, _ := buildLoggedShard(t, 10)
+	mgr := NewManager(s3.New(), "snaps")
+	ob := &Offbox{Manager: mgr, EngineVersion: 2}
+	ctx := context.Background()
+	if _, err := ob.Run(ctx, "s1", log); err != nil {
+		t.Fatal(err)
+	}
+	// More writes, then a second snapshot that starts from the first.
+	e := engine.New(clock.NewReal())
+	after := log.CommittedTail()
+	res := e.Exec([][]byte{[]byte("SET"), []byte("extra"), []byte("v")})
+	if _, err := log.Append(ctx, after, txlog.Entry{Type: txlog.EntryData, Payload: engine.EncodeRecord(res.Effects)}); err != nil {
+		t.Fatal(err)
+	}
+	meta2, err := ob.Run(ctx, "s1", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.LogPos != log.CommittedTail() {
+		t.Fatalf("second snapshot pos %v", meta2.LogPos)
+	}
+	db, _, _, _ := mgr.Latest("s1")
+	if _, ok := db.Peek("extra"); !ok {
+		t.Fatal("second snapshot missing suffix write")
+	}
+}
+
+func TestVerifyAcceptsGoodSnapshot(t *testing.T) {
+	log, _ := buildLoggedShard(t, 30)
+	mgr := NewManager(s3.New(), "snaps")
+	ob := &Offbox{Manager: mgr, EngineVersion: 2}
+	ctx := context.Background()
+	if _, err := ob.Run(ctx, "s1", log); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ctx, mgr, "s1", log, nil); err != nil {
+		t.Fatalf("Verify rejected a good snapshot: %v", err)
+	}
+}
+
+func TestVerifyRejectsTamperedSnapshot(t *testing.T) {
+	log, _ := buildLoggedShard(t, 30)
+	mgr := NewManager(s3.New(), "snaps")
+	ob := &Offbox{Manager: mgr, EngineVersion: 2}
+	ctx := context.Background()
+	meta, err := ob.Run(ctx, "s1", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replace the stored snapshot with one claiming the same position
+	// but different content (well-formed, wrong data) — the log-checksum
+	// gate must catch it.
+	bad := engine.New(clock.NewReal())
+	bad.Exec([][]byte{[]byte("SET"), []byte("evil"), []byte("data")})
+	var buf bytes.Buffer
+	if err := Write(&buf, bad.DB(), Meta{ShardID: "s1", LogPos: meta.LogPos, LogChecksum: 0xbad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.SaveRaw("s1", meta.LogPos, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ctx, mgr, "s1", log, nil); err == nil {
+		t.Fatal("Verify accepted a snapshot whose checksum does not match its log prefix")
+	}
+}
+
+func TestVerifyChecksumEntriesDuringReplay(t *testing.T) {
+	// Build a log with primary-injected checksum entries and snapshot at
+	// an early position so Verify replays across them.
+	svc := txlog.NewService(txlog.Config{})
+	log, _ := svc.CreateLog("s1")
+	e := engine.New(clock.NewReal())
+	ctx := context.Background()
+	after := txlog.ZeroID
+	var running uint64
+	for i := 0; i < 20; i++ {
+		res := e.Exec([][]byte{[]byte("SET"), []byte{byte('a' + i%26)}, []byte("v")})
+		payload := engine.EncodeRecord(res.Effects)
+		id, err := log.Append(ctx, after, txlog.Entry{Type: txlog.EntryData, Payload: payload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = id
+		running = txlog.ChainChecksum(running, payload)
+		if i%5 == 4 {
+			id, err = log.Append(ctx, after, txlog.Entry{Type: txlog.EntryChecksum, Payload: txlog.EncodeChecksumPayload(running)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			after = id
+		}
+	}
+	mgr := NewManager(s3.New(), "snaps")
+	// Snapshot at position zero: empty dataset, checksum 0.
+	if err := mgr.Save(store.NewDB(), Meta{ShardID: "s1", LogPos: txlog.ZeroID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(ctx, mgr, "s1", log, nil); err != nil {
+		t.Fatalf("Verify with checksum entries: %v", err)
+	}
+}
+
+func TestSchedulerPolicy(t *testing.T) {
+	p := DefaultPolicy()
+	if p.Stale(0, 1<<30) {
+		t.Fatal("zero distance must not be stale")
+	}
+	if !p.Stale(p.MaxLogDistance+1, 0) {
+		t.Fatal("distance over limit must be stale")
+	}
+	// Dominance rule: long replay over a small dataset.
+	if !p.Stale(9000, 1024) {
+		t.Fatal("replay-dominant restore must trigger a snapshot")
+	}
+}
+
+func TestSchedulerTickCreatesAndVerifies(t *testing.T) {
+	log, e := buildLoggedShard(t, 50)
+	mgr := NewManager(s3.New(), "snaps")
+	sched := &Scheduler{
+		Policy: Policy{MaxLogDistance: 10},
+		Offbox: &Offbox{Manager: mgr, EngineVersion: 2},
+		Verify: true,
+	}
+	sched.AddShard(Shard{ShardID: "s1", Log: log, DatasetSize: func() int64 { return e.DB().UsedBytes() }})
+	sched.Tick(context.Background())
+	created, verified, failures := sched.Stats()
+	if created != 1 || verified != 1 || failures != 0 {
+		t.Fatalf("stats = %d %d %d", created, verified, failures)
+	}
+	// Fresh snapshot: second tick does nothing.
+	sched.Tick(context.Background())
+	created, _, _ = sched.Stats()
+	if created != 1 {
+		t.Fatalf("second tick created another snapshot (created=%d)", created)
+	}
+}

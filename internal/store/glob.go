@@ -1,0 +1,99 @@
+package store
+
+// GlobMatch implements Redis's stringmatchlen glob: '*' any sequence, '?'
+// any single character, '[a-z]' character classes with '^' negation, and
+// '\' escapes.
+func GlobMatch(pattern, s string) bool {
+	p, si := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		if p < len(pattern) {
+			switch pattern[p] {
+			case '*':
+				starP, starS = p, si
+				p++
+				continue
+			case '?':
+				p++
+				si++
+				continue
+			case '[':
+				if end, ok := matchClass(pattern, p, s[si]); ok {
+					p = end
+					si++
+					continue
+				}
+			case '\\':
+				if p+1 < len(pattern) && pattern[p+1] == s[si] {
+					p += 2
+					si++
+					continue
+				}
+			default:
+				if pattern[p] == s[si] {
+					p++
+					si++
+					continue
+				}
+			}
+		}
+		if starP >= 0 {
+			starS++
+			si = starS
+			p = starP + 1
+			continue
+		}
+		return false
+	}
+	for p < len(pattern) && pattern[p] == '*' {
+		p++
+	}
+	return p == len(pattern)
+}
+
+// matchClass matches c against the class starting at pattern[p]=='['.
+// Returns the index just past ']' and whether c matched.
+func matchClass(pattern string, p int, c byte) (int, bool) {
+	i := p + 1
+	neg := false
+	if i < len(pattern) && pattern[i] == '^' {
+		neg = true
+		i++
+	}
+	matched := false
+	first := true
+	for i < len(pattern) && (pattern[i] != ']' || first) {
+		first = false
+		if pattern[i] == '\\' && i+1 < len(pattern) {
+			i++
+			if pattern[i] == c {
+				matched = true
+			}
+			i++
+			continue
+		}
+		if i+2 < len(pattern) && pattern[i+1] == '-' && pattern[i+2] != ']' {
+			lo, hi := pattern[i], pattern[i+2]
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if lo <= c && c <= hi {
+				matched = true
+			}
+			i += 3
+			continue
+		}
+		if pattern[i] == c {
+			matched = true
+		}
+		i++
+	}
+	if i >= len(pattern) {
+		return p, false // unterminated class: treat as literal mismatch
+	}
+	i++ // skip ']'
+	if neg {
+		matched = !matched
+	}
+	return i, matched
+}

@@ -1,0 +1,51 @@
+package store
+
+import "testing"
+
+func TestGlobMatch(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"*", "", true},
+		{"*", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"a?c", "abc", true},
+		{"a?c", "ac", false},
+		{"a*c", "ac", true},
+		{"a*c", "abbbc", true},
+		{"a*c", "abbbd", false},
+		{"*.log", "app.log", true},
+		{"*.log", "app.txt", false},
+		{"user:*", "user:42", true},
+		{"u*r:*", "user:42", true},
+		{"[abc]x", "bx", true},
+		{"[abc]x", "dx", false},
+		{"[a-c]x", "bx", true},
+		{"[a-c]x", "dx", false},
+		{"[^a-c]x", "dx", true},
+		{"[^a-c]x", "bx", false},
+		{`\*x`, "*x", true},
+		{`\*x`, "ax", false},
+		{"a**b", "ab", true},
+		{"a**b", "axyzb", true},
+		{"*a*a*", "aa", true},
+		{"*a*a*", "a", false},
+		{"[]x", "]x", false}, // first ']' is literal member of class
+		{"[]]x", "]x", true},
+	}
+	for _, c := range cases {
+		if got := GlobMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("GlobMatch(%q, %q) = %v, want %v", c.pattern, c.s, got, c.want)
+		}
+	}
+}
+
+func TestGlobUnterminatedClass(t *testing.T) {
+	if GlobMatch("[abc", "a") {
+		t.Fatal("unterminated class must not match")
+	}
+}

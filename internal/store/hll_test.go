@@ -1,0 +1,106 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestHLLEmpty(t *testing.T) {
+	h := NewHLL()
+	if !IsHLL(h) {
+		t.Fatal("fresh HLL not recognized")
+	}
+	n, err := HLLCount(h)
+	if err != nil || n != 0 {
+		t.Fatalf("count = %d err %v", n, err)
+	}
+}
+
+func TestHLLAddChanges(t *testing.T) {
+	h := NewHLL()
+	changed, err := HLLAdd(h, []byte("a"))
+	if err != nil || !changed {
+		t.Fatalf("first add: changed=%v err=%v", changed, err)
+	}
+	changed, _ = HLLAdd(h, []byte("a"))
+	if changed {
+		t.Fatal("re-adding the same element must not change registers")
+	}
+}
+
+func TestHLLErrorBound(t *testing.T) {
+	// Standard error is ~0.81% at 2^14 registers; allow 3 sigma.
+	for _, n := range []int{100, 1000, 100000} {
+		h := NewHLL()
+		for i := 0; i < n; i++ {
+			HLLAdd(h, []byte(fmt.Sprintf("element-%d", i)))
+		}
+		got, err := HLLCount(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relErr := math.Abs(float64(got)-float64(n)) / float64(n)
+		if relErr > 0.03 {
+			t.Errorf("n=%d: estimate %d, relative error %.3f > 3%%", n, got, relErr)
+		}
+	}
+}
+
+func TestHLLMerge(t *testing.T) {
+	a, b := NewHLL(), NewHLL()
+	for i := 0; i < 5000; i++ {
+		HLLAdd(a, []byte(fmt.Sprintf("a-%d", i)))
+		HLLAdd(b, []byte(fmt.Sprintf("b-%d", i)))
+	}
+	if err := HLLMerge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := HLLCount(a)
+	relErr := math.Abs(float64(got)-10000) / 10000
+	if relErr > 0.03 {
+		t.Fatalf("merged estimate %d, relative error %.3f", got, relErr)
+	}
+}
+
+func TestHLLMergeIdempotent(t *testing.T) {
+	a, b := NewHLL(), NewHLL()
+	for i := 0; i < 1000; i++ {
+		HLLAdd(a, []byte(fmt.Sprintf("x-%d", i)))
+		HLLAdd(b, []byte(fmt.Sprintf("x-%d", i))) // same elements
+	}
+	before, _ := HLLCount(a)
+	HLLMerge(a, b)
+	after, _ := HLLCount(a)
+	if before != after {
+		t.Fatalf("merging identical sets changed the estimate: %d -> %d", before, after)
+	}
+}
+
+func TestHLLRejectsGarbage(t *testing.T) {
+	if IsHLL([]byte("not an hll")) {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := HLLCount([]byte("junk")); err == nil {
+		t.Fatal("count on junk succeeded")
+	}
+	if _, err := HLLAdd([]byte("junk"), []byte("x")); err == nil {
+		t.Fatal("add on junk succeeded")
+	}
+	if err := HLLMerge(NewHLL(), []byte("junk")); err == nil {
+		t.Fatal("merge with junk succeeded")
+	}
+}
+
+func TestHLLRegisterPacking(t *testing.T) {
+	h := NewHLL()
+	// Write every register with a distinct 6-bit value and read back.
+	for i := 0; i < hllRegisters; i++ {
+		hllSetRegister(h, i, uint8(i%64))
+	}
+	for i := 0; i < hllRegisters; i++ {
+		if got := hllGetRegister(h, i); got != uint8(i%64) {
+			t.Fatalf("register %d = %d, want %d", i, got, i%64)
+		}
+	}
+}

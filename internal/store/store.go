@@ -1,0 +1,351 @@
+// Package store implements the in-memory data structures of the execution
+// engine: strings, hashes, lists, sets, sorted sets (skiplist), streams and
+// HyperLogLogs, with per-key TTLs and a slot index used by cluster
+// resharding. The store is not internally synchronized: like Redis, a
+// single engine workloop owns it (package engine).
+package store
+
+import (
+	"time"
+
+	"memorydb/internal/crc16"
+)
+
+// Kind enumerates value types.
+type Kind uint8
+
+// Value kinds stored in the keyspace.
+const (
+	KindNone Kind = iota
+	KindString
+	KindHash
+	KindList
+	KindSet
+	KindZSet
+	KindStream
+)
+
+// String returns the Redis TYPE name for k.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindHash:
+		return "hash"
+	case KindList:
+		return "list"
+	case KindSet:
+		return "set"
+	case KindZSet:
+		return "zset"
+	case KindStream:
+		return "stream"
+	}
+	return "none"
+}
+
+// Object is a single keyspace value. Exactly one of the typed fields is
+// populated, according to Kind. HyperLogLogs are stored as KindString with
+// the dense HLL representation in Str, matching Redis.
+type Object struct {
+	Kind   Kind
+	Str    []byte
+	Hash   map[string][]byte
+	Set    map[string]struct{}
+	List   *List
+	ZSet   *ZSet
+	Stream *Stream
+}
+
+// SizeOf estimates the in-memory footprint of o in bytes. The estimate
+// feeds maxmemory accounting and the memsim fork/COW model.
+func (o *Object) SizeOf() int64 {
+	const overhead = 48
+	switch o.Kind {
+	case KindString:
+		return overhead + int64(len(o.Str))
+	case KindHash:
+		var n int64
+		for f, v := range o.Hash {
+			n += int64(len(f)+len(v)) + 64
+		}
+		return overhead + n
+	case KindSet:
+		var n int64
+		for m := range o.Set {
+			n += int64(len(m)) + 48
+		}
+		return overhead + n
+	case KindList:
+		return overhead + o.List.MemUsage()
+	case KindZSet:
+		return overhead + o.ZSet.MemUsage()
+	case KindStream:
+		return overhead + o.Stream.MemUsage()
+	}
+	return overhead
+}
+
+// DB is the keyspace: a flat map of keys to objects, expirations in unix
+// milliseconds, and a per-slot key index maintained for slot migration.
+type DB struct {
+	data    map[string]*Object
+	expires map[string]int64 // unix ms; present only for volatile keys
+	slots   [crc16.NumSlots]map[string]struct{}
+
+	usedBytes int64 // running footprint estimate
+	dirty     int64 // mutations since last snapshot
+}
+
+// NewDB returns an empty keyspace.
+func NewDB() *DB {
+	return &DB{
+		data:    make(map[string]*Object),
+		expires: make(map[string]int64),
+	}
+}
+
+// Len returns the number of live keys (including not-yet-reaped expired
+// keys; callers that need exactness should sweep first).
+func (db *DB) Len() int { return len(db.data) }
+
+// UsedBytes returns the running memory footprint estimate.
+func (db *DB) UsedBytes() int64 { return db.usedBytes }
+
+// Dirty returns the number of mutations applied since the last ResetDirty.
+func (db *DB) Dirty() int64 { return db.dirty }
+
+// ResetDirty zeroes the dirty counter (called after a snapshot).
+func (db *DB) ResetDirty() { db.dirty = 0 }
+
+// MarkDirty records n logical mutations.
+func (db *DB) MarkDirty(n int64) { db.dirty += n }
+
+// Lookup returns the object at key if present and not expired at now.
+// Expired keys are lazily reaped (caller is the engine workloop, so this
+// mutation is safe). The reaped flag reports whether a lazy expiry
+// happened, which the engine must replicate as a deterministic delete.
+func (db *DB) Lookup(key string, now time.Time) (obj *Object, reaped bool) {
+	o, ok := db.data[key]
+	if !ok {
+		return nil, false
+	}
+	if exp, ok := db.expires[key]; ok && exp <= now.UnixMilli() {
+		db.remove(key)
+		return nil, true
+	}
+	return o, false
+}
+
+// Peek returns the object at key without expiry processing.
+func (db *DB) Peek(key string) (*Object, bool) {
+	o, ok := db.data[key]
+	return o, ok
+}
+
+// Set stores obj at key, replacing any previous value and clearing any TTL
+// (matching SET semantics; commands that preserve TTL must re-arm it).
+func (db *DB) Set(key string, obj *Object) {
+	db.remove(key)
+	db.data[key] = obj
+	db.usedBytes += int64(len(key)) + obj.SizeOf()
+	slot := crc16.Slot(key)
+	if db.slots[slot] == nil {
+		db.slots[slot] = make(map[string]struct{})
+	}
+	db.slots[slot][key] = struct{}{}
+	db.dirty++
+}
+
+// SetKeepTTL stores obj at key preserving an existing expiration.
+func (db *DB) SetKeepTTL(key string, obj *Object) {
+	exp, hadTTL := db.expires[key]
+	db.Set(key, obj)
+	if hadTTL {
+		db.expires[key] = exp
+	}
+}
+
+// Touch bumps the dirty counter after an in-place mutation of key's
+// object. Callers that changed the footprint pair it with AdjustUsed.
+func (db *DB) Touch(key string) {
+	db.dirty++
+}
+
+// AdjustUsed applies a footprint delta after an in-place mutation.
+func (db *DB) AdjustUsed(delta int64) {
+	db.usedBytes += delta
+	if db.usedBytes < 0 {
+		db.usedBytes = 0
+	}
+}
+
+// Delete removes key, returning whether it existed (expired keys count as
+// absent at now).
+func (db *DB) Delete(key string, now time.Time) bool {
+	if _, ok := db.data[key]; !ok {
+		return false
+	}
+	if exp, ok := db.expires[key]; ok && exp <= now.UnixMilli() {
+		db.remove(key)
+		return false
+	}
+	db.remove(key)
+	db.dirty++
+	return true
+}
+
+func (db *DB) remove(key string) {
+	o, ok := db.data[key]
+	if !ok {
+		return
+	}
+	db.usedBytes -= int64(len(key)) + o.SizeOf()
+	if db.usedBytes < 0 {
+		db.usedBytes = 0
+	}
+	delete(db.data, key)
+	delete(db.expires, key)
+	slot := crc16.Slot(key)
+	if s := db.slots[slot]; s != nil {
+		delete(s, key)
+	}
+}
+
+// Expire sets the expiration of key to at (unix ms). Returns false if the
+// key does not exist.
+func (db *DB) Expire(key string, at int64, now time.Time) bool {
+	if o, _ := db.Lookup(key, now); o == nil {
+		return false
+	}
+	if at <= now.UnixMilli() {
+		db.remove(key)
+		db.dirty++
+		return true
+	}
+	db.expires[key] = at
+	db.dirty++
+	return true
+}
+
+// Persist removes the TTL from key; reports whether a TTL was removed.
+func (db *DB) Persist(key string, now time.Time) bool {
+	if o, _ := db.Lookup(key, now); o == nil {
+		return false
+	}
+	if _, ok := db.expires[key]; !ok {
+		return false
+	}
+	delete(db.expires, key)
+	db.dirty++
+	return true
+}
+
+// TTL returns the remaining lifetime of key at now.
+// ok=false: key missing. hasTTL=false: key exists but is persistent.
+func (db *DB) TTL(key string, now time.Time) (d time.Duration, hasTTL, ok bool) {
+	if o, _ := db.Lookup(key, now); o == nil {
+		return 0, false, false
+	}
+	exp, has := db.expires[key]
+	if !has {
+		return 0, false, true
+	}
+	return time.Duration(exp-now.UnixMilli()) * time.Millisecond, true, true
+}
+
+// ExpireAt returns the raw expiration (unix ms) for key, if any.
+func (db *DB) ExpireAt(key string) (int64, bool) {
+	e, ok := db.expires[key]
+	return e, ok
+}
+
+// Keys returns all live keys at now matching the glob pattern.
+func (db *DB) Keys(pattern string, now time.Time) []string {
+	var out []string
+	nowMs := now.UnixMilli()
+	for k := range db.data {
+		if exp, ok := db.expires[k]; ok && exp <= nowMs {
+			continue
+		}
+		if GlobMatch(pattern, k) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// SlotKeys returns up to limit keys stored in slot (limit<=0: all).
+func (db *DB) SlotKeys(slot uint16, limit int) []string {
+	s := db.slots[slot]
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// SlotCount returns the number of keys in slot.
+func (db *DB) SlotCount(slot uint16) int { return len(db.slots[slot]) }
+
+// SweepExpired removes up to limit keys whose TTL has passed at now and
+// returns them. The engine replicates each as a delete so that replicas and
+// the transaction log observe deterministic expiry.
+func (db *DB) SweepExpired(now time.Time, limit int) []string {
+	nowMs := now.UnixMilli()
+	var out []string
+	for k, exp := range db.expires {
+		if exp <= nowMs {
+			db.remove(k)
+			out = append(out, k)
+			if len(out) >= limit {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ForEach visits every live key/object pair at now. Iteration order is the
+// map order (unspecified). The callback must not mutate the keyspace.
+func (db *DB) ForEach(now time.Time, fn func(key string, obj *Object, expireAt int64) bool) {
+	nowMs := now.UnixMilli()
+	for k, o := range db.data {
+		exp, has := db.expires[k]
+		if has && exp <= nowMs {
+			continue
+		}
+		if !has {
+			exp = 0
+		}
+		if !fn(k, o, exp) {
+			return
+		}
+	}
+}
+
+// Flush drops the entire keyspace.
+func (db *DB) Flush() {
+	db.data = make(map[string]*Object)
+	db.expires = make(map[string]int64)
+	for i := range db.slots {
+		db.slots[i] = nil
+	}
+	db.usedBytes = 0
+	db.dirty++
+}
+
+// RandomKey returns an arbitrary live key at now, or "" if empty.
+func (db *DB) RandomKey(now time.Time) (string, bool) {
+	nowMs := now.UnixMilli()
+	for k := range db.data {
+		if exp, ok := db.expires[k]; ok && exp <= nowMs {
+			continue
+		}
+		return k, true
+	}
+	return "", false
+}

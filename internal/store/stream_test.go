@@ -1,0 +1,119 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestStreamIDParse(t *testing.T) {
+	cases := []struct {
+		in     string
+		defSeq uint64
+		want   StreamID
+		err    bool
+	}{
+		{"5-3", 0, StreamID{5, 3}, false},
+		{"5", 7, StreamID{5, 7}, false},
+		{"-", 0, StreamID{}, false},
+		{"+", 0, StreamID{^uint64(0), ^uint64(0)}, false},
+		{"abc", 0, StreamID{}, true},
+		{"5-x", 0, StreamID{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseStreamID(c.in, c.defSeq)
+		if (err != nil) != c.err {
+			t.Errorf("ParseStreamID(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseStreamID(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStreamIDOrdering(t *testing.T) {
+	a := StreamID{1, 5}
+	b := StreamID{2, 0}
+	c := StreamID{2, 1}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("ordering broken")
+	}
+	if n := a.Next(); n != (StreamID{1, 6}) {
+		t.Fatalf("Next = %v", n)
+	}
+	if n := (StreamID{1, ^uint64(0)}).Next(); n != (StreamID{2, 0}) {
+		t.Fatalf("Next overflow = %v", n)
+	}
+}
+
+func TestStreamAutoIDs(t *testing.T) {
+	s := NewStream()
+	id1, err := s.Add(StreamID{}, true, 100, [][]byte{[]byte("f"), []byte("v")})
+	if err != nil || id1 != (StreamID{100, 0}) {
+		t.Fatalf("id1 = %v err %v", id1, err)
+	}
+	// Same millisecond: sequence increments.
+	id2, _ := s.Add(StreamID{}, true, 100, [][]byte{[]byte("f"), []byte("v")})
+	if id2 != (StreamID{100, 1}) {
+		t.Fatalf("id2 = %v", id2)
+	}
+	// Clock going backwards still yields a larger ID.
+	id3, _ := s.Add(StreamID{}, true, 50, [][]byte{[]byte("f"), []byte("v")})
+	if !id2.Less(id3) {
+		t.Fatalf("id3 = %v not after %v", id3, id2)
+	}
+}
+
+func TestStreamExplicitIDMustIncrease(t *testing.T) {
+	s := NewStream()
+	if _, err := s.Add(StreamID{5, 0}, false, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Add(StreamID{5, 0}, false, 0, nil); !errors.Is(err, ErrStreamIDTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Add(StreamID{4, 9}, false, 0, nil); !errors.Is(err, ErrStreamIDTooSmall) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStreamRangeAndAfter(t *testing.T) {
+	s := NewStream()
+	for i := uint64(1); i <= 5; i++ {
+		s.Add(StreamID{i, 0}, false, 0, [][]byte{[]byte("n"), []byte{byte('0' + i)}})
+	}
+	got := s.Range(StreamID{2, 0}, StreamID{4, 0}, 0)
+	if len(got) != 3 || got[0].ID.Ms != 2 || got[2].ID.Ms != 4 {
+		t.Fatalf("Range = %v", got)
+	}
+	if got := s.Range(StreamID{}, StreamID{^uint64(0), 0}, 2); len(got) != 2 {
+		t.Fatalf("count-limited Range = %v", got)
+	}
+	after := s.After(StreamID{3, 0}, 0)
+	if len(after) != 2 || after[0].ID.Ms != 4 {
+		t.Fatalf("After = %v", after)
+	}
+}
+
+func TestStreamTrimAndDelete(t *testing.T) {
+	s := NewStream()
+	for i := uint64(1); i <= 10; i++ {
+		s.Add(StreamID{i, 0}, false, 0, [][]byte{[]byte("f"), []byte("v")})
+	}
+	if removed := s.TrimMaxLen(4); removed != 6 {
+		t.Fatalf("TrimMaxLen removed %d", removed)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// LastID survives trims.
+	if s.LastID() != (StreamID{10, 0}) {
+		t.Fatalf("LastID = %v", s.LastID())
+	}
+	if !s.Delete(StreamID{8, 0}) || s.Delete(StreamID{8, 0}) {
+		t.Fatal("Delete semantics broken")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len after delete = %d", s.Len())
+	}
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestZSetAddUpdateRemove(t *testing.T) {
+	z := NewZSet()
+	if !z.Add("a", 1) {
+		t.Fatal("first Add must report new")
+	}
+	if z.Add("a", 2) {
+		t.Fatal("update must not report new")
+	}
+	if s, ok := z.Score("a"); !ok || s != 2 {
+		t.Fatalf("Score = %v %v", s, ok)
+	}
+	if !z.Remove("a") || z.Remove("a") {
+		t.Fatal("Remove semantics broken")
+	}
+	if z.Len() != 0 {
+		t.Fatalf("Len = %d", z.Len())
+	}
+}
+
+func TestZSetRankAndRange(t *testing.T) {
+	z := NewZSet()
+	z.Add("c", 3)
+	z.Add("a", 1)
+	z.Add("b", 2)
+	for i, m := range []string{"a", "b", "c"} {
+		r, ok := z.Rank(m)
+		if !ok || r != i {
+			t.Fatalf("Rank(%s) = %d %v, want %d", m, r, ok, i)
+		}
+	}
+	es := z.Range(0, -1)
+	if len(es) != 3 || es[0].Member != "a" || es[2].Member != "c" {
+		t.Fatalf("Range = %v", es)
+	}
+	rev := z.RevRange(0, 1)
+	if len(rev) != 2 || rev[0].Member != "c" || rev[1].Member != "b" {
+		t.Fatalf("RevRange = %v", rev)
+	}
+}
+
+func TestZSetTieBreakByMember(t *testing.T) {
+	z := NewZSet()
+	z.Add("b", 1)
+	z.Add("a", 1)
+	es := z.Range(0, -1)
+	if es[0].Member != "a" || es[1].Member != "b" {
+		t.Fatalf("equal scores must order by member: %v", es)
+	}
+}
+
+func TestZSetScoreRange(t *testing.T) {
+	z := NewZSet()
+	for i := 1; i <= 10; i++ {
+		z.Add(fmt.Sprintf("m%02d", i), float64(i))
+	}
+	es := z.ScoreRange(3, 7, false, false, 0, -1)
+	if len(es) != 5 || es[0].Score != 3 || es[4].Score != 7 {
+		t.Fatalf("ScoreRange = %v", es)
+	}
+	// Exclusive bounds.
+	es = z.ScoreRange(3, 7, true, true, 0, -1)
+	if len(es) != 3 || es[0].Score != 4 || es[2].Score != 6 {
+		t.Fatalf("exclusive ScoreRange = %v", es)
+	}
+	// Offset + limit.
+	es = z.ScoreRange(NegInf, PosInf, false, false, 2, 3)
+	if len(es) != 3 || es[0].Score != 3 {
+		t.Fatalf("offset/limit ScoreRange = %v", es)
+	}
+}
+
+func TestZSetCount(t *testing.T) {
+	z := NewZSet()
+	for i := 0; i < 10; i++ {
+		z.Add(fmt.Sprintf("m%d", i), float64(i))
+	}
+	if got := z.Count(2, 5, false, false); got != 4 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := z.Count(NegInf, PosInf, false, false); got != 10 {
+		t.Fatalf("Count all = %d", got)
+	}
+}
+
+func TestZSetPopMinMax(t *testing.T) {
+	z := NewZSet()
+	for i := 0; i < 5; i++ {
+		z.Add(fmt.Sprintf("m%d", i), float64(i))
+	}
+	min := z.PopMin(2)
+	if len(min) != 2 || min[0].Score != 0 || min[1].Score != 1 {
+		t.Fatalf("PopMin = %v", min)
+	}
+	max := z.PopMax(2)
+	if len(max) != 2 || max[0].Score != 4 || max[1].Score != 3 {
+		t.Fatalf("PopMax = %v", max)
+	}
+	if z.Len() != 1 {
+		t.Fatalf("Len = %d", z.Len())
+	}
+}
+
+func TestZSetIncrBy(t *testing.T) {
+	z := NewZSet()
+	if s := z.IncrBy("m", 2.5); s != 2.5 {
+		t.Fatalf("IncrBy new = %v", s)
+	}
+	if s := z.IncrBy("m", -1); s != 1.5 {
+		t.Fatalf("IncrBy = %v", s)
+	}
+}
+
+func TestZSetNegativeRangeIndices(t *testing.T) {
+	z := NewZSet()
+	for i := 0; i < 5; i++ {
+		z.Add(fmt.Sprintf("m%d", i), float64(i))
+	}
+	es := z.Range(-2, -1)
+	if len(es) != 2 || es[0].Member != "m3" {
+		t.Fatalf("Range(-2,-1) = %v", es)
+	}
+	if es := z.Range(3, 1); es != nil {
+		t.Fatalf("inverted range must be empty, got %v", es)
+	}
+	if es := z.Range(10, 20); es != nil {
+		t.Fatalf("out-of-bounds range must be empty, got %v", es)
+	}
+}
+
+// Property: the skiplist agrees with a sorted-slice reference model under
+// random interleavings of add/update/remove.
+func TestZSetMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewZSet()
+	ref := map[string]float64{}
+	for step := 0; step < 5000; step++ {
+		m := fmt.Sprintf("m%d", rng.Intn(50))
+		switch rng.Intn(3) {
+		case 0, 1:
+			s := float64(rng.Intn(100))
+			z.Add(m, s)
+			ref[m] = s
+		case 2:
+			z.Remove(m)
+			delete(ref, m)
+		}
+	}
+	if z.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref %d", z.Len(), len(ref))
+	}
+	type pair struct {
+		m string
+		s float64
+	}
+	want := make([]pair, 0, len(ref))
+	for m, s := range ref {
+		want = append(want, pair{m, s})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].s != want[j].s {
+			return want[i].s < want[j].s
+		}
+		return want[i].m < want[j].m
+	})
+	got := z.Range(0, -1)
+	for i := range want {
+		if got[i].Member != want[i].m || got[i].Score != want[i].s {
+			t.Fatalf("position %d: got %v want %v", i, got[i], want[i])
+		}
+		if r, _ := z.Rank(want[i].m); r != i {
+			t.Fatalf("Rank(%s) = %d, want %d", want[i].m, r, i)
+		}
+	}
+}
+
+// Property: rank is always the number of entries strictly less than the
+// member's (score, member) pair.
+func TestZSetRankQuick(t *testing.T) {
+	f := func(scores []uint8) bool {
+		z := NewZSet()
+		for i, s := range scores {
+			z.Add(fmt.Sprintf("m%03d", i), float64(s%16))
+		}
+		es := z.Range(0, -1)
+		for i, e := range es {
+			if r, ok := z.Rank(e.Member); !ok || r != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZSetAdd(b *testing.B) {
+	z := NewZSet()
+	members := make([]string, 1024)
+	for i := range members {
+		members[i] = fmt.Sprintf("member-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Add(members[i%1024], float64(i))
+	}
+}
+
+func BenchmarkZSetRank(b *testing.B) {
+	z := NewZSet()
+	for i := 0; i < 10000; i++ {
+		z.Add(fmt.Sprintf("member-%d", i), float64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Rank(fmt.Sprintf("member-%d", i%10000))
+	}
+}

@@ -1,0 +1,172 @@
+// Package tracker implements MemoryDB's client-blocking layer (paper
+// §3.2). Because MemoryDB uses write-behind logging, a mutation executes
+// on the primary before it is durable; its reply is stored here until the
+// transaction log acknowledges persistence. Non-mutating operations run
+// immediately but must consult the tracker: if a key they read was
+// modified by a not-yet-persisted operation, their reply is delayed until
+// every covering log write commits. Hazards are detected at the key level.
+package tracker
+
+import (
+	"sync"
+)
+
+// Tracker gates replies on transaction log commit progress. It is safe
+// for concurrent use: the engine workloop registers writes and reads, and
+// log-append completion goroutines report commits.
+type Tracker struct {
+	mu sync.Mutex
+	// hazards maps key -> highest pending log seq that mutated it.
+	hazards map[string]uint64
+	// pending holds gated replies in ascending seq order (seqs are
+	// assigned monotonically by the log, so appends keep it sorted).
+	pending []gated
+	// committed is the durable watermark: every seq <= committed has been
+	// acknowledged by the log.
+	committed uint64
+	aborted   bool
+}
+
+type gated struct {
+	seq     uint64
+	deliver func(aborted bool)
+}
+
+// New returns an empty tracker with the durable watermark at start
+// (usually the log's committed tail when the node became primary).
+func New(start uint64) *Tracker {
+	return &Tracker{hazards: make(map[string]uint64), committed: start}
+}
+
+// RegisterWrite records that the mutation covered by log seq touched keys,
+// and gates its reply until seq commits. deliver is invoked exactly once —
+// immediately if seq is somehow already durable, else on Commit or Abort
+// (aborted=true means the write never became durable and the client must
+// see an error, not the buffered reply).
+func (t *Tracker) RegisterWrite(seq uint64, keys []string, deliver func(aborted bool)) {
+	t.mu.Lock()
+	if t.aborted {
+		t.mu.Unlock()
+		deliver(true)
+		return
+	}
+	for _, k := range keys {
+		if cur, ok := t.hazards[k]; !ok || cur < seq {
+			t.hazards[k] = seq
+		}
+	}
+	if seq <= t.committed {
+		t.mu.Unlock()
+		deliver(false)
+		return
+	}
+	t.insertLocked(gated{seq: seq, deliver: deliver})
+	t.mu.Unlock()
+}
+
+// GateRead delivers a read reply as soon as every key it observed is
+// durable: immediately when none of keys carries a pending hazard,
+// otherwise once the highest covering seq commits.
+func (t *Tracker) GateRead(keys []string, deliver func(aborted bool)) {
+	t.mu.Lock()
+	if t.aborted {
+		t.mu.Unlock()
+		deliver(true)
+		return
+	}
+	var maxSeq uint64
+	for _, k := range keys {
+		if seq, ok := t.hazards[k]; ok {
+			if seq <= t.committed {
+				delete(t.hazards, k) // lazily clear stale hazards
+				continue
+			}
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+		}
+	}
+	if maxSeq == 0 {
+		t.mu.Unlock()
+		deliver(false)
+		return
+	}
+	t.insertLocked(gated{seq: maxSeq, deliver: deliver})
+	t.mu.Unlock()
+}
+
+// insertLocked keeps pending sorted by seq. Appends are the common case;
+// reads gated at an older seq need an insertion scan from the tail.
+func (t *Tracker) insertLocked(g gated) {
+	i := len(t.pending)
+	for i > 0 && t.pending[i-1].seq > g.seq {
+		i--
+	}
+	t.pending = append(t.pending, gated{})
+	copy(t.pending[i+1:], t.pending[i:])
+	t.pending[i] = g
+}
+
+// Commit advances the durable watermark to seq (the log commits in order,
+// so acknowledgement of seq implies everything below it) and delivers all
+// replies gated at or below it.
+func (t *Tracker) Commit(seq uint64) {
+	t.mu.Lock()
+	if seq <= t.committed || t.aborted {
+		t.mu.Unlock()
+		return
+	}
+	t.committed = seq
+	var release []gated
+	i := 0
+	for ; i < len(t.pending) && t.pending[i].seq <= seq; i++ {
+		release = append(release, t.pending[i])
+	}
+	t.pending = t.pending[i:]
+	// Opportunistically shed stale hazards to bound the map.
+	if len(t.hazards) > 1024 {
+		for k, s := range t.hazards {
+			if s <= t.committed {
+				delete(t.hazards, k)
+			}
+		}
+	}
+	t.mu.Unlock()
+	for _, g := range release {
+		g.deliver(false)
+	}
+}
+
+// Abort fails every gated reply: the node lost the ability to commit
+// (partition, demotion) so unacknowledged writes must not be exposed.
+// Subsequent registrations also deliver aborted until the tracker is
+// replaced (a demoted node resynchronizes with fresh state).
+func (t *Tracker) Abort() {
+	t.mu.Lock()
+	if t.aborted {
+		t.mu.Unlock()
+		return
+	}
+	t.aborted = true
+	release := t.pending
+	t.pending = nil
+	t.hazards = make(map[string]uint64)
+	t.mu.Unlock()
+	for _, g := range release {
+		g.deliver(true)
+	}
+}
+
+// Committed returns the durable watermark.
+func (t *Tracker) Committed() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.committed
+}
+
+// PendingCount returns the number of gated replies (metrics/tests).
+func (t *Tracker) PendingCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}

@@ -1,0 +1,195 @@
+package tracker
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWriteReleasedOnCommit(t *testing.T) {
+	trk := New(0)
+	got := make(chan bool, 1)
+	trk.RegisterWrite(1, []string{"k"}, func(aborted bool) { got <- aborted })
+	select {
+	case <-got:
+		t.Fatal("reply released before commit")
+	default:
+	}
+	trk.Commit(1)
+	if aborted := <-got; aborted {
+		t.Fatal("committed write delivered as aborted")
+	}
+}
+
+func TestAlreadyDurableWriteDeliversImmediately(t *testing.T) {
+	trk := New(5)
+	got := make(chan bool, 1)
+	trk.RegisterWrite(3, []string{"k"}, func(aborted bool) { got <- aborted })
+	select {
+	case aborted := <-got:
+		if aborted {
+			t.Fatal("aborted")
+		}
+	default:
+		t.Fatal("seq below watermark not delivered immediately")
+	}
+}
+
+func TestReadOnCleanKeyImmediate(t *testing.T) {
+	trk := New(0)
+	got := make(chan bool, 1)
+	trk.GateRead([]string{"clean"}, func(aborted bool) { got <- aborted })
+	select {
+	case <-got:
+	default:
+		t.Fatal("clean read was gated")
+	}
+}
+
+func TestReadOnHazardedKeyWaitsForCoveringCommit(t *testing.T) {
+	trk := New(0)
+	wrote := make(chan bool, 1)
+	trk.RegisterWrite(1, []string{"k"}, func(bool) { wrote <- true })
+	read := make(chan bool, 1)
+	trk.GateRead([]string{"k"}, func(aborted bool) { read <- aborted })
+	select {
+	case <-read:
+		t.Fatal("hazarded read released before commit")
+	default:
+	}
+	trk.Commit(1)
+	<-wrote
+	if aborted := <-read; aborted {
+		t.Fatal("read aborted after commit")
+	}
+}
+
+func TestReadGatesOnHighestCoveringSeq(t *testing.T) {
+	trk := New(0)
+	trk.RegisterWrite(1, []string{"k"}, func(bool) {})
+	trk.RegisterWrite(2, []string{"k"}, func(bool) {})
+	read := make(chan bool, 1)
+	trk.GateRead([]string{"k"}, func(aborted bool) { read <- aborted })
+	trk.Commit(1)
+	select {
+	case <-read:
+		t.Fatal("read released at seq 1, but key was re-dirtied at seq 2")
+	default:
+	}
+	trk.Commit(2)
+	<-read
+}
+
+func TestReadOnOtherKeyNotGated(t *testing.T) {
+	trk := New(0)
+	trk.RegisterWrite(1, []string{"a"}, func(bool) {})
+	read := make(chan bool, 1)
+	trk.GateRead([]string{"b"}, func(aborted bool) { read <- aborted })
+	select {
+	case <-read:
+	default:
+		t.Fatal("read on unrelated key was gated (hazards must be key-level)")
+	}
+}
+
+func TestMultiKeyReadGatesOnAnyHazard(t *testing.T) {
+	trk := New(0)
+	trk.RegisterWrite(3, []string{"b"}, func(bool) {})
+	read := make(chan bool, 1)
+	trk.GateRead([]string{"a", "b", "c"}, func(aborted bool) { read <- aborted })
+	select {
+	case <-read:
+		t.Fatal("multi-key read missed the hazard on b")
+	default:
+	}
+	trk.Commit(3)
+	<-read
+}
+
+func TestCommitAdvancesWatermarkMonotonically(t *testing.T) {
+	trk := New(0)
+	var order []uint64
+	var mu sync.Mutex
+	for seq := uint64(1); seq <= 5; seq++ {
+		s := seq
+		trk.RegisterWrite(s, nil, func(bool) {
+			mu.Lock()
+			order = append(order, s)
+			mu.Unlock()
+		})
+	}
+	trk.Commit(3) // releases 1..3 in order
+	trk.Commit(2) // no-op (stale)
+	trk.Commit(5)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 5 {
+		t.Fatalf("released %d, want 5", len(order))
+	}
+	for i, s := range order {
+		if s != uint64(i+1) {
+			t.Fatalf("release order %v", order)
+		}
+	}
+	if trk.Committed() != 5 {
+		t.Fatalf("watermark = %d", trk.Committed())
+	}
+}
+
+func TestAbortFailsAllPendingAndFuture(t *testing.T) {
+	trk := New(0)
+	w := make(chan bool, 1)
+	r := make(chan bool, 1)
+	trk.RegisterWrite(1, []string{"k"}, func(aborted bool) { w <- aborted })
+	trk.GateRead([]string{"k"}, func(aborted bool) { r <- aborted })
+	trk.Abort()
+	if !<-w || !<-r {
+		t.Fatal("pending replies not aborted")
+	}
+	// Registrations after abort fail immediately.
+	after := make(chan bool, 1)
+	trk.RegisterWrite(2, nil, func(aborted bool) { after <- aborted })
+	if !<-after {
+		t.Fatal("post-abort registration not failed")
+	}
+	afterRead := make(chan bool, 1)
+	trk.GateRead([]string{"k"}, func(aborted bool) { afterRead <- aborted })
+	if !<-afterRead {
+		t.Fatal("post-abort read not failed")
+	}
+}
+
+func TestAbortIdempotent(t *testing.T) {
+	trk := New(0)
+	trk.Abort()
+	trk.Abort()
+}
+
+func TestPendingCount(t *testing.T) {
+	trk := New(0)
+	trk.RegisterWrite(1, nil, func(bool) {})
+	trk.RegisterWrite(2, nil, func(bool) {})
+	if trk.PendingCount() != 2 {
+		t.Fatalf("PendingCount = %d", trk.PendingCount())
+	}
+	trk.Commit(1)
+	if trk.PendingCount() != 1 {
+		t.Fatalf("PendingCount after commit = %d", trk.PendingCount())
+	}
+}
+
+func TestConcurrentCommitAndRegister(t *testing.T) {
+	trk := New(0)
+	const n = 2000
+	var delivered sync.WaitGroup
+	delivered.Add(n)
+	go func() {
+		for seq := uint64(1); seq <= n; seq++ {
+			trk.Commit(seq)
+		}
+	}()
+	for seq := uint64(1); seq <= n; seq++ {
+		trk.RegisterWrite(seq, []string{"k"}, func(bool) { delivered.Done() })
+	}
+	trk.Commit(n) // in case registrations outran the committer
+	delivered.Wait()
+}

@@ -1,0 +1,130 @@
+package txlog
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property: under arbitrary interleavings of appends from multiple
+// writers each using its own view of the tail, the committed log is a
+// single totally ordered sequence with no gaps and exactly one entry per
+// successful append.
+func TestQuickSingleTotalOrder(t *testing.T) {
+	f := func(writerOps [4]uint8) bool {
+		svc := NewService(Config{})
+		l, _ := svc.CreateLog("q")
+		ctx := context.Background()
+		var mu sync.Mutex
+		successes := 0
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			ops := int(writerOps[w]%8) + 1
+			wg.Add(1)
+			go func(w, ops int) {
+				defer wg.Done()
+				after := ZeroID
+				for i := 0; i < ops; i++ {
+					id, err := l.Append(ctx, after, Entry{Type: EntryData, Payload: []byte{byte(w)}})
+					if err == nil {
+						after = id
+						mu.Lock()
+						successes++
+						mu.Unlock()
+					} else if errors.Is(err, ErrConditionFailed) {
+						// Refresh the view and retry from the real tail,
+						// like a campaigning replica would.
+						after = l.CommittedTail()
+					} else {
+						return
+					}
+				}
+			}(w, ops)
+		}
+		wg.Wait()
+		tail := l.CommittedTail()
+		if tail.Seq != uint64(successes) {
+			return false
+		}
+		// Every committed entry is readable, in sequence, exactly once.
+		r := l.NewReader(ZeroID)
+		for seq := uint64(1); seq <= tail.Seq; seq++ {
+			e, ok, err := r.TryNext()
+			if err != nil || !ok || e.ID.Seq != seq {
+				return false
+			}
+		}
+		_, ok, _ := r.TryNext()
+		return !ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the running checksum equals a fold of ChainChecksum over the
+// data payloads in commit order, for any payload set.
+func TestQuickChecksumFold(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		if len(payloads) > 50 {
+			payloads = payloads[:50]
+		}
+		svc := NewService(Config{})
+		l, _ := svc.CreateLog("q")
+		ctx := context.Background()
+		after := ZeroID
+		want := uint64(0)
+		for _, p := range payloads {
+			id, err := l.Append(ctx, after, Entry{Type: EntryData, Payload: p})
+			if err != nil {
+				return false
+			}
+			after = id
+			want = ChainChecksum(want, p)
+		}
+		_, got := l.RunningChecksum()
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trimming at any committed position preserves ChecksumAt for
+// every retained position.
+func TestQuickTrimPreservesChecksums(t *testing.T) {
+	f := func(n, cut uint8) bool {
+		entries := int(n%20) + 2
+		svc := NewService(Config{})
+		l, _ := svc.CreateLog("q")
+		ctx := context.Background()
+		after := ZeroID
+		sums := make(map[uint64]uint64)
+		for i := 0; i < entries; i++ {
+			id, err := l.Append(ctx, after, Entry{Type: EntryData, Payload: []byte{byte(i)}})
+			if err != nil {
+				return false
+			}
+			after = id
+			s, err := l.ChecksumAt(id)
+			if err != nil {
+				return false
+			}
+			sums[id.Seq] = s
+		}
+		trimAt := uint64(int(cut)%entries) + 1
+		l.Trim(EntryID{Seq: trimAt})
+		for seq := trimAt; seq <= uint64(entries); seq++ {
+			got, err := l.ChecksumAt(EntryID{Seq: seq})
+			if err != nil || got != sums[seq] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

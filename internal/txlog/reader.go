@@ -1,0 +1,73 @@
+package txlog
+
+import "context"
+
+// Reader is a tailing cursor over a log's committed entries. Replicas hold
+// one reader each and stream the replication records into their engine.
+type Reader struct {
+	log *Log
+	pos uint64 // Seq of the last entry returned
+}
+
+// NewReader returns a reader positioned after from (pass ZeroID to read
+// from the beginning, or a snapshot's log position to replay the suffix).
+func (l *Log) NewReader(from EntryID) *Reader {
+	return &Reader{log: l, pos: from.Seq}
+}
+
+// Position returns the ID of the last entry this reader consumed.
+func (r *Reader) Position() EntryID { return EntryID{Seq: r.pos} }
+
+// CaughtUp reports whether the reader has consumed every committed entry —
+// the control signal that makes a replica eligible for promotion (§4.1.2).
+func (r *Reader) CaughtUp() bool {
+	return r.pos >= r.log.CommittedTail().Seq
+}
+
+// TryNext returns the next committed entry without blocking.
+func (r *Reader) TryNext() (Entry, bool, error) {
+	l := r.log
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r.pos < l.baseSeq {
+		return Entry{}, false, ErrTrimmed
+	}
+	if r.pos >= l.committed {
+		return Entry{}, false, nil
+	}
+	e := l.entries[r.pos-l.baseSeq]
+	r.pos = e.ID.Seq
+	e.Epoch = e.EpochValue()
+	return e, true, nil
+}
+
+// Next blocks until a committed entry past the cursor is available, the
+// context is cancelled, or the log is destroyed.
+func (r *Reader) Next(ctx context.Context) (Entry, error) {
+	for {
+		l := r.log
+		l.mu.Lock()
+		if r.pos < l.baseSeq {
+			l.mu.Unlock()
+			return Entry{}, ErrTrimmed
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return Entry{}, ErrNoSuchLog
+		}
+		if r.pos < l.committed {
+			e := l.entries[r.pos-l.baseSeq]
+			r.pos = e.ID.Seq
+			l.mu.Unlock()
+			e.Epoch = e.EpochValue()
+			return e, nil
+		}
+		wake := l.commitWake
+		l.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return Entry{}, ctx.Err()
+		}
+	}
+}

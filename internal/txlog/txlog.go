@@ -1,0 +1,482 @@
+// Package txlog implements the internal durable transaction log service
+// MemoryDB offloads durability to (paper §3). The service hosts one log per
+// shard. Each log offers the conditional-append API the paper builds
+// leader election and fencing on: every entry has a unique identifier and
+// an append must name the identifier of the entry it intends to follow;
+// appends are acknowledged only once durably committed to a quorum of
+// simulated Availability Zones.
+//
+// The real AWS service is an existing, battle-tested internally replicated
+// system; MemoryDB consumes only its API surface. We therefore model the
+// service as internally reliable — entries, once assigned, always commit
+// after the quorum latency — and inject failures at the client boundary
+// (partitions, service unavailability, latency spikes), which is exactly
+// where MemoryDB observes them.
+package txlog
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"sync"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/netsim"
+)
+
+// EntryID uniquely identifies a log entry. Seq 0 is the sentinel "before
+// the first entry": appending with After == ZeroID targets an empty log.
+type EntryID struct {
+	Seq uint64
+}
+
+// ZeroID is the position before the first entry.
+var ZeroID = EntryID{}
+
+// Less orders entry IDs.
+func (id EntryID) Less(o EntryID) bool { return id.Seq < o.Seq }
+
+// String renders the ID for logs and errors.
+func (id EntryID) String() string { return fmt.Sprintf("e%d", id.Seq) }
+
+// EntryType tags the meaning of an entry's payload.
+type EntryType uint8
+
+// Entry types used by MemoryDB atop the log.
+const (
+	// EntryData carries a chunk of the intercepted replication stream
+	// (RESP-encoded effect commands).
+	EntryData EntryType = iota
+	// EntryLeadership is a leader-claim record (§4.1.1).
+	EntryLeadership
+	// EntryLease is a periodic lease renewal / heartbeat (§4.1.3, §4.2).
+	EntryLease
+	// EntryChecksum is an injected running checksum of the log prefix,
+	// used by snapshot verification (§7.2.1).
+	EntryChecksum
+	// EntrySlot carries 2-phase-commit slot ownership messages (§5.2).
+	EntrySlot
+	// EntryControl carries other control-plane messages.
+	EntryControl
+)
+
+// String names the entry type.
+func (t EntryType) String() string {
+	switch t {
+	case EntryData:
+		return "data"
+	case EntryLeadership:
+		return "leadership"
+	case EntryLease:
+		return "lease"
+	case EntryChecksum:
+		return "checksum"
+	case EntrySlot:
+		return "slot"
+	case EntryControl:
+		return "control"
+	}
+	return "unknown"
+}
+
+// Entry is one committed log record.
+type Entry struct {
+	ID   EntryID
+	Type EntryType
+	// Epoch is the leadership epoch of the writer. Leadership entries
+	// carry the epoch being claimed.
+	Epoch uint64
+	// EngineVersion tags which engine version produced the record, for
+	// the upgrade protection mechanism (§7.1).
+	EngineVersion uint32
+	Payload       []byte
+}
+
+// Errors returned by the log.
+var (
+	// ErrConditionFailed reports that After did not name the current tail
+	// — another writer appended first. This is the fencing primitive.
+	ErrConditionFailed = errors.New("txlog: conditional append failed: not at tail")
+	// ErrUnavailable reports that the caller cannot reach the service
+	// (partition or injected outage).
+	ErrUnavailable = errors.New("txlog: service unavailable")
+	// ErrNoSuchLog reports an unknown shard log.
+	ErrNoSuchLog = errors.New("txlog: no such log")
+	// ErrTrimmed reports a read from a position older than the trim point.
+	ErrTrimmed = errors.New("txlog: position trimmed")
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Config parameterizes the service.
+type Config struct {
+	// Clock drives latency simulation. Defaults to the wall clock.
+	Clock clock.Clock
+	// CommitLatency models the quorum commit across AZs (time from append
+	// to durable acknowledgement). Defaults to zero.
+	CommitLatency netsim.LatencyModel
+	// AZCount is the number of availability zones entries are copied to;
+	// informational plus used by AZCopies. Defaults to 3.
+	AZCount int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.CommitLatency == nil {
+		c.CommitLatency = netsim.Zero{}
+	}
+	if c.AZCount == 0 {
+		c.AZCount = 3
+	}
+	return c
+}
+
+// Service hosts one transaction log per shard.
+type Service struct {
+	cfg  Config
+	mu   sync.Mutex
+	logs map[string]*Log
+	down netsim.Flag // whole-service outage injection
+}
+
+// NewService returns an empty log service.
+func NewService(cfg Config) *Service {
+	return &Service{cfg: cfg.withDefaults(), logs: make(map[string]*Log)}
+}
+
+// SetUnavailable injects (or clears) a whole-service outage.
+func (s *Service) SetUnavailable(down bool) { s.down.Set(down) }
+
+// CreateLog provisions the log for shardID. Creating an existing log is an
+// error (resharding must use fresh shard IDs).
+func (s *Service) CreateLog(shardID string) (*Log, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.logs[shardID]; ok {
+		return nil, fmt.Errorf("txlog: log %q already exists", shardID)
+	}
+	l := newLog(s, shardID)
+	s.logs[shardID] = l
+	return l, nil
+}
+
+// Log returns the log for shardID.
+func (s *Service) Log(shardID string) (*Log, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.logs[shardID]
+	return l, ok
+}
+
+// DeleteLog destroys the log for shardID (end of a scale-in, §5.2).
+func (s *Service) DeleteLog(shardID string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.logs[shardID]
+	if !ok {
+		return ErrNoSuchLog
+	}
+	l.closeAll()
+	delete(s.logs, shardID)
+	return nil
+}
+
+// Log is one shard's transaction log.
+type Log struct {
+	svc     *Service
+	shardID string
+
+	mu        sync.Mutex
+	baseSeq   uint64   // entries[i] has Seq baseSeq+1+i
+	entries   []Entry  // committed + assigned entries (committed prefix visible)
+	cums      []uint64 // cums[i] = running checksum after committing entries[i]
+	assigned  uint64   // highest assigned Seq
+	committed uint64   // highest committed Seq (visible watermark)
+	// commitWake is closed and replaced each time the watermark advances.
+	commitWake chan struct{}
+
+	// Running checksum over committed data-entry payloads, chained CRC64.
+	checksum      uint64
+	baseChecksum  uint64 // checksum at the trim point
+	currentEpoch  uint64
+	azCopies      int64 // total (entry × AZ) durable copies, for tests/metrics
+	appendsFailed netsim.Flag
+	closed        bool
+}
+
+func newLog(s *Service, shardID string) *Log {
+	return &Log{svc: s, shardID: shardID, commitWake: make(chan struct{})}
+}
+
+// ShardID returns the owning shard's ID.
+func (l *Log) ShardID() string { return l.shardID }
+
+// FailAppends injects (or clears) append failures for this log only.
+func (l *Log) FailAppends(on bool) { l.appendsFailed.Set(on) }
+
+// Pending is an assigned-but-possibly-not-yet-durable append. The entry
+// is guaranteed to commit (the service is internally reliable); Wait
+// blocks until it is durable in a quorum of AZs.
+type Pending struct {
+	id   EntryID
+	done chan struct{}
+}
+
+// ID returns the assigned entry ID.
+func (p *Pending) ID() EntryID { return p.id }
+
+// Wait blocks until the entry is durably committed or ctx is cancelled.
+// A cancelled wait does not abort the append: the entry still commits —
+// mirroring a timed-out client whose write nevertheless persisted.
+func (p *Pending) Wait(ctx context.Context) (EntryID, error) {
+	select {
+	case <-p.done:
+		return p.id, nil
+	case <-ctx.Done():
+		return p.id, ctx.Err()
+	}
+}
+
+// StartAppend atomically validates the precondition and assigns the next
+// entry ID, returning a Pending handle for the durable acknowledgement.
+// Assignment is synchronous and cheap, so a primary can pipeline appends
+// by chaining after = previous Pending's ID without waiting for commits.
+// A stale after (not the current tail) fails with ErrConditionFailed —
+// the primitive that fences stale writers and arbitrates leadership
+// claims (§4.1.1, §4.1.2).
+func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
+	if l.svc.down.On() || l.appendsFailed.On() {
+		return nil, ErrUnavailable
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, ErrNoSuchLog
+	}
+	if after.Seq != l.assigned {
+		l.mu.Unlock()
+		return nil, ErrConditionFailed
+	}
+	if e.Type == EntryLeadership {
+		// Leadership claims must move the epoch forward; the log enforces
+		// monotonicity so a delayed duplicate claim cannot regress it.
+		if e.Epoch <= l.currentEpoch {
+			l.mu.Unlock()
+			return nil, ErrConditionFailed
+		}
+		l.currentEpoch = e.Epoch
+	}
+	l.assigned++
+	e.ID = EntryID{Seq: l.assigned}
+	l.entries = append(l.entries, e)
+	l.cums = append(l.cums, 0)
+	p := &Pending{id: e.ID, done: make(chan struct{})}
+	clk, lat := l.svc.cfg.Clock, l.svc.cfg.CommitLatency
+	l.mu.Unlock()
+
+	go func() {
+		// Quorum commit: the append is durable after the slower of the
+		// two fastest AZ acknowledgements; the latency model captures
+		// that as a single draw.
+		if d := lat.Sample(); d > 0 {
+			<-clk.After(d)
+		}
+		l.commitEntry(p.id)
+		// Acknowledgement implies the whole prefix is durable: hold the
+		// done signal until the in-order watermark covers this entry
+		// (timers of earlier entries may still be running).
+		l.waitCommitted(p.id.Seq)
+		close(p.done)
+	}()
+	return p, nil
+}
+
+// waitCommitted blocks until the committed watermark reaches seq.
+func (l *Log) waitCommitted(seq uint64) {
+	for {
+		l.mu.Lock()
+		if l.committed >= seq || l.closed {
+			l.mu.Unlock()
+			return
+		}
+		wake := l.commitWake
+		l.mu.Unlock()
+		<-wake
+	}
+}
+
+// Append is StartAppend followed by Wait: it blocks for the quorum commit
+// latency and returns the assigned ID once the entry is durable.
+func (l *Log) Append(ctx context.Context, after EntryID, e Entry) (EntryID, error) {
+	p, err := l.StartAppend(after, e)
+	if err != nil {
+		return ZeroID, err
+	}
+	return p.Wait(ctx)
+}
+
+func (l *Log) commitEntry(id EntryID) {
+	l.mu.Lock()
+	// Commits apply in ID order: mark this entry committable and advance
+	// the watermark over any in-order committable prefix.
+	idx := int(id.Seq - l.baseSeq - 1)
+	if idx >= 0 && idx < len(l.entries) {
+		l.entries[idx].committedMark()
+	}
+	advanced := false
+	for int(l.committed-l.baseSeq) < len(l.entries) {
+		i := l.committed - l.baseSeq
+		next := &l.entries[i]
+		if !next.isCommitted() {
+			break
+		}
+		l.committed++
+		advanced = true
+		l.azCopies += int64(l.svc.cfg.AZCount)
+		if next.Type == EntryData {
+			l.checksum = crc64.Update(l.checksum, crcTable, next.Payload)
+		}
+		l.cums[i] = l.checksum
+	}
+	if advanced {
+		close(l.commitWake)
+		l.commitWake = make(chan struct{})
+	}
+	l.mu.Unlock()
+}
+
+// committedMark / isCommitted piggyback on Epoch's high bit to avoid a
+// parallel bookkeeping slice. Epochs are far below 2^62 in practice.
+const committedBit = uint64(1) << 63
+
+func (e *Entry) committedMark() { e.Epoch |= committedBit }
+func (e *Entry) isCommitted() bool {
+	return e.Epoch&committedBit != 0
+}
+
+// EpochValue returns the writer epoch without the internal committed bit.
+func (e Entry) EpochValue() uint64 { return e.Epoch &^ committedBit }
+
+// ChainChecksum extends a running log checksum with one more data-entry
+// payload. The primary uses this to maintain its local running checksum,
+// which it periodically injects into the log as an EntryChecksum (§7.2.1).
+func ChainChecksum(sum uint64, payload []byte) uint64 {
+	return crc64.Update(sum, crcTable, payload)
+}
+
+// EncodeChecksumPayload renders a running checksum as an EntryChecksum
+// payload.
+func EncodeChecksumPayload(sum uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, sum)
+	return b
+}
+
+// DecodeChecksumPayload parses an EntryChecksum payload.
+func DecodeChecksumPayload(b []byte) uint64 {
+	if len(b) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// CommittedTail returns the ID of the last committed (reader-visible)
+// entry; ZeroID when empty.
+func (l *Log) CommittedTail() EntryID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return EntryID{Seq: l.committed}
+}
+
+// AssignedTail returns the ID a new append must follow. For a caught-up
+// writer this equals CommittedTail.
+func (l *Log) AssignedTail() EntryID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return EntryID{Seq: l.assigned}
+}
+
+// CurrentEpoch returns the highest leadership epoch ever claimed.
+func (l *Log) CurrentEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.currentEpoch
+}
+
+// RunningChecksum returns the committed tail and the running CRC64 of all
+// committed data payloads up to it.
+func (l *Log) RunningChecksum() (EntryID, uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return EntryID{Seq: l.committed}, l.checksum
+}
+
+// AZCopies returns the total number of durable (entry × AZ) copies made —
+// a metric tests use to assert multi-AZ replication happened.
+func (l *Log) AZCopies() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.azCopies
+}
+
+// Get returns the committed entry with the given ID.
+func (l *Log) Get(id EntryID) (Entry, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id.Seq <= l.baseSeq || id.Seq > l.committed {
+		return Entry{}, false
+	}
+	e := l.entries[id.Seq-l.baseSeq-1]
+	e.Epoch = e.EpochValue()
+	return e, true
+}
+
+// ChecksumAt returns the running checksum as of committed entry id (the
+// checksum over all committed data payloads with Seq <= id.Seq). Fails for
+// trimmed or uncommitted positions.
+func (l *Log) ChecksumAt(id EntryID) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if id.Seq < l.baseSeq {
+		return 0, ErrTrimmed
+	}
+	if id.Seq == l.baseSeq {
+		return l.baseChecksum, nil
+	}
+	if id.Seq > l.committed {
+		return 0, fmt.Errorf("txlog: %v not committed", id)
+	}
+	return l.cums[id.Seq-l.baseSeq-1], nil
+}
+
+// Trim discards entries at or before upTo, recording the checksum at the
+// trim point so verification of later prefixes still works. Reads from
+// trimmed positions fail with ErrTrimmed; recovery must start from a
+// snapshot at or after the trim point.
+func (l *Log) Trim(upTo EntryID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if upTo.Seq <= l.baseSeq {
+		return
+	}
+	if upTo.Seq > l.committed {
+		upTo.Seq = l.committed
+	}
+	drop := int(upTo.Seq - l.baseSeq)
+	l.baseChecksum = l.cums[drop-1]
+	l.entries = append([]Entry(nil), l.entries[drop:]...)
+	l.cums = append([]uint64(nil), l.cums[drop:]...)
+	l.baseSeq = upTo.Seq
+}
+
+func (l *Log) closeAll() {
+	l.mu.Lock()
+	l.closed = true
+	close(l.commitWake)
+	l.commitWake = make(chan struct{})
+	l.mu.Unlock()
+}
