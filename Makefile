@@ -1,0 +1,26 @@
+# Tier-1 verification gate: everything a change must pass before merge.
+# `make check` = vet + build + full test suite, then a race-detector pass
+# over the packages with the most cross-goroutine traffic (the node
+# workloop + group commit, the reply tracker, and the transaction log).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/tracker/ ./internal/txlog/
+
+# Regenerate the paper figures (long; not part of the tier-1 gate).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 2x .

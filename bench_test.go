@@ -180,6 +180,40 @@ func BenchmarkWriteBandwidth(b *testing.B) {
 	b.ReportMetric(total/float64(b.N), "MB/s")
 }
 
+// BenchmarkPipelinedWrites measures the group-commit ablation: write-only
+// pipelined load against a MemoryDB node with per-mutation appends
+// (batch=1, the pre-group-commit behavior) vs batched appends (default).
+// records_per_entry is read from the transaction log's own counters —
+// with batching enabled it must exceed 1 under this concurrency.
+func BenchmarkPipelinedWrites(b *testing.B) {
+	it := bench.R7g16xlarge
+	for _, mode := range []struct {
+		name  string
+		batch int
+	}{{"batch=1", 1}, {"batch=default", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ctx := context.Background()
+			t, err := bench.NewTargetBatch(bench.SystemMemoryDB, it, mode.batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer t.Close()
+			if err := t.Prefill(ctx, figureOpts.Prefill, bench.WorkloadWriteOnly.ValueBytes); err != nil {
+				b.Fatal(err)
+			}
+			var tput, rpe float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ps := bench.RunPipelined(ctx, t, bench.WorkloadWriteOnly, figureOpts.Clients, figureOpts.Duration)
+				tput += ps.Throughput
+				rpe += ps.RecordsPerEntry
+			}
+			b.ReportMetric(tput/float64(b.N), "ops/s")
+			b.ReportMetric(rpe/float64(b.N), "records_per_entry")
+		})
+	}
+}
+
 // --- Ablation benches (design choices called out in DESIGN.md) ---
 
 func newBenchNode(b *testing.B, commit netsim.LatencyModel, globalGate bool) *core.Node {

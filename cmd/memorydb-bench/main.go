@@ -9,6 +9,7 @@
 //	6   Redis BGSave under memory pressure (latency + throughput series)
 //	7   MemoryDB off-box snapshotting (flat series)
 //	bw  single-shard pipelined write bandwidth (~100 MB/s claim)
+//	gc  group-commit ablation (batched vs per-mutation log appends)
 //	all everything above
 package main
 
@@ -23,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw gc all")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per data point")
 	clients := flag.Int("clients", 256, "concurrent client connections")
 	prefill := flag.Int("prefill", 5000, "keys pre-filled before measuring")
@@ -70,6 +71,10 @@ func main() {
 			}
 			fmt.Printf("achieved %.1f MB/s (4 KiB values, pipeline depth 64)\n", mbps)
 			return nil
+		case "gc":
+			fmt.Println("== Group commit ablation: write-only throughput, batched vs per-mutation appends ==")
+			_, err := bench.FigureGroupCommit(ctx, opts, os.Stdout)
+			return err
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -77,7 +82,7 @@ func main() {
 
 	var names []string
 	if *fig == "all" {
-		names = []string{"4a", "4b", "5a", "5b", "5c", "6", "7", "bw"}
+		names = []string{"4a", "4b", "5a", "5b", "5c", "6", "7", "bw", "gc"}
 	} else {
 		names = []string{*fig}
 	}

@@ -138,6 +138,49 @@ func Figure7(out io.Writer) []memsim.Sample {
 	return samples
 }
 
+// FigureGroupCommit compares write-only throughput with group commit
+// enabled against per-mutation appends (MaxBatchRecords=1), reporting the
+// records-per-entry amortization the transaction log observed. This is the
+// ablation for the batched append path: with hundreds of closed-loop
+// writers, throughput is bounded by quorum round-trips, so coalescing K
+// records per entry recovers most of the K× gap to engine capacity.
+func FigureGroupCommit(ctx context.Context, opts Options, out io.Writer) ([]Row, error) {
+	var rows []Row
+	for _, mode := range []struct {
+		label string
+		batch int
+	}{
+		{"batch=1", 1},
+		{"batch=default", 0},
+	} {
+		t, err := NewTargetBatch(SystemMemoryDB, R7g16xlarge, mode.batch)
+		if err != nil {
+			return nil, err
+		}
+		if err := t.Prefill(ctx, opts.Prefill, WorkloadWriteOnly.ValueBytes); err != nil {
+			t.Close()
+			return nil, err
+		}
+		ps := RunPipelined(ctx, t, WorkloadWriteOnly, opts.Clients, opts.Duration)
+		t.Close()
+		row := Row{
+			Label: mode.label,
+			Values: map[string]float64{
+				"ops":               ps.Throughput,
+				"p50_ms":            float64(ps.P50) / 1e6,
+				"p99_ms":            float64(ps.P99) / 1e6,
+				"records_per_entry": ps.RecordsPerEntry,
+			},
+			Order: []string{"ops", "p50_ms", "p99_ms", "records_per_entry"},
+		}
+		rows = append(rows, row)
+		if out != nil {
+			fmt.Fprintln(out, row.Format())
+		}
+	}
+	return rows, nil
+}
+
 // WriteBandwidth measures the §6.1.2.1 claim that a single shard reaches
 // ~100 MB/s of write bandwidth with pipelining and large values: batched
 // (pipelined) SETs of valueBytes each are driven through the shard and

@@ -21,6 +21,7 @@ type Target struct {
 
 	node  *core.Node
 	bnode *baseline.Node
+	log   *txlog.Log
 
 	pacer     Pacer
 	readCost  time.Duration
@@ -37,8 +38,15 @@ func DefaultCommitLatency() netsim.LatencyModel {
 	return netsim.NewLogNormalish(2200*time.Microsecond, 500*time.Microsecond, 7)
 }
 
-// NewTarget builds a target for the given system and instance type.
+// NewTarget builds a target for the given system and instance type with
+// the default group-commit settings.
 func NewTarget(sys System, it InstanceType) (*Target, error) {
+	return NewTargetBatch(sys, it, 0)
+}
+
+// NewTargetBatch is NewTarget with an explicit group-commit batch cap for
+// the MemoryDB node (0 = core default, 1 = per-mutation legacy appends).
+func NewTargetBatch(sys System, it InstanceType, batch int) (*Target, error) {
 	t := &Target{Sys: sys, IT: it}
 	t.readCost = CostFor(Capacity(sys, OpRead, it))
 	t.writeCost = CostFor(Capacity(sys, OpWrite, it))
@@ -57,13 +65,15 @@ func NewTarget(sys System, it InstanceType) (*Target, error) {
 			ShardID: "bench-shard",
 			Log:     log,
 			Lease:   500 * time.Millisecond, Backoff: 650 * time.Millisecond,
-			RenewEvery: 100 * time.Millisecond,
+			RenewEvery:      100 * time.Millisecond,
+			MaxBatchRecords: batch,
 		})
 		if err != nil {
 			return nil, err
 		}
 		n.Start()
 		t.node = n
+		t.log = log
 		t.closers = append(t.closers, n.Stop)
 		deadline := time.Now().Add(5 * time.Second)
 		for n.Role() != election.RolePrimary {
@@ -79,6 +89,15 @@ func NewTarget(sys System, it InstanceType) (*Target, error) {
 		t.closers = append(t.closers, n.Stop)
 	}
 	return t, nil
+}
+
+// LogStats returns the transaction-log append counters (group-commit
+// observability); ok is false for targets without a log (Redis mode).
+func (t *Target) LogStats() (txlog.Stats, bool) {
+	if t.log == nil {
+		return txlog.Stats{}, false
+	}
+	return t.log.Stats(), true
 }
 
 // Close tears the target down.

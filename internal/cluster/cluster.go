@@ -34,6 +34,9 @@ type Config struct {
 	Lease, Backoff, RenewEvery, ReplicaPoll time.Duration
 	EngineVersion                           uint32
 	ChecksumEvery                           int
+	// MaxBatchRecords is forwarded to every node's group-commit buffer
+	// (0 = the core default; 1 disables batching).
+	MaxBatchRecords int
 }
 
 func (c Config) withDefaults() Config {
@@ -180,18 +183,19 @@ func (c *Cluster) addNode(sh *Shard) (*core.Node, error) {
 	c.nodeSeq++
 	c.mu.Unlock()
 	n, err := core.NewNode(core.Config{
-		NodeID:        nodeID,
-		ShardID:       sh.ID,
-		AZ:            az,
-		Log:           sh.Log,
-		Clock:         c.cfg.Clock,
-		EngineVersion: c.cfg.EngineVersion,
-		Lease:         c.cfg.Lease,
-		Backoff:       c.cfg.Backoff,
-		RenewEvery:    c.cfg.RenewEvery,
-		ReplicaPoll:   c.cfg.ReplicaPoll,
-		Snapshots:     c.cfg.Snapshots,
-		ChecksumEvery: c.cfg.ChecksumEvery,
+		NodeID:          nodeID,
+		ShardID:         sh.ID,
+		AZ:              az,
+		Log:             sh.Log,
+		Clock:           c.cfg.Clock,
+		EngineVersion:   c.cfg.EngineVersion,
+		Lease:           c.cfg.Lease,
+		Backoff:         c.cfg.Backoff,
+		RenewEvery:      c.cfg.RenewEvery,
+		ReplicaPoll:     c.cfg.ReplicaPoll,
+		Snapshots:       c.cfg.Snapshots,
+		ChecksumEvery:   c.cfg.ChecksumEvery,
+		MaxBatchRecords: c.cfg.MaxBatchRecords,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"memorydb/internal/election"
+	"memorydb/internal/engine"
+	"memorydb/internal/resp"
+	"memorydb/internal/txlog"
+)
+
+// Group commit (write batching). The paper's write path acknowledges a
+// mutation only after its log entry commits to a quorum of AZs (§3.2), so
+// naive per-mutation appends bound write throughput by one quorum
+// round-trip per command. Group commit amortizes the round-trip: while an
+// append is in flight the workloop keeps executing queued mutations and
+// accumulates their effect records here; when the in-flight append
+// acknowledges — or a records/bytes cap is hit — the buffer is flushed as
+// ONE EntryData whose payload is the concatenation of every buffered
+// record, and a single tracker.Commit releases every reply gated on it.
+//
+// Correctness invariants:
+//   - A mutation's reply is withheld until its covering entry commits
+//     (buffered replies are registered with the tracker at flush, all at
+//     the batch entry's seq).
+//   - Reads that observed a buffered-but-unflushed mutation gate on the
+//     batch itself (the workloop tracks the buffer's dirty-key set), so
+//     undurable data is never exposed even before a seq exists.
+//   - A failed flush demotes the node and fails every buffered reply —
+//     exactly like a failed per-mutation append.
+//   - Non-data appends (lease renewals, checksums, control records) flush
+//     the buffer first, so the log order of entries always matches the
+//     workloop execution order.
+
+// gatedReply is one client reply parked in the group-commit buffer.
+type gatedReply struct {
+	keys []string // dirty keys (mutations only; nil for gated reads)
+	val  resp.Value
+	send func(v resp.Value)
+}
+
+// groupCommit is the workloop-owned batching buffer.
+type groupCommit struct {
+	payload []byte       // concatenated effect records for the next entry
+	records int          // logical records in payload
+	writes  []gatedReply // mutation replies awaiting flush
+	reads   []gatedReply // reads/barriers gated on this batch
+	keys    map[string]struct{}
+	// inflight counts flushed-but-unacknowledged data appends. Written by
+	// append-waiter goroutines, read by the workloop (hence atomic —
+	// everything else in this struct is workloop-only).
+	inflight atomic.Int64
+}
+
+// pending reports whether the buffer holds anything to flush or gate on.
+func (g *groupCommit) pending() bool { return g.records > 0 }
+
+// touchesAny reports whether any of keys was dirtied by a buffered
+// mutation.
+func (g *groupCommit) touchesAny(keys []string) bool {
+	if len(g.keys) == 0 {
+		return false
+	}
+	for _, k := range keys {
+		if _, ok := g.keys[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *groupCommit) reset() {
+	// The flushed payload slice is owned by the log entry now; start a
+	// fresh one rather than reusing the backing array.
+	g.payload = nil
+	g.records = 0
+	g.writes = g.writes[:0]
+	g.reads = g.reads[:0]
+	clear(g.keys)
+}
+
+// bufferMutation parks an executed mutation's effects and reply in the
+// batch. The engine already applied the mutation locally; visibility to
+// other clients is controlled by the read-gating below, and the reply is
+// withheld until the batch entry commits.
+func (n *Node) bufferMutation(t *task, res engine.Result) {
+	gc := &n.gc
+	gc.payload = engine.AppendRecord(gc.payload, res.Effects)
+	gc.records++
+	gc.writes = append(gc.writes, gatedReply{keys: res.Keys, val: res.Reply, send: t.reply})
+	if gc.keys == nil {
+		gc.keys = make(map[string]struct{}, 16)
+	}
+	for _, k := range res.Keys {
+		gc.keys[k] = struct{}{}
+	}
+}
+
+// gateReadOnBatch parks a read (or WAIT barrier) whose result must not be
+// delivered before the buffered mutations it observed become durable. It
+// is registered with the tracker at the batch's seq when the batch
+// flushes.
+func (n *Node) gateReadOnBatch(t *task, val resp.Value) {
+	n.gc.reads = append(n.gc.reads, gatedReply{val: val, send: t.reply})
+}
+
+// shouldFlush reports whether the buffer must be flushed now: a cap was
+// hit, or the append pipeline has room (flushing while the window is open
+// adds no latency — appends to the log pipeline commit in order — and
+// holding back would only delay the buffered replies).
+func (n *Node) shouldFlush() bool {
+	gc := &n.gc
+	if !gc.pending() {
+		return false
+	}
+	return gc.records >= n.cfg.MaxBatchRecords ||
+		len(gc.payload) >= n.cfg.MaxBatchBytes ||
+		gc.inflight.Load() < int64(n.cfg.MaxInflightAppends)
+}
+
+// flushPending appends the buffered batch as one EntryData and gates every
+// buffered reply on its commit. Returns false when the append failed (the
+// node demoted and all buffered replies were failed).
+func (n *Node) flushPending() bool {
+	gc := &n.gc
+	if !gc.pending() {
+		return true
+	}
+	n.mu.Lock()
+	role := n.role
+	epoch := n.epoch
+	trk := n.trk
+	n.mu.Unlock()
+	if role != election.RolePrimary {
+		// Demoted (or resyncing) with mutations still buffered: a stale
+		// writer must not append, and the replies were already promised an
+		// error by the demotion.
+		n.abortPending(errDemoted)
+		return false
+	}
+	payload := gc.payload
+	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+		Type:          txlog.EntryData,
+		Epoch:         epoch,
+		EngineVersion: n.cfg.EngineVersion,
+		Records:       uint32(gc.records),
+		Payload:       payload,
+	})
+	if err != nil {
+		// The commit failed: none of the buffered changes may be
+		// acknowledged or stay visible (§3.2). Demote, then fail every
+		// gated reply — clients must observe the error only once the node
+		// has stepped down; resync discards the un-logged local mutations.
+		n.stats.AppendsFailed.Add(1)
+		n.demote()
+		n.abortPending(errLogDown)
+		return false
+	}
+	n.lastIssued = p.ID()
+	seq := p.ID().Seq
+	n.stats.BatchFlushes.Add(1)
+	n.stats.BatchedRecords.Add(int64(gc.records))
+	for _, w := range gc.writes {
+		w := w
+		trk.RegisterWrite(seq, w.keys, func(aborted bool) {
+			if aborted {
+				w.send(errDemoted)
+			} else {
+				w.send(w.val)
+			}
+		})
+	}
+	for _, r := range gc.reads {
+		r := r
+		trk.RegisterWrite(seq, nil, func(aborted bool) {
+			if aborted {
+				r.send(errDemoted)
+			} else {
+				r.send(r.val)
+			}
+		})
+	}
+	gc.reset()
+	gc.inflight.Add(1)
+	go func() {
+		if _, err := p.Wait(n.stopCtx); err == nil {
+			trk.Commit(seq)
+		}
+		gc.inflight.Add(-1)
+		// Coalesced poke: wake the workloop so the batch that accumulated
+		// behind this round-trip flushes promptly.
+		select {
+		case n.appendAcked <- struct{}{}:
+		default:
+		}
+	}()
+	n.runningChecksum = txlog.ChainChecksum(n.runningChecksum, payload)
+	n.dataSinceSum++
+	if n.cfg.ChecksumEvery > 0 && n.dataSinceSum >= n.cfg.ChecksumEvery {
+		n.injectChecksum()
+	}
+	return true
+}
+
+// abortPending fails every reply parked in the buffer with errVal. Called
+// on flush failure and on demotion/resync while mutations were buffered.
+func (n *Node) abortPending(errVal resp.Value) {
+	gc := &n.gc
+	if gc.records == 0 && len(gc.reads) == 0 {
+		return
+	}
+	for _, w := range gc.writes {
+		w.send(errVal)
+	}
+	for _, r := range gc.reads {
+		r.send(errVal)
+	}
+	gc.reset()
+}

@@ -16,9 +16,15 @@ import (
 // realistic commit latency, and the recorded concurrent history is fed to
 // the linearizability checker.
 func TestLinearizableUnderConcurrency(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(mode.name, func(t *testing.T) { linearizableUnderConcurrency(t, mode.batch) })
+	}
+}
+
+func linearizableUnderConcurrency(t *testing.T, batch int) {
 	svc := testService(t, netsim.NewUniform(200*time.Microsecond, 2*time.Millisecond, 11))
 	log, _ := svc.CreateLog("shard-1")
-	n := testNode(t, "node-a", log, nil)
+	n := testNodeBatch(t, "node-a", log, nil, batch)
 	waitRole(t, n, election.RolePrimary, 2*time.Second)
 
 	rec := lin.NewRecorder()
@@ -59,11 +65,17 @@ func TestLinearizableUnderConcurrency(t *testing.T) {
 // because only fully caught-up replicas can win and unacknowledged writes
 // are reported as errors (ambiguous), never as successes that vanish.
 func TestLinearizableAcrossFailover(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(mode.name, func(t *testing.T) { linearizableAcrossFailover(t, mode.batch) })
+	}
+}
+
+func linearizableAcrossFailover(t *testing.T, batch int) {
 	svc := testService(t, netsim.Fixed(300*time.Microsecond))
 	log, _ := svc.CreateLog("shard-1")
-	primary := testNode(t, "node-a", log, nil)
+	primary := testNodeBatch(t, "node-a", log, nil, batch)
 	waitRole(t, primary, election.RolePrimary, 2*time.Second)
-	replica := testNode(t, "node-b", log, nil)
+	replica := testNodeBatch(t, "node-b", log, nil, batch)
 	waitRole(t, replica, election.RoleReplica, time.Second)
 
 	rec := lin.NewRecorder()
@@ -129,10 +141,16 @@ func TestLinearizableAcrossFailover(t *testing.T) {
 // commit, a read issued immediately after a write must not return before
 // the write is durable, and must observe it.
 func TestReadYourWritesGating(t *testing.T) {
+	for _, mode := range batchModes {
+		t.Run(mode.name, func(t *testing.T) { readYourWritesGating(t, mode.batch) })
+	}
+}
+
+func readYourWritesGating(t *testing.T, batch int) {
 	commit := 10 * time.Millisecond
 	svc := testService(t, netsim.Fixed(commit))
 	log, _ := svc.CreateLog("shard-1")
-	n := testNode(t, "node-a", log, nil)
+	n := testNodeBatch(t, "node-a", log, nil, batch)
 	waitRole(t, n, election.RolePrimary, 2*time.Second)
 
 	ctx := context.Background()

@@ -130,6 +130,12 @@ func (n *Node) handleControl(t *task) {
 		t.ctlCh <- ctlResult{err: errNotPrimaryErr}
 		return
 	}
+	// Control entries must not overtake buffered mutations: flush the
+	// group-commit batch first so log order matches execution order.
+	if !n.flushPending() {
+		t.ctlCh <- ctlResult{err: errNotPrimaryErr}
+		return
+	}
 	p, err := n.startAppend(n.lastIssued, txlog.Entry{
 		Type:          t.ctlType,
 		Epoch:         epoch,
@@ -137,7 +143,7 @@ func (n *Node) handleControl(t *task) {
 		Payload:       t.ctlPayload,
 	})
 	if err != nil {
-		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
+		n.stats.AppendsFailed.Add(1)
 		n.demote()
 		t.ctlCh <- ctlResult{err: err}
 		return

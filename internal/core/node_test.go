@@ -25,16 +25,25 @@ func testService(t *testing.T, commit netsim.LatencyModel) *txlog.Service {
 
 func testNode(t *testing.T, id string, log *txlog.Log, snaps *snapshot.Manager) *Node {
 	t.Helper()
+	return testNodeBatch(t, id, log, snaps, 0) // 0 = core default (batching on)
+}
+
+// testNodeBatch is testNode with an explicit group-commit batch cap, so
+// safety tests can run both with batching enabled and in per-mutation
+// legacy mode (batch = 1).
+func testNodeBatch(t *testing.T, id string, log *txlog.Log, snaps *snapshot.Manager, batch int) *Node {
+	t.Helper()
 	n, err := NewNode(Config{
-		NodeID:        id,
-		ShardID:       log.ShardID(),
-		Log:           log,
-		Lease:         120 * time.Millisecond,
-		Backoff:       160 * time.Millisecond,
-		RenewEvery:    30 * time.Millisecond,
-		ReplicaPoll:   time.Millisecond,
-		Snapshots:     snaps,
-		ChecksumEvery: 8,
+		NodeID:          id,
+		ShardID:         log.ShardID(),
+		Log:             log,
+		Lease:           120 * time.Millisecond,
+		Backoff:         160 * time.Millisecond,
+		RenewEvery:      30 * time.Millisecond,
+		ReplicaPoll:     time.Millisecond,
+		Snapshots:       snaps,
+		ChecksumEvery:   8,
+		MaxBatchRecords: batch,
 	})
 	if err != nil {
 		t.Fatalf("NewNode(%s): %v", id, err)
@@ -42,6 +51,17 @@ func testNode(t *testing.T, id string, log *txlog.Log, snaps *snapshot.Manager) 
 	n.Start()
 	t.Cleanup(n.Stop)
 	return n
+}
+
+// batchModes enumerates the group-commit settings safety-critical tests
+// run under: the default (batching on) and the pre-group-commit legacy
+// behavior of one log entry per mutation.
+var batchModes = []struct {
+	name  string
+	batch int
+}{
+	{"batch=default", 0},
+	{"batch=1", 1},
 }
 
 func waitRole(t *testing.T, n *Node, want election.Role, within time.Duration) {

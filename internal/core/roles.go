@@ -249,7 +249,7 @@ func (n *Node) resync() error {
 			}
 			eng.ResetDB(db)
 			from = meta.LogPos
-			n.stats.bump(func(s *Stats) { s.SnapshotRestores++ })
+			n.stats.SnapshotRestores.Add(1)
 		}
 	}
 	// Replay the suffix up to the committed tail at restore time; the

@@ -99,6 +99,11 @@ func (n *Node) submit(ctx context.Context, t *task) (resp.Value, error) {
 	}
 }
 
+// workloop is the node's single execution thread. It is pipelined for
+// group commit: tasks already queued are drained greedily (mutations
+// execute and buffer while a quorum append is in flight), append
+// acknowledgements flush the accumulated batch, and the buffer never
+// survives into a blocking wait while no append is outstanding.
 func (n *Node) workloop() {
 	defer n.wg.Done()
 	for {
@@ -106,41 +111,69 @@ func (n *Node) workloop() {
 		case <-n.stopCtx.Done():
 			return
 		case t := <-n.tasks:
-			switch t.kind {
-			case taskCmd:
-				n.handleCmd(t)
-			case taskBatch:
-				n.handleBatch(t)
-			case taskApply:
-				t.applyCh <- n.handleApply(t.entry)
-			case taskRenew:
-				n.handleRenew()
-			case taskSweep:
-				n.handleSweep()
-			case taskControl:
-				n.handleControl(t)
-			case taskMigCtl:
-				n.handleMigCtl(t)
-			case taskMigDump:
-				n.handleMigDump(t)
-			case taskSlotInfo:
-				t.slotCh <- n.eng.DB().SlotKeys(t.slot, 0)
-			case taskSwap:
-				if t.newEng != nil {
-					n.eng = t.newEng
-				}
-				n.applied = t.newApplied
-				n.appliedSeq.Store(t.newApplied.Seq)
-				if t.setIssued {
-					n.lastIssued = t.newApplied
-					n.runningChecksum = t.newChecksum
-					n.dataSinceSum = 0
-				} else {
-					n.lastIssued = txlog.ZeroID
-				}
-				close(t.swapCh)
+			n.handleTask(t)
+		case <-n.appendAcked:
+			// The oldest in-flight append committed: flush the batch that
+			// accumulated behind its quorum round-trip.
+			n.flushPending()
+		}
+		// Greedy drain: execute everything already queued before blocking
+		// again, so mutations coalesce into the pending batch instead of
+		// paying one wakeup (and potentially one log entry) each.
+	drain:
+		for {
+			select {
+			case <-n.stopCtx.Done():
+				return
+			case t := <-n.tasks:
+				n.handleTask(t)
+			case <-n.appendAcked:
+				n.flushPending()
+			default:
+				break drain
 			}
 		}
+	}
+}
+
+func (n *Node) handleTask(t *task) {
+	switch t.kind {
+	case taskCmd:
+		n.handleCmd(t)
+	case taskBatch:
+		n.handleBatch(t)
+	case taskApply:
+		t.applyCh <- n.handleApply(t.entry)
+	case taskRenew:
+		n.handleRenew()
+	case taskSweep:
+		n.handleSweep()
+	case taskControl:
+		n.handleControl(t)
+	case taskMigCtl:
+		n.handleMigCtl(t)
+	case taskMigDump:
+		n.handleMigDump(t)
+	case taskSlotInfo:
+		t.slotCh <- n.eng.DB().SlotKeys(t.slot, 0)
+	case taskSwap:
+		// Installing restored state discards any buffered, never-logged
+		// mutations: their clients must see errors, not silence (the node
+		// demoted before the resync that sent this swap).
+		n.abortPending(errDemoted)
+		if t.newEng != nil {
+			n.eng = t.newEng
+		}
+		n.applied = t.newApplied
+		n.appliedSeq.Store(t.newApplied.Seq)
+		if t.setIssued {
+			n.lastIssued = t.newApplied
+			n.runningChecksum = t.newChecksum
+			n.dataSinceSum = 0
+		} else {
+			n.lastIssued = txlog.ZeroID
+		}
+		close(t.swapCh)
 	}
 }
 
@@ -152,7 +185,7 @@ var (
 )
 
 func (n *Node) handleCmd(t *task) {
-	n.stats.bump(func(s *Stats) { s.Commands++ })
+	n.stats.Commands.Add(1)
 	name := strings.ToUpper(string(t.argv[0]))
 	if name == "WAIT" {
 		n.handleWait(t)
@@ -184,6 +217,7 @@ func (n *Node) handleCmd(t *task) {
 		if lease == nil || !lease.Valid() {
 			// A primary that cannot renew voluntarily stops servicing
 			// reads and writes at the end of its lease (§4.1.3).
+			n.abortPending(errDemoted)
 			n.demote()
 			t.reply(errDemoted)
 			return
@@ -217,9 +251,18 @@ func (n *Node) handleCmd(t *task) {
 		// Read: delay the reply if any observed key has a not-yet-durable
 		// mutation (key-level hazards, §3.2).
 		keys := readKeys(cmd, t.argv, name)
-		if keys == nil && gatesOnFullKeyspace(name) || n.cfg.GlobalReadGate {
+		gateAll := (keys == nil && gatesOnFullKeyspace(name)) || n.cfg.GlobalReadGate
+		if n.gc.pending() && (gateAll || n.gc.touchesAny(keys)) {
+			// The read observed a mutation still sitting in the
+			// group-commit buffer (no log seq yet): gate it on the batch
+			// itself; it is released once the batch entry commits.
+			n.stats.GatedReads.Add(1)
+			n.gateReadOnBatch(t, res.Reply)
+			return
+		}
+		if gateAll {
 			seq := n.lastIssued.Seq
-			n.stats.bump(func(s *Stats) { s.GatedReads++ })
+			n.stats.GatedReads.Add(1)
 			trk.RegisterWrite(seq, nil, func(aborted bool) {
 				if aborted {
 					t.reply(errDemoted)
@@ -238,11 +281,11 @@ func (n *Node) handleCmd(t *task) {
 		})
 		return
 	}
-	n.logMutation(t, res, trk)
+	n.logMutation(t, res)
 }
 
 func (n *Node) handleBatch(t *task) {
-	n.stats.bump(func(s *Stats) { s.Commands++ })
+	n.stats.Commands.Add(1)
 	n.mu.Lock()
 	role := n.role
 	lease := n.lease
@@ -253,6 +296,7 @@ func (n *Node) handleBatch(t *task) {
 		return
 	}
 	if lease == nil || !lease.Valid() {
+		n.abortPending(errDemoted)
 		n.demote()
 		t.reply(errDemoted)
 		return
@@ -262,6 +306,10 @@ func (n *Node) handleBatch(t *task) {
 		// Read-only transaction: gate on everything outstanding, since
 		// computing the union of read keys across the group costs more
 		// than the conservative barrier.
+		if n.gc.pending() {
+			n.gateReadOnBatch(t, res.Reply)
+			return
+		}
 		seq := n.lastIssued.Seq
 		trk.RegisterWrite(seq, nil, func(aborted bool) {
 			if aborted {
@@ -272,56 +320,29 @@ func (n *Node) handleBatch(t *task) {
 		})
 		return
 	}
-	n.logMutation(t, res, trk)
+	n.logMutation(t, res)
 }
 
-// logMutation appends the effects of an executed mutation to the
-// transaction log and gates the reply on durability.
-func (n *Node) logMutation(t *task, res engine.Result, trk trackerIface) {
-	n.stats.bump(func(s *Stats) { s.Mutations++ })
-	payload := engine.EncodeRecord(res.Effects)
-	n.mu.Lock()
-	epoch := n.epoch
-	n.mu.Unlock()
-	p, err := n.startAppend(n.lastIssued, txlog.Entry{
-		Type:          txlog.EntryData,
-		Epoch:         epoch,
-		EngineVersion: n.cfg.EngineVersion,
-		Payload:       payload,
-	})
-	if err != nil {
-		// The commit failed: the change must not be acknowledged and must
-		// not become visible (§3.2). The node demotes and resynchronizes
-		// from the log, discarding the un-logged local mutation.
-		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
-		n.demote()
-		t.reply(errLogDown)
-		return
-	}
-	n.lastIssued = p.ID()
-	seq := p.ID().Seq
-	trk.RegisterWrite(seq, res.Keys, func(aborted bool) {
-		if aborted {
-			t.reply(errDemoted)
-		} else {
-			t.reply(res.Reply)
-		}
-	})
-	go func() {
-		if _, err := p.Wait(n.stopCtx); err == nil {
-			trk.Commit(seq)
-		}
-	}()
+// logMutation routes the effects of an executed mutation into the
+// group-commit buffer and flushes when warranted: immediately when no
+// append is in flight (no latency added), on records/bytes caps, and
+// otherwise when the in-flight append acknowledges (flush-on-ack, driven
+// by the workloop's appendAcked wakeup).
+func (n *Node) logMutation(t *task, res engine.Result) {
+	n.stats.Mutations.Add(1)
+	// Mirror into the migration stream at execution order — the same
+	// position the effects take in the batch payload.
 	n.forwardEffects(res.Keys, res.Effects)
-	n.runningChecksum = txlog.ChainChecksum(n.runningChecksum, payload)
-	n.dataSinceSum++
-	if n.cfg.ChecksumEvery > 0 && n.dataSinceSum >= n.cfg.ChecksumEvery {
-		n.injectChecksum()
+	n.bufferMutation(t, res)
+	if n.shouldFlush() {
+		n.flushPending()
 	}
 }
 
 // injectChecksum appends the primary's running log checksum so snapshot
-// verification can rehearse against it (§7.2.1).
+// verification can rehearse against it (§7.2.1). Only called with an
+// empty group-commit buffer (it runs right after a flush), so the
+// checksum always covers a log prefix.
 func (n *Node) injectChecksum() {
 	n.mu.Lock()
 	epoch := n.epoch
@@ -334,7 +355,7 @@ func (n *Node) injectChecksum() {
 		Payload:       txlog.EncodeChecksumPayload(n.runningChecksum),
 	})
 	if err != nil {
-		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
+		n.stats.AppendsFailed.Add(1)
 		n.demote()
 		return
 	}
@@ -365,6 +386,11 @@ func (n *Node) handleWait(t *task) {
 	n.mu.Unlock()
 	if role != election.RolePrimary {
 		t.reply(errNotPrimary)
+		return
+	}
+	if n.gc.pending() {
+		// Buffered writes have no seq yet; the barrier must cover them.
+		n.gateReadOnBatch(t, resp.Int64(2))
 		return
 	}
 	seq := n.lastIssued.Seq
@@ -401,6 +427,12 @@ func (n *Node) infoText() string {
 	fmt.Fprintf(&b, "entries_applied:%d\r\n", st.EntriesApplied)
 	fmt.Fprintf(&b, "promotions:%d\r\n", st.Promotions)
 	fmt.Fprintf(&b, "demotions:%d\r\n", st.Demotions)
+	fmt.Fprintf(&b, "# GroupCommit\r\n")
+	fmt.Fprintf(&b, "batch_flushes:%d\r\n", st.BatchFlushes)
+	fmt.Fprintf(&b, "batched_records:%d\r\n", st.BatchedRecords)
+	if st.BatchFlushes > 0 {
+		fmt.Fprintf(&b, "mean_records_per_entry:%.2f\r\n", float64(st.BatchedRecords)/float64(st.BatchFlushes))
+	}
 	fmt.Fprintf(&b, "# Keyspace\r\n")
 	fmt.Fprintf(&b, "keys:%d\r\n", n.eng.DB().Len())
 	fmt.Fprintf(&b, "used_bytes:%d\r\n", n.eng.DB().UsedBytes())
@@ -428,7 +460,7 @@ func (n *Node) handleApply(e txlog.Entry) error {
 	}
 	n.applied = e.ID
 	n.appliedSeq.Store(e.ID.Seq)
-	n.stats.bump(func(s *Stats) { s.EntriesApplied++ })
+	n.stats.EntriesApplied.Add(1)
 	return nil
 }
 
@@ -447,7 +479,13 @@ func (n *Node) handleRenew() {
 		return
 	}
 	if !lease.Valid() {
+		n.abortPending(errDemoted)
 		n.demote()
+		return
+	}
+	// Flush buffered mutations first so the log order of entries matches
+	// workloop execution order.
+	if !n.flushPending() {
 		return
 	}
 	r := election.Renewal{NodeID: n.cfg.NodeID, Epoch: epoch, LeaseMs: n.cfg.Lease.Milliseconds()}
@@ -458,7 +496,7 @@ func (n *Node) handleRenew() {
 		Payload: election.EncodeRenewal(r),
 	})
 	if err != nil {
-		n.stats.bump(func(s *Stats) { s.AppendsFailed++ })
+		n.stats.AppendsFailed.Add(1)
 		// Could not renew: serve out the current lease, then self-demote
 		// (checked on the next command and by the primary loop).
 		return
@@ -473,7 +511,6 @@ func (n *Node) handleRenew() {
 func (n *Node) handleSweep() {
 	n.mu.Lock()
 	role := n.role
-	trk := n.trk
 	n.mu.Unlock()
 	if role != election.RolePrimary {
 		return
@@ -483,7 +520,7 @@ func (n *Node) handleSweep() {
 		return
 	}
 	t := &task{reply: func(resp.Value) {}}
-	n.logMutation(t, res, trk)
+	n.logMutation(t, res)
 }
 
 // demote moves the node to the demoted role; the role loop will
@@ -501,7 +538,7 @@ func (n *Node) demote() {
 	cb := n.cfg.OnRoleChange
 	n.mu.Unlock()
 	trk.Abort()
-	n.stats.bump(func(s *Stats) { s.Demotions++ })
+	n.stats.Demotions.Add(1)
 	select {
 	case n.roleChanged <- struct{}{}:
 	default:
@@ -511,7 +548,7 @@ func (n *Node) demote() {
 	}
 }
 
-// trackerIface narrows tracker.Tracker for logMutation (test seam).
+// trackerIface narrows tracker.Tracker for the append-commit paths.
 type trackerIface interface {
 	RegisterWrite(seq uint64, keys []string, deliver func(aborted bool))
 	Commit(seq uint64)

@@ -23,6 +23,19 @@ func EncodeRecord(effects [][]byte) []byte {
 	return out
 }
 
+// AppendRecord appends one mutation's encoded effects onto an existing
+// record payload, returning the extended slice. Group commit uses it to
+// coalesce many mutations into a single log entry: RESP command framing is
+// self-delimiting, so concatenated records decode and apply exactly like a
+// single large record, and a replica applies the whole combined payload as
+// one atomic unit (one workloop apply task per entry).
+func AppendRecord(dst []byte, effects [][]byte) []byte {
+	for _, e := range effects {
+		dst = append(dst, e...)
+	}
+	return dst
+}
+
 // DecodeRecord parses a record payload back into its command argvs.
 func DecodeRecord(record []byte) ([][][]byte, error) {
 	r := resp.NewReader(bytes.NewReader(record))

@@ -10,6 +10,10 @@ import (
 // must Flush to push bytes to the underlying writer.
 type Writer struct {
 	bw *bufio.Writer
+	// scratch assembles small frames (type byte + integer + CRLF) so each
+	// header costs one buffered Write instead of three; it is reused across
+	// calls to keep the per-reply hot path allocation-free.
+	scratch []byte
 }
 
 // NewWriter wraps w in a RESP encoder.
@@ -29,25 +33,13 @@ func (w *Writer) WriteValue(v Value) error {
 		}
 		return w.crlf()
 	case Integer:
-		if err := w.bw.WriteByte(':'); err != nil {
-			return err
-		}
-		if err := w.writeInt(v.Int); err != nil {
-			return err
-		}
-		return w.crlf()
+		return w.writeHeader(':', v.Int)
 	case BulkString:
 		if v.Null {
 			_, err := w.bw.WriteString("$-1\r\n")
 			return err
 		}
-		if err := w.bw.WriteByte('$'); err != nil {
-			return err
-		}
-		if err := w.writeInt(int64(len(v.Str))); err != nil {
-			return err
-		}
-		if err := w.crlf(); err != nil {
+		if err := w.writeHeader('$', int64(len(v.Str))); err != nil {
 			return err
 		}
 		if _, err := w.bw.Write(v.Str); err != nil {
@@ -59,13 +51,7 @@ func (w *Writer) WriteValue(v Value) error {
 			_, err := w.bw.WriteString("*-1\r\n")
 			return err
 		}
-		if err := w.bw.WriteByte('*'); err != nil {
-			return err
-		}
-		if err := w.writeInt(int64(len(v.Array))); err != nil {
-			return err
-		}
-		if err := w.crlf(); err != nil {
+		if err := w.writeHeader('*', int64(len(v.Array))); err != nil {
 			return err
 		}
 		for _, e := range v.Array {
@@ -81,23 +67,11 @@ func (w *Writer) WriteValue(v Value) error {
 // WriteCommand encodes argv as an array of bulk strings (the client →
 // server command format, also used in the replication stream).
 func (w *Writer) WriteCommand(argv ...[]byte) error {
-	if err := w.bw.WriteByte('*'); err != nil {
-		return err
-	}
-	if err := w.writeInt(int64(len(argv))); err != nil {
-		return err
-	}
-	if err := w.crlf(); err != nil {
+	if err := w.writeHeader('*', int64(len(argv))); err != nil {
 		return err
 	}
 	for _, a := range argv {
-		if err := w.bw.WriteByte('$'); err != nil {
-			return err
-		}
-		if err := w.writeInt(int64(len(a))); err != nil {
-			return err
-		}
-		if err := w.crlf(); err != nil {
+		if err := w.writeHeader('$', int64(len(a))); err != nil {
 			return err
 		}
 		if _, err := w.bw.Write(a); err != nil {
@@ -130,10 +104,14 @@ func (w *Writer) crlf() error {
 	return err
 }
 
-func (w *Writer) writeInt(n int64) error {
-	var buf [20]byte
-	b := strconv.AppendInt(buf[:0], n, 10)
-	_, err := w.bw.Write(b)
+// writeHeader emits a one-line frame header — the type byte, a decimal
+// integer, and CRLF — as a single buffered Write, formatting the integer
+// with strconv.AppendInt into the writer's reusable scratch buffer.
+func (w *Writer) writeHeader(prefix byte, n int64) error {
+	w.scratch = append(w.scratch[:0], prefix)
+	w.scratch = strconv.AppendInt(w.scratch, n, 10)
+	w.scratch = append(w.scratch, '\r', '\n')
+	_, err := w.bw.Write(w.scratch)
 	return err
 }
 

@@ -1,0 +1,52 @@
+package resp
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkWriteValue measures the per-reply encoding hot path: the server
+// calls WriteValue once per command response, so it must stay
+// allocation-free.
+func BenchmarkWriteValue(b *testing.B) {
+	cases := []struct {
+		name string
+		v    Value
+	}{
+		{"simple", OK},
+		{"int", Int64(123456789)},
+		{"bulk", BulkStr("hello-world-value")},
+		{"array", ArrayV(BulkStr("a"), BulkStr("bb"), Int64(42))},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			w := NewWriter(io.Discard)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.WriteValue(c.v); err != nil {
+					b.Fatal(err)
+				}
+				if w.Buffered() > 32<<10 {
+					w.Flush()
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWriteCommand measures the replication/client command encoder.
+func BenchmarkWriteCommand(b *testing.B) {
+	w := NewWriter(io.Discard)
+	argv := [][]byte{[]byte("SET"), []byte("key:123456"), []byte("some-moderate-value")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.WriteCommand(argv...); err != nil {
+			b.Fatal(err)
+		}
+		if w.Buffered() > 32<<10 {
+			w.Flush()
+		}
+	}
+}

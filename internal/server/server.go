@@ -65,7 +65,12 @@ type muxItem struct {
 // New creates a server (not yet listening).
 func New(cfg Config) *Server {
 	if cfg.MuxWorkers <= 0 {
-		cfg.MuxWorkers = 8
+		// Each worker blocks in Backend.Do until the command's reply is
+		// durable, so the pool size caps the mutations concurrently inside
+		// the node. It must exceed the node's append-pipeline depth
+		// (core.Config.MaxInflightAppends, default 8) or group commit never
+		// sees a mutation to buffer and every entry carries one record.
+		cfg.MuxWorkers = 64
 	}
 	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.ctx, s.stop = context.WithCancel(context.Background())

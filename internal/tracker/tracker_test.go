@@ -158,6 +158,69 @@ func TestAbortFailsAllPendingAndFuture(t *testing.T) {
 	}
 }
 
+// TestBatchedWritesShareOneSeq is the group-commit contract: many replies
+// registered at the SAME seq (one batched log entry carrying many mutation
+// records) are all withheld until that entry commits, and one Commit
+// releases every one of them.
+func TestBatchedWritesShareOneSeq(t *testing.T) {
+	trk := New(0)
+	const batch = 8
+	got := make(chan int, batch)
+	for i := 0; i < batch; i++ {
+		i := i
+		trk.RegisterWrite(7, []string{"k" + string(rune('a'+i))}, func(aborted bool) {
+			if aborted {
+				t.Error("batched write aborted on commit")
+			}
+			got <- i
+		})
+	}
+	select {
+	case <-got:
+		t.Fatal("batched reply released before the covering entry committed")
+	default:
+	}
+	if trk.PendingCount() != batch {
+		t.Fatalf("PendingCount = %d, want %d", trk.PendingCount(), batch)
+	}
+	trk.Commit(7)
+	seen := make(map[int]bool)
+	for i := 0; i < batch; i++ {
+		seen[<-got] = true
+	}
+	if len(seen) != batch {
+		t.Fatalf("one Commit released %d distinct replies, want %d", len(seen), batch)
+	}
+	if trk.PendingCount() != 0 {
+		t.Fatalf("PendingCount after commit = %d", trk.PendingCount())
+	}
+}
+
+// TestAbortFailsEveryBatchedReply: when the node demotes with an unflushed
+// or uncommitted batch, Abort must deliver an error to every reply gated
+// at the shared seq — none may be dropped (a silent client hang) or
+// delivered as success.
+func TestAbortFailsEveryBatchedReply(t *testing.T) {
+	trk := New(0)
+	const batch = 5
+	got := make(chan bool, batch+1)
+	for i := 0; i < batch; i++ {
+		trk.RegisterWrite(3, []string{"k"}, func(aborted bool) { got <- aborted })
+	}
+	trk.GateRead([]string{"k"}, func(aborted bool) { got <- aborted })
+	trk.Abort()
+	for i := 0; i < batch+1; i++ {
+		select {
+		case aborted := <-got:
+			if !aborted {
+				t.Fatal("batched reply delivered as success on abort")
+			}
+		default:
+			t.Fatalf("only %d of %d batched replies delivered on abort", i, batch+1)
+		}
+	}
+}
+
 func TestAbortIdempotent(t *testing.T) {
 	trk := New(0)
 	trk.Abort()

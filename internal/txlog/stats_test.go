@@ -1,0 +1,68 @@
+package txlog
+
+import (
+	"context"
+	"testing"
+
+	"memorydb/internal/netsim"
+)
+
+// TestStatsCountRecordsPerEntry checks the per-log append counters that
+// make group commit observable: record totals, payload bytes, the max
+// batch size, and the power-of-two batch-size histogram.
+func TestStatsCountRecordsPerEntry(t *testing.T) {
+	l := newTestLog(t, netsim.Zero{})
+	after := ZeroID
+	// Three data entries: 1 record (implicit), 3 records, 8 records.
+	for _, e := range []Entry{
+		{Type: EntryData, Payload: []byte("a")},
+		{Type: EntryData, Payload: []byte("bcd"), Records: 3},
+		{Type: EntryData, Payload: []byte("efghijkl"), Records: 8},
+	} {
+		id, err := l.Append(context.Background(), after, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = id
+	}
+	// One non-data entry: counted as an append, not as data.
+	if _, err := l.Append(context.Background(), after, Entry{Type: EntryLease}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := l.Stats()
+	if s.Appends != 4 || s.DataAppends != 3 {
+		t.Fatalf("Appends=%d DataAppends=%d, want 4/3", s.Appends, s.DataAppends)
+	}
+	if s.Records != 1+3+8 {
+		t.Fatalf("Records = %d, want 12", s.Records)
+	}
+	if s.PayloadBytes != int64(len("a")+len("bcd")+len("efghijkl")) {
+		t.Fatalf("PayloadBytes = %d", s.PayloadBytes)
+	}
+	if s.MaxRecordsPerEntry != 8 {
+		t.Fatalf("MaxRecordsPerEntry = %d, want 8", s.MaxRecordsPerEntry)
+	}
+	// Histogram: 1 → bucket 0, 3 → bucket 1, 8 → bucket 3.
+	want := [8]int64{1, 1, 0, 1}
+	if s.RecordsPerEntry != want {
+		t.Fatalf("RecordsPerEntry = %v, want %v", s.RecordsPerEntry, want)
+	}
+	if mean := s.MeanRecordsPerEntry(); mean != 4 {
+		t.Fatalf("MeanRecordsPerEntry = %v, want 4", mean)
+	}
+}
+
+// TestStatsIgnoreFailedAppends: a conditionally-rejected append must not
+// contribute to the counters.
+func TestStatsIgnoreFailedAppends(t *testing.T) {
+	l := newTestLog(t, netsim.Zero{})
+	appendData(t, l, ZeroID, "a")
+	if _, err := l.Append(context.Background(), ZeroID, Entry{Type: EntryData, Records: 5}); err == nil {
+		t.Fatal("stale append unexpectedly succeeded")
+	}
+	s := l.Stats()
+	if s.Appends != 1 || s.Records != 1 {
+		t.Fatalf("failed append leaked into stats: %+v", s)
+	}
+}

@@ -91,7 +91,20 @@ type Entry struct {
 	// EngineVersion tags which engine version produced the record, for
 	// the upgrade protection mechanism (§7.1).
 	EngineVersion uint32
-	Payload       []byte
+	// Records counts the logical replication records coalesced into this
+	// data entry by group commit (0 is treated as 1). Metadata only: the
+	// payload is self-framing, but the count lets the log keep
+	// records-per-entry statistics without parsing payloads.
+	Records uint32
+	Payload []byte
+}
+
+// RecordCount returns the number of logical records the entry carries.
+func (e Entry) RecordCount() int {
+	if e.Records == 0 {
+		return 1
+	}
+	return int(e.Records)
 }
 
 // Errors returned by the log.
@@ -204,8 +217,57 @@ type Log struct {
 	baseChecksum  uint64 // checksum at the trim point
 	currentEpoch  uint64
 	azCopies      int64 // total (entry × AZ) durable copies, for tests/metrics
+	stats         Stats
 	appendsFailed netsim.Flag
 	closed        bool
+}
+
+// Stats are cumulative per-log append counters, the observability surface
+// for group commit: when the primary coalesces records, Records grows
+// faster than DataAppends and the histogram shifts toward larger buckets.
+type Stats struct {
+	// Appends counts successful StartAppend calls of any entry type.
+	Appends int64
+	// DataAppends counts successful EntryData appends (quorum round-trips
+	// spent on the replication stream).
+	DataAppends int64
+	// Records counts logical replication records across all data appends;
+	// Records/DataAppends is the mean group-commit batch size.
+	Records int64
+	// PayloadBytes sums data-entry payload sizes.
+	PayloadBytes int64
+	// MaxRecordsPerEntry is the largest batch observed.
+	MaxRecordsPerEntry int64
+	// RecordsPerEntry is a power-of-two histogram of batch sizes: bucket i
+	// counts data entries carrying [2^i, 2^(i+1)) records (the last bucket
+	// is open-ended).
+	RecordsPerEntry [8]int64
+}
+
+// histBucket maps a record count to its RecordsPerEntry bucket.
+func histBucket(records int) int {
+	b := 0
+	for records > 1 && b < 7 {
+		records >>= 1
+		b++
+	}
+	return b
+}
+
+// Stats returns a copy of the log's append counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// MeanRecordsPerEntry returns Records/DataAppends (1 when no data was
+// appended) — the effective group-commit amortization factor.
+func (s Stats) MeanRecordsPerEntry() float64 {
+	if s.DataAppends == 0 {
+		return 1
+	}
+	return float64(s.Records) / float64(s.DataAppends)
 }
 
 func newLog(s *Service, shardID string) *Log {
@@ -274,6 +336,17 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 	e.ID = EntryID{Seq: l.assigned}
 	l.entries = append(l.entries, e)
 	l.cums = append(l.cums, 0)
+	l.stats.Appends++
+	if e.Type == EntryData {
+		records := e.RecordCount()
+		l.stats.DataAppends++
+		l.stats.Records += int64(records)
+		l.stats.PayloadBytes += int64(len(e.Payload))
+		l.stats.RecordsPerEntry[histBucket(records)]++
+		if int64(records) > l.stats.MaxRecordsPerEntry {
+			l.stats.MaxRecordsPerEntry = int64(records)
+		}
+	}
 	p := &Pending{id: e.ID, done: make(chan struct{})}
 	clk, lat := l.svc.cfg.Clock, l.svc.cfg.CommitLatency
 	l.mu.Unlock()

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Tier-1 verification gate (same steps as `make check`): vet, build, the
+# full test suite, and a race-detector pass over the concurrency-heavy
+# packages (core workloop/group commit, tracker, transaction log).
+set -eux
+cd "$(dirname "$0")/.."
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/core/ ./internal/tracker/ ./internal/txlog/
