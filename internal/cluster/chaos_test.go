@@ -4,16 +4,36 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"memorydb/internal/clock"
+	"memorydb/internal/lin"
 	"memorydb/internal/netsim"
 	"memorydb/internal/s3"
 	"memorydb/internal/snapshot"
 	"memorydb/internal/txlog"
 )
+
+// chaosSeed returns the seed every chaos schedule runs under. The CI gate
+// (scripts/check.sh) runs the Chaos tests at two fixed seeds via
+// MEMORYDB_CHAOS_SEED so fault-path regressions reproduce exactly.
+func chaosSeed(t *testing.T) int64 {
+	t.Helper()
+	s := os.Getenv("MEMORYDB_CHAOS_SEED")
+	if s == "" {
+		return 99
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("bad MEMORYDB_CHAOS_SEED %q: %v", s, err)
+	}
+	return v
+}
 
 // TestChaosAcknowledgedWritesSurvive is the paper's core durability claim
 // under a randomized fault storm: while writers hammer a cluster, the
@@ -49,9 +69,6 @@ func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
 	}
 
 	const keys = 40
-	type ackEntry struct {
-		gen int
-	}
 	var ackMu sync.Mutex
 	acked := make(map[string]ackEntry)
 
@@ -88,7 +105,7 @@ func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
 	}
 
 	// Fault storm.
-	chaosRng := rand.New(rand.NewSource(99))
+	chaosRng := rand.New(rand.NewSource(chaosSeed(t)))
 	ob := &snapshot.Offbox{Manager: snaps, EngineVersion: 2}
 	deadline := time.Now().Add(2 * time.Second)
 	faults := 0
@@ -130,8 +147,19 @@ func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
 	if faults < 5 {
 		t.Fatalf("fault storm too tame: only %d faults injected", faults)
 	}
+	auditAcked(t, c, acked, &ackMu)
+	t.Logf("chaos survived: %d faults, %d acknowledged keys intact", faults, len(acked))
+}
 
-	// Let the cluster settle, then audit every acknowledged key.
+// ackEntry marks a write the cluster acknowledged (and therefore owes).
+type ackEntry struct {
+	gen int
+}
+
+// auditAcked waits for every shard to settle on a primary, then verifies
+// each acknowledged key is still readable.
+func auditAcked(t *testing.T, c *Cluster, acked map[string]ackEntry, mu *sync.Mutex) {
+	t.Helper()
 	for _, sh := range c.Shards() {
 		if _, err := sh.WaitForPrimary(c.Clock(), 5*time.Second); err != nil {
 			t.Fatal(err)
@@ -139,17 +167,17 @@ func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
 	}
 	cl := c.Client()
 	missing := 0
-	ackMu.Lock()
+	mu.Lock()
 	keysToCheck := make([]string, 0, len(acked))
 	for k := range acked {
 		keysToCheck = append(keysToCheck, k)
 	}
-	ackMu.Unlock()
+	mu.Unlock()
 	if len(keysToCheck) == 0 {
 		t.Fatal("no writes were acknowledged during the storm")
 	}
 	for _, k := range keysToCheck {
-		cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		cctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		v, err := cl.Do(cctx, "GET", k)
 		cancel()
 		if err != nil || v.Null || v.IsError() {
@@ -160,5 +188,213 @@ func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
 	if missing > 0 {
 		t.Fatalf("%d/%d acknowledged keys lost across the fault storm", missing, len(keysToCheck))
 	}
-	t.Logf("chaos survived: %d faults, %d acknowledged keys intact", faults, len(keysToCheck))
+}
+
+// ---- AZ-fault chaos schedules (tentpole: per-AZ quorum robustness) ----
+//
+// Each schedule drives a lin-recorded SET/GET workload through the
+// cluster client while AZ replicas of the shared transaction-log service
+// fail per a fixed-seed plan, then checks the concurrent history for
+// linearizability. Per-key histories are kept small (the checker bounds
+// them at 63 ops) by using a wide key space and paced clients.
+
+// chaosCluster provisions a 2-shard cluster whose txlog AZ replicas,
+// commit-latency model, and node retry jitter are all derived from seed.
+func chaosCluster(t *testing.T, seed int64) (*txlog.Service, *Cluster) {
+	t.Helper()
+	svc := txlog.NewService(txlog.Config{
+		Clock:         clock.NewReal(),
+		CommitLatency: netsim.NewUniform(100*time.Microsecond, time.Millisecond, seed),
+		Seed:          seed,
+	})
+	c, err := New(Config{
+		Name: "azchaos", NumShards: 2, ReplicasPerShard: 1,
+		LogService: svc, Snapshots: snapshot.NewManager(s3.New(), "snaps"),
+		Lease: 100 * time.Millisecond, Backoff: 140 * time.Millisecond,
+		RenewEvery: 25 * time.Millisecond, ReplicaPoll: time.Millisecond,
+		RetrySeed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Stop)
+	for _, sh := range c.Shards() {
+		if _, err := sh.WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return svc, c
+}
+
+// runLinWorkload drives clients paced SET/GET clients through the cluster
+// client, recording a concurrent history; failed or timed-out operations
+// are recorded as ambiguous. Returns the history and the error count.
+func runLinWorkload(t *testing.T, c *Cluster, seed int64, clients, ops, keys int, pace time.Duration) ([]lin.Operation, int) {
+	t.Helper()
+	rec := lin.NewRecorder()
+	var errs atomic.Int64
+	var wg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(clientID int) {
+			defer wg.Done()
+			gen := lin.NewGenerator(lin.GenConfig{Seed: seed + int64(clientID), Keys: keys, WriteRatio: 0.5})
+			client := c.Client()
+			for i := 0; i < ops; i++ {
+				time.Sleep(pace)
+				key, in, args := gen.Next(clientID*100000 + i)
+				cctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+				call := rec.Invoke()
+				v, err := client.Do(cctx, args...)
+				cancel()
+				out := lin.Output{}
+				if err != nil || v.IsError() {
+					out.Err = true
+					errs.Add(1)
+				} else if in.Kind == "get" {
+					out.Value = v.Text()
+				}
+				rec.Complete(clientID, key, in, out, call)
+			}
+		}(cl)
+	}
+	wg.Wait()
+	return rec.History(), int(errs.Load())
+}
+
+// sumDemotions totals demotions across every node in the cluster.
+func sumDemotions(c *Cluster) int64 {
+	var total int64
+	for _, sh := range c.Shards() {
+		for _, n := range sh.Nodes() {
+			total += n.Stats().Demotions.Load()
+		}
+	}
+	return total
+}
+
+// TestChaosSingleAZOutage: one AZ replica is down for the entire run. The
+// 2-of-3 quorum must hold availability — zero client errors, zero
+// demotions, a linearizable history — with only degraded latency to show
+// for it.
+func TestChaosSingleAZOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	seed := chaosSeed(t)
+	svc, c := chaosCluster(t, seed)
+
+	svc.AZ(0).SetDown(true)
+	defer svc.AZ(0).SetDown(false)
+
+	history, errs := runLinWorkload(t, c, seed, 3, 40, 16, 2*time.Millisecond)
+	if errs != 0 {
+		t.Fatalf("%d client errors under a single-AZ outage, want 0", errs)
+	}
+	if d := sumDemotions(c); d != 0 {
+		t.Fatalf("%d demotions under a single-AZ outage, want 0", d)
+	}
+	if !svc.Degraded() {
+		t.Fatal("service should report degraded with an AZ down")
+	}
+	var degraded int64
+	for _, sh := range c.Shards() {
+		degraded += sh.Log.Stats().DegradedAppends
+	}
+	if degraded == 0 {
+		t.Fatal("expected partial-ack appends during the outage")
+	}
+	if ok, badKey := lin.Check(lin.RegisterModel{}, history); !ok {
+		t.Fatalf("single-AZ-outage history not linearizable (key %s, %d ops)", badKey, len(history))
+	}
+}
+
+// TestChaosRollingAZOutages: AZ replicas go down one at a time in
+// rotation — the rolling-maintenance shape. Quorum always holds, so the
+// workload must see no errors and no node may demote.
+func TestChaosRollingAZOutages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	seed := chaosSeed(t)
+	svc, c := chaosCluster(t, seed)
+
+	done := make(chan struct{})
+	var windows atomic.Int64
+	var sched sync.WaitGroup
+	sched.Add(1)
+	go func() {
+		defer sched.Done()
+		az := 0
+		for {
+			svc.AZ(az).SetDown(true)
+			select {
+			case <-done:
+				svc.AZ(az).SetDown(false)
+				return
+			case <-time.After(60 * time.Millisecond):
+			}
+			svc.AZ(az).SetDown(false)
+			windows.Add(1)
+			select {
+			case <-done:
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			az = (az + 1) % len(svc.AZs())
+		}
+	}()
+
+	history, errs := runLinWorkload(t, c, seed, 3, 50, 16, 3*time.Millisecond)
+	close(done)
+	sched.Wait()
+
+	if w := windows.Load(); w < 2 {
+		t.Fatalf("only %d outage windows completed — schedule too short to mean anything", w)
+	}
+	if errs != 0 {
+		t.Fatalf("%d client errors under rolling single-AZ outages, want 0", errs)
+	}
+	if d := sumDemotions(c); d != 0 {
+		t.Fatalf("%d demotions under rolling single-AZ outages, want 0", d)
+	}
+	if ok, badKey := lin.Check(lin.RegisterModel{}, history); !ok {
+		t.Fatalf("rolling-outage history not linearizable (key %s, %d ops)", badKey, len(history))
+	}
+}
+
+// TestChaosFlakyAZStorm: every AZ replica drops acks with seeded
+// probability 0.25, so ~16%% of appends transiently miss quorum and must
+// be absorbed by the nodes' retry loops. Individual client errors are
+// tolerated (ambiguous), but the history must stay linearizable and the
+// retry counters must show the storm was actually absorbed.
+func TestChaosFlakyAZStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	seed := chaosSeed(t)
+	svc, c := chaosCluster(t, seed)
+
+	for _, az := range svc.AZs() {
+		az.SetFlaky(0.25)
+	}
+	history, errs := runLinWorkload(t, c, seed, 3, 40, 16, 2*time.Millisecond)
+	for _, az := range svc.AZs() {
+		az.SetFlaky(0)
+	}
+
+	var retried int64
+	for _, sh := range c.Shards() {
+		for _, n := range sh.Nodes() {
+			st := n.Stats()
+			retried += st.AppendsRetried.Load() + st.RenewalsRetried.Load()
+		}
+	}
+	if retried == 0 {
+		t.Fatal("flaky storm produced zero retries — fault injection not exercised")
+	}
+	if ok, badKey := lin.Check(lin.RegisterModel{}, history); !ok {
+		t.Fatalf("flaky-storm history not linearizable (key %s, %d ops)", badKey, len(history))
+	}
+	t.Logf("flaky storm: %d ops, %d ambiguous, %d retries absorbed", len(history), errs, retried)
 }

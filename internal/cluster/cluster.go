@@ -37,6 +37,9 @@ type Config struct {
 	// MaxBatchRecords is forwarded to every node's group-commit buffer
 	// (0 = the core default; 1 disables batching).
 	MaxBatchRecords int
+	// RetrySeed seeds every node's transient-failure retry jitter, so
+	// fixed-seed chaos schedules reproduce.
+	RetrySeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -196,6 +199,7 @@ func (c *Cluster) addNode(sh *Shard) (*core.Node, error) {
 		Snapshots:       c.cfg.Snapshots,
 		ChecksumEvery:   c.cfg.ChecksumEvery,
 		MaxBatchRecords: c.cfg.MaxBatchRecords,
+		RetrySeed:       c.cfg.RetrySeed,
 	})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"sync/atomic"
 
 	"memorydb/internal/election"
@@ -26,8 +27,11 @@ import (
 //   - Reads that observed a buffered-but-unflushed mutation gate on the
 //     batch itself (the workloop tracks the buffer's dirty-key set), so
 //     undurable data is never exposed even before a seq exists.
-//   - A failed flush demotes the node and fails every buffered reply —
-//     exactly like a failed per-mutation append.
+//   - A flush distinguishes fenced from transient failures: a transient
+//     error (service blip, below-quorum AZ set) re-enters the retry loop
+//     with every buffered reply still withheld, while a fenced append —
+//     or exhausting the lease-bounded retry deadline — demotes the node
+//     and fails every buffered reply.
 //   - Non-data appends (lease renewals, checksums, control records) flush
 //     the buffer first, so the log order of entries always matches the
 //     workloop execution order.
@@ -139,21 +143,29 @@ func (n *Node) flushPending() bool {
 		return false
 	}
 	payload := gc.payload
-	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:          txlog.EntryData,
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
 		Records:       uint32(gc.records),
 		Payload:       payload,
-	})
+	}, &n.stats.AppendsRetried)
 	if err != nil {
-		// The commit failed: none of the buffered changes may be
-		// acknowledged or stay visible (§3.2). Demote, then fail every
-		// gated reply — clients must observe the error only once the node
-		// has stepped down; resync discards the un-logged local mutations.
+		// Transient failures were already absorbed by the retry loop
+		// (replies stayed withheld throughout); reaching here means the
+		// append is genuinely lost — fenced by another writer, or the
+		// lease-bounded retry deadline is exhausted. Either way none of the
+		// buffered changes may be acknowledged or stay visible (§3.2).
+		// Demote, then fail every gated reply — clients must observe the
+		// error only once the node has stepped down; resync discards the
+		// un-logged local mutations.
 		n.stats.AppendsFailed.Add(1)
 		n.demote()
-		n.abortPending(errLogDown)
+		if errors.Is(err, txlog.ErrConditionFailed) {
+			n.abortPending(errDemoted)
+		} else {
+			n.abortPending(errLogDown)
+		}
 		return false
 	}
 	n.lastIssued = p.ID()
@@ -184,6 +196,7 @@ func (n *Node) flushPending() bool {
 	gc.inflight.Add(1)
 	go func() {
 		if _, err := p.Wait(n.stopCtx); err == nil {
+			n.noteAZHealth(p)
 			trk.Commit(seq)
 		}
 		gc.inflight.Add(-1)

@@ -136,13 +136,14 @@ func (n *Node) handleControl(t *task) {
 		t.ctlCh <- ctlResult{err: errNotPrimaryErr}
 		return
 	}
-	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:          t.ctlType,
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
 		Payload:       t.ctlPayload,
-	})
+	}, &n.stats.AppendsRetried)
 	if err != nil {
+		// Fenced or retried out the lease: step down.
 		n.stats.AppendsFailed.Add(1)
 		n.demote()
 		t.ctlCh <- ctlResult{err: err}

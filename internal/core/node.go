@@ -21,6 +21,7 @@ import (
 	"memorydb/internal/engine"
 	"memorydb/internal/netsim"
 	"memorydb/internal/resp"
+	"memorydb/internal/retry"
 	"memorydb/internal/snapshot"
 	"memorydb/internal/tracker"
 	"memorydb/internal/txlog"
@@ -86,6 +87,15 @@ type Config struct {
 	// ReplicaPoll is the idle polling interval of the replica log tailer.
 	// Defaults to 1ms.
 	ReplicaPoll time.Duration
+	// RetryBase and RetryMax shape the capped exponential backoff (full
+	// jitter) used when a transaction-log call fails transiently. Retrying
+	// is bounded by the leadership lease: a primary that cannot reach the
+	// log keeps replies withheld and retries until the append lands, the
+	// log fences it, or its lease runs out. Defaults: 1ms / 16ms.
+	RetryBase, RetryMax time.Duration
+	// RetrySeed makes retry jitter deterministic for fixed-seed chaos
+	// runs. Each node salts it so a fleet does not retry in lockstep.
+	RetrySeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -124,6 +134,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxInflightAppends < 1 {
 		c.MaxInflightAppends = 1
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = time.Millisecond
+	}
+	if c.RetryMax == 0 {
+		c.RetryMax = 16 * time.Millisecond
 	}
 	return c
 }
@@ -165,6 +181,14 @@ type Node struct {
 	// appliedSeq mirrors applied.Seq for lock-free monitoring reads.
 	appliedSeq atomic.Uint64
 
+	// retryPol shapes transient-failure retries against the log service.
+	retryPol retry.Policy
+	// degradedSince is the UnixNano timestamp when the node first saw a
+	// partial-quorum commit (fewer acks than AZs), 0 while fully
+	// replicated. Closed out into Stats.DegradedMillis on the first
+	// full-replication commit after the window.
+	degradedSince atomic.Int64
+
 	tasks chan *task
 	// appendAcked is a coalesced wakeup: append-waiter goroutines poke it
 	// after a flushed entry commits so the workloop flushes the batch that
@@ -195,6 +219,16 @@ type Stats struct {
 	// BatchedRecords/BatchFlushes is the node-side mean batch size.
 	BatchFlushes   atomic.Int64
 	BatchedRecords atomic.Int64
+	// AppendsRetried counts transient append failures absorbed by the
+	// retry discipline (data flushes, checksums, control entries);
+	// RenewalsRetried counts the same for lease renewals. Neither implies
+	// a demotion — that is exactly the point.
+	AppendsRetried  atomic.Int64
+	RenewalsRetried atomic.Int64
+	// DegradedMillis accumulates time spent in degraded state: backoff
+	// sleeps while retrying transient log failures, plus windows during
+	// which commits carried fewer than AZCount acknowledgements.
+	DegradedMillis atomic.Int64
 }
 
 // StatsView is a plain copy of the counters at one instant.
@@ -209,6 +243,9 @@ type StatsView struct {
 	SnapshotRestores int64
 	BatchFlushes     int64
 	BatchedRecords   int64
+	AppendsRetried   int64
+	RenewalsRetried  int64
+	DegradedMillis   int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -224,6 +261,9 @@ func (s *Stats) Snapshot() StatsView {
 		SnapshotRestores: s.SnapshotRestores.Load(),
 		BatchFlushes:     s.BatchFlushes.Load(),
 		BatchedRecords:   s.BatchedRecords.Load(),
+		AppendsRetried:   s.AppendsRetried.Load(),
+		RenewalsRetried:  s.RenewalsRetried.Load(),
+		DegradedMillis:   s.DegradedMillis.Load(),
 	}
 }
 
@@ -246,6 +286,12 @@ func NewNode(cfg Config) (*Node, error) {
 		tasks:       make(chan *task, 4096),
 		appendAcked: make(chan struct{}, 1),
 		roleChanged: make(chan struct{}, 4),
+		retryPol: retry.Policy{
+			Base:  cfg.RetryBase,
+			Max:   cfg.RetryMax,
+			Clock: cfg.Clock,
+			Seed:  retry.SaltSeed(cfg.RetrySeed),
+		},
 	}
 	n.stopCtx, n.stopFn = context.WithCancel(context.Background())
 	return n, nil
@@ -349,4 +395,58 @@ func (n *Node) startAppend(after txlog.EntryID, e txlog.Entry) (*txlog.Pending, 
 		return nil, txlog.ErrUnavailable
 	}
 	return n.cfg.Log.StartAppend(after, e)
+}
+
+// startAppendRetry is startAppend with the transient-failure retry
+// discipline (§4.1.3): a transient error (service blip, below-quorum AZ
+// set, partition) leaves the caller's log position unchanged, so the
+// identical append is retried under capped exponential backoff with full
+// jitter until it lands, the log fences us (fatal — returned immediately),
+// or the leadership lease runs out. The lease is the natural deadline:
+// renewals are workloop tasks, and while the workloop blocks here the
+// lease cannot extend, so exhaustion and self-demotion coincide exactly as
+// the paper prescribes. retried counts retry attempts into Stats.
+func (n *Node) startAppendRetry(after txlog.EntryID, e txlog.Entry, retried *atomic.Int64) (*txlog.Pending, error) {
+	p, err := n.startAppend(after, e)
+	if err == nil || !txlog.IsTransient(err) {
+		return p, err
+	}
+	bo := n.retryPol.New()
+	defer func() {
+		// Backoff sleeps are time the primary spent unable to commit:
+		// degraded but available (replies withheld, no errors surfaced).
+		if ms := bo.Slept().Milliseconds(); ms > 0 {
+			n.stats.DegradedMillis.Add(ms)
+		}
+	}()
+	for {
+		n.mu.Lock()
+		lease := n.lease
+		n.mu.Unlock()
+		if lease == nil || !lease.Valid() || n.stopCtx.Err() != nil {
+			return nil, err
+		}
+		retried.Add(1)
+		bo.Sleep()
+		p, err = n.startAppend(after, e)
+		if err == nil || !txlog.IsTransient(err) {
+			return p, err
+		}
+	}
+}
+
+// noteAZHealth folds one committed append's acknowledgement count into the
+// degraded-time accounting: the first partial-quorum commit opens a
+// degraded window, the first fully replicated commit after it closes the
+// window into Stats.DegradedMillis. Called from append-waiter goroutines.
+func (n *Node) noteAZHealth(p *txlog.Pending) {
+	if p.Acks() < p.AZTotal() {
+		n.degradedSince.CompareAndSwap(0, n.clk.Now().UnixNano())
+		return
+	}
+	if since := n.degradedSince.Swap(0); since != 0 {
+		if ms := (n.clk.Now().UnixNano() - since) / int64(time.Millisecond); ms > 0 {
+			n.stats.DegradedMillis.Add(ms)
+		}
+	}
 }

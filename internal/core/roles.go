@@ -83,6 +83,14 @@ func (n *Node) runReplica() {
 		for {
 			e, ok, err := reader.TryNext()
 			if err != nil {
+				if errors.Is(err, txlog.ErrUnavailable) {
+					// Transient service outage: the cursor is unchanged, so
+					// the tailer reconnects by polling again — resuming from
+					// the last delivered entry with no gaps or duplicates.
+					// Demoting here would turn every log blip into replica
+					// churn (and a pointless full restore).
+					break
+				}
 				// The log was trimmed past our position: fall back to a
 				// full restore from snapshot.
 				n.setRole(election.RoleDemoted, 0)

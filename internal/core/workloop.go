@@ -348,13 +348,14 @@ func (n *Node) injectChecksum() {
 	epoch := n.epoch
 	trk := n.trk
 	n.mu.Unlock()
-	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:          txlog.EntryChecksum,
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
 		Payload:       txlog.EncodeChecksumPayload(n.runningChecksum),
-	})
+	}, &n.stats.AppendsRetried)
 	if err != nil {
+		// Fenced or retried out the lease: step down.
 		n.stats.AppendsFailed.Add(1)
 		n.demote()
 		return
@@ -370,6 +371,7 @@ func (n *Node) injectChecksum() {
 func (n *Node) commitWatermarkAsync(p *txlog.Pending, trk trackerIface) {
 	go func() {
 		if id, err := p.Wait(n.stopCtx); err == nil {
+			n.noteAZHealth(p)
 			trk.Commit(id.Seq)
 		}
 	}()
@@ -413,6 +415,8 @@ func (n *Node) infoText() string {
 	stalled := n.stalled
 	n.mu.Unlock()
 	st := n.stats.Snapshot()
+	logStats := n.cfg.Log.Stats()
+	degraded := n.cfg.Log.Degraded()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Replication\r\n")
 	fmt.Fprintf(&b, "role:%s\r\n", role)
@@ -433,6 +437,12 @@ func (n *Node) infoText() string {
 	if st.BatchFlushes > 0 {
 		fmt.Fprintf(&b, "mean_records_per_entry:%.2f\r\n", float64(st.BatchedRecords)/float64(st.BatchFlushes))
 	}
+	fmt.Fprintf(&b, "# Robustness\r\n")
+	fmt.Fprintf(&b, "appends_retried:%d\r\n", st.AppendsRetried)
+	fmt.Fprintf(&b, "renewals_retried:%d\r\n", st.RenewalsRetried)
+	fmt.Fprintf(&b, "degraded_millis:%d\r\n", st.DegradedMillis)
+	fmt.Fprintf(&b, "log_degraded:%v\r\n", degraded)
+	fmt.Fprintf(&b, "log_degraded_appends:%d\r\n", logStats.DegradedAppends)
 	fmt.Fprintf(&b, "# Keyspace\r\n")
 	fmt.Fprintf(&b, "keys:%d\r\n", n.eng.DB().Len())
 	fmt.Fprintf(&b, "used_bytes:%d\r\n", n.eng.DB().UsedBytes())
@@ -490,15 +500,22 @@ func (n *Node) handleRenew() {
 	}
 	r := election.Renewal{NodeID: n.cfg.NodeID, Epoch: epoch, LeaseMs: n.cfg.Lease.Milliseconds()}
 	issued := n.clk.Now()
-	p, err := n.startAppend(n.lastIssued, txlog.Entry{
+	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:    txlog.EntryLease,
 		Epoch:   epoch,
 		Payload: election.EncodeRenewal(r),
-	})
+	}, &n.stats.RenewalsRetried)
 	if err != nil {
 		n.stats.AppendsFailed.Add(1)
-		// Could not renew: serve out the current lease, then self-demote
-		// (checked on the next command and by the primary loop).
+		if errors.Is(err, txlog.ErrConditionFailed) || !lease.Valid() {
+			// Fenced by another writer, or the lease expired while the
+			// retry loop was absorbing an outage: step down now.
+			n.abortPending(errDemoted)
+			n.demote()
+			return
+		}
+		// Transient failure with lease time still left: serve out the
+		// current lease; the next renew tick retries again.
 		return
 	}
 	lease.Renewed(issued)

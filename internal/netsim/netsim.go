@@ -88,6 +88,38 @@ func (f *Flag) Set(on bool) { f.v.Store(on) }
 // On reports whether the fault is active.
 func (f *Flag) On() bool { return f.v.Load() }
 
+// Prob is a seeded Bernoulli fault gate: each Hit independently fires
+// with the configured probability. Used for flaky-link and flaky-AZ
+// injection where faults must be probabilistic but reproducible under a
+// fixed seed. The zero value never fires. Safe for concurrent use.
+type Prob struct {
+	mu  sync.Mutex
+	p   float64
+	rng *rand.Rand
+}
+
+// NewProb returns a gate with probability p and a deterministic seed.
+func NewProb(p float64, seed int64) *Prob {
+	return &Prob{p: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// SetP updates the fault probability (0 disables).
+func (f *Prob) SetP(p float64) {
+	f.mu.Lock()
+	f.p = p
+	f.mu.Unlock()
+}
+
+// Hit draws once: true means the fault fires.
+func (f *Prob) Hit() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.p <= 0 || f.rng == nil {
+		return false
+	}
+	return f.rng.Float64() < f.p
+}
+
 // Link models one directional network link: a latency distribution plus a
 // partition flag. A partitioned link drops traffic (callers surface an
 // error or timeout).

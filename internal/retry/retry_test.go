@@ -1,0 +1,106 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestBackoffJitterBoundedAndGrowing(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 8 * time.Millisecond, Seed: 1}
+	b := p.New()
+	ceil := time.Millisecond
+	for i := 0; i < 12; i++ {
+		d := b.Next()
+		if d < minSleep {
+			t.Fatalf("draw %d = %v below the %v floor", i, d, minSleep)
+		}
+		if d > ceil {
+			t.Fatalf("draw %d = %v above the cap %v", i, d, ceil)
+		}
+		if ceil < 8*time.Millisecond {
+			ceil *= 2
+		}
+	}
+	if b.Attempts() != 12 {
+		t.Fatalf("Attempts = %d, want 12", b.Attempts())
+	}
+	if b.Slept() <= 0 {
+		t.Fatalf("Slept = %v, want > 0", b.Slept())
+	}
+}
+
+func TestBackoffDeterministicUnderSeed(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 16 * time.Millisecond, Seed: 42}
+	a, b := p.New(), p.New()
+	for i := 0; i < 10; i++ {
+		if da, db := a.Next(), b.Next(); da != db {
+			t.Fatalf("draw %d diverged under the same seed: %v vs %v", i, da, db)
+		}
+	}
+}
+
+func TestDoRetriesTransientOnly(t *testing.T) {
+	transientErr := errors.New("transient")
+	fatalErr := errors.New("fatal")
+	isTransient := func(err error) bool { return errors.Is(err, transientErr) }
+	p := Policy{Base: 200 * time.Microsecond, Max: time.Millisecond, Attempts: 5}
+
+	// Succeeds after two transient failures.
+	calls := 0
+	err := p.Do(context.Background(), isTransient, func() error {
+		calls++
+		if calls < 3 {
+			return transientErr
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d; want nil after 3 calls", err, calls)
+	}
+
+	// Fatal errors are returned immediately, no retry.
+	calls = 0
+	err = p.Do(context.Background(), isTransient, func() error {
+		calls++
+		return fatalErr
+	})
+	if !errors.Is(err, fatalErr) || calls != 1 {
+		t.Fatalf("fatal: err = %v, calls = %d; want 1 call", err, calls)
+	}
+
+	// Attempt budget bounds persistent transient failures.
+	calls = 0
+	err = p.Do(context.Background(), isTransient, func() error {
+		calls++
+		return transientErr
+	})
+	if !errors.Is(err, transientErr) || calls != 5 {
+		t.Fatalf("exhaustion: err = %v, calls = %d; want 5 calls", err, calls)
+	}
+}
+
+func TestDoStopsOnCancelledContext(t *testing.T) {
+	transientErr := errors.New("transient")
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Policy{Base: 100 * time.Microsecond, Attempts: 100}.Do(ctx,
+		func(error) bool { return true },
+		func() error {
+			calls++
+			if calls == 2 {
+				cancel()
+			}
+			return transientErr
+		})
+	if !errors.Is(err, transientErr) || calls != 2 {
+		t.Fatalf("err = %v, calls = %d; want transient after 2 calls", err, calls)
+	}
+}
+
+func TestSaltSeedDistinct(t *testing.T) {
+	if SaltSeed(5) == SaltSeed(5) {
+		t.Fatal("SaltSeed must differ across calls with the same base")
+	}
+}

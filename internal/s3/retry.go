@@ -1,0 +1,76 @@
+package s3
+
+import (
+	"errors"
+
+	"memorydb/internal/retry"
+)
+
+// Interface is the object-store surface MemoryDB consumes. *Store
+// implements it directly; Retrying wraps any implementation with the
+// shared transient-failure backoff so a brief storage blip does not fail
+// a snapshot save or restore.
+type Interface interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	List(prefix string) ([]string, error)
+}
+
+// IsTransient reports whether err is a retryable storage condition.
+// ErrNoSuchKey is NOT transient: the object genuinely is not there and
+// retrying cannot make it appear.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrUnavailable)
+}
+
+// Retrying decorates an Interface with capped-exponential-backoff retries
+// of transient failures. Every operation here is idempotent (PUTs are
+// whole-object, DELETE is idempotent by S3 semantics), so blind re-issue
+// is safe.
+type Retrying struct {
+	Store  Interface
+	Policy retry.Policy
+}
+
+// WithRetry wraps st with the given policy (zero Policy = library
+// defaults: 6 attempts, 1ms base, 50ms cap).
+func WithRetry(st Interface, pol retry.Policy) *Retrying {
+	return &Retrying{Store: st, Policy: pol}
+}
+
+// Put implements Interface.
+func (r *Retrying) Put(key string, data []byte) error {
+	return r.Policy.Do(nil, IsTransient, func() error {
+		return r.Store.Put(key, data)
+	})
+}
+
+// Get implements Interface.
+func (r *Retrying) Get(key string) ([]byte, error) {
+	var data []byte
+	err := r.Policy.Do(nil, IsTransient, func() error {
+		var e error
+		data, e = r.Store.Get(key)
+		return e
+	})
+	return data, err
+}
+
+// Delete implements Interface.
+func (r *Retrying) Delete(key string) error {
+	return r.Policy.Do(nil, IsTransient, func() error {
+		return r.Store.Delete(key)
+	})
+}
+
+// List implements Interface.
+func (r *Retrying) List(prefix string) ([]string, error) {
+	var keys []string
+	err := r.Policy.Do(nil, IsTransient, func() error {
+		var e error
+		keys, e = r.Store.List(prefix)
+		return e
+	})
+	return keys, err
+}

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"memorydb/internal/retry"
 	"memorydb/internal/s3"
 	"memorydb/internal/store"
 	"memorydb/internal/txlog"
@@ -15,16 +16,24 @@ import (
 // "<prefix>/<shardID>/<logPos padded>" so the lexically greatest key for a
 // shard is also the freshest snapshot.
 type Manager struct {
-	store  *s3.Store
+	store  s3.Interface
 	prefix string
 }
 
-// NewManager returns a manager writing under prefix.
-func NewManager(st *s3.Store, prefix string) *Manager {
+// NewManager returns a manager writing under prefix. st is typically a
+// *s3.Store, or an *s3.Retrying wrapping one so transient storage blips
+// are absorbed instead of failing a scheduled snapshot or a restore.
+func NewManager(st s3.Interface, prefix string) *Manager {
 	if prefix == "" {
 		prefix = "snapshots"
 	}
 	return &Manager{store: st, prefix: prefix}
+}
+
+// WithRetries returns a Manager reading and writing through a retrying
+// wrapper with the given policy, sharing the underlying store.
+func (m *Manager) WithRetries(pol retry.Policy) *Manager {
+	return &Manager{store: s3.WithRetry(m.store, pol), prefix: m.prefix}
 }
 
 func (m *Manager) key(shardID string, pos txlog.EntryID) string {

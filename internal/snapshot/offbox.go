@@ -7,6 +7,7 @@ import (
 
 	"memorydb/internal/clock"
 	"memorydb/internal/engine"
+	"memorydb/internal/retry"
 	"memorydb/internal/txlog"
 )
 
@@ -23,6 +24,10 @@ type Offbox struct {
 	// upgrades the control plane pins this to the *oldest* version running
 	// in the cluster (§7.1) so every node can restore from it.
 	EngineVersion uint32
+	// Retry shapes the backoff applied to the S3 restore and upload legs,
+	// so a brief storage blip degrades one run's latency instead of
+	// failing it. The zero value uses the library defaults.
+	Retry retry.Policy
 }
 
 // Run performs one off-box snapshot of shardID against log, returning the
@@ -33,13 +38,21 @@ func (o *Offbox) Run(ctx context.Context, shardID string, log *txlog.Log) (Meta,
 	if clk == nil {
 		clk = clock.NewReal()
 	}
+	// All S3 legs go through the retrying wrapper: restore and upload are
+	// idempotent, so a transient storage failure costs backoff time, not
+	// the whole run.
+	pol := o.Retry
+	if pol.Clock == nil {
+		pol.Clock = clk
+	}
+	mgr := o.Manager.WithRetries(pol)
 	// (1) Record the tail position at creation time.
 	target := log.CommittedTail()
 
 	// Bootstrap exactly like a recovering customer replica.
 	eng := engine.New(clk)
 	from := txlog.ZeroID
-	if db, meta, ok, err := o.Manager.Latest(shardID); err != nil {
+	if db, meta, ok, err := mgr.Latest(shardID); err != nil {
 		return Meta{}, fmt.Errorf("offbox: loading base snapshot: %w", err)
 	} else if ok {
 		eng.ResetDB(db)
@@ -66,7 +79,7 @@ func (o *Offbox) Run(ctx context.Context, shardID string, log *txlog.Log) (Meta,
 	if err := Write(&buf, eng.DB(), meta); err != nil {
 		return Meta{}, fmt.Errorf("offbox: serialize: %w", err)
 	}
-	if err := o.Manager.SaveRaw(shardID, target, buf.Bytes()); err != nil {
+	if err := mgr.SaveRaw(shardID, target, buf.Bytes()); err != nil {
 		return Meta{}, fmt.Errorf("offbox: upload: %w", err)
 	}
 	return meta, nil

@@ -1,0 +1,49 @@
+package snapshot
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"memorydb/internal/retry"
+	"memorydb/internal/s3"
+)
+
+// TestOffboxSurvivesBriefS3Outage: a scheduled off-box snapshot must not
+// fail because S3 blipped — the retrying wrapper absorbs the outage and
+// the run completes (satellite: snapshot/S3 retry discipline).
+func TestOffboxSurvivesBriefS3Outage(t *testing.T) {
+	log, _ := buildLoggedShard(t, 10)
+	store := s3.New()
+	mgr := NewManager(store, "snaps")
+	ob := &Offbox{
+		Manager:       mgr,
+		EngineVersion: 2,
+		Retry:         retry.Policy{Base: time.Millisecond, Max: 10 * time.Millisecond, Attempts: 12},
+	}
+
+	// Outage raised before the run, healed mid-run: the restore leg must
+	// retry through it rather than fail the snapshot.
+	store.SetUnavailable(true)
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		store.SetUnavailable(false)
+	}()
+	meta, err := ob.Run(context.Background(), "s1", log)
+	if err != nil {
+		t.Fatalf("off-box run across S3 blip: %v", err)
+	}
+	if meta.LogPos != log.CommittedTail() {
+		t.Fatalf("snapshot at %v, want %v", meta.LogPos, log.CommittedTail())
+	}
+	if _, _, ok, err := mgr.Latest("s1"); err != nil || !ok {
+		t.Fatalf("snapshot not retrievable after run: %v %v", ok, err)
+	}
+
+	// A persistent outage still fails (bounded attempts, not forever).
+	store.SetUnavailable(true)
+	if _, err := ob.Run(context.Background(), "s1", log); !errors.Is(err, s3.ErrUnavailable) {
+		t.Fatalf("persistent outage: err = %v, want ErrUnavailable", err)
+	}
+}

@@ -1,0 +1,93 @@
+package txlog
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"memorydb/internal/netsim"
+)
+
+// AZReplica simulates one availability zone's copy of the transaction log
+// service. The paper's log commits an entry once a quorum of AZ replicas
+// has durably acknowledged it (§3, §4.2): with 3 AZs and a 2-of-3 quorum,
+// one zone can be down, flaky, or slow without making the service
+// unavailable — it only changes which acknowledgements bound the commit
+// latency. Faults are injected per replica:
+//
+//   - down: the zone never acknowledges (outage);
+//   - flaky: each acknowledgement is independently dropped with a seeded
+//     probability (grey failure);
+//   - slow: acknowledgements arrive after extra latency (degraded zone).
+//
+// One AZ down shifts the commit latency from the 2nd-fastest of 3 acks to
+// the slower of the remaining 2; two AZs down drops the service below
+// quorum and appends fail with ErrUnavailable until a zone recovers.
+type AZReplica struct {
+	name    string
+	latency netsim.LatencyModel // per-ack latency draw
+	slowLat netsim.LatencyModel // extra latency while slow
+	down    netsim.Flag
+	slow    netsim.Flag
+	flaky   *netsim.Prob
+
+	mu sync.Mutex
+	// acksDropped counts acknowledgements lost to down/flaky injection;
+	// acksServed counts delivered ones (observability for tests).
+	acksDropped int64
+	acksServed  int64
+}
+
+func newAZReplica(i int, lat, slowLat netsim.LatencyModel, seed int64) *AZReplica {
+	return &AZReplica{
+		name:    fmt.Sprintf("az-%d", i+1),
+		latency: lat,
+		slowLat: slowLat,
+		flaky:   netsim.NewProb(0, seed),
+	}
+}
+
+// Name returns the zone label ("az-1"…).
+func (a *AZReplica) Name() string { return a.name }
+
+// SetDown injects (or clears) a full outage of this zone's replica.
+func (a *AZReplica) SetDown(on bool) { a.down.Set(on) }
+
+// Down reports whether the zone is currently down.
+func (a *AZReplica) Down() bool { return a.down.On() }
+
+// SetFlaky makes the zone drop each acknowledgement independently with
+// probability p (0 heals it). Draws are deterministic under the service
+// seed, so fixed-seed chaos schedules reproduce.
+func (a *AZReplica) SetFlaky(p float64) { a.flaky.SetP(p) }
+
+// SetSlow injects (or clears) degraded latency: acknowledgements still
+// arrive, but pay the service's SlowExtra model on top of the base draw.
+func (a *AZReplica) SetSlow(on bool) { a.slow.Set(on) }
+
+// Acks returns (served, dropped) acknowledgement counts.
+func (a *AZReplica) Acks() (served, dropped int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acksServed, a.acksDropped
+}
+
+// ack draws one append acknowledgement: ok=false means the zone did not
+// acknowledge (down or flaky drop); otherwise d is the simulated time for
+// this zone's durable ack.
+func (a *AZReplica) ack() (d time.Duration, ok bool) {
+	if a.down.On() || a.flaky.Hit() {
+		a.mu.Lock()
+		a.acksDropped++
+		a.mu.Unlock()
+		return 0, false
+	}
+	d = a.latency.Sample()
+	if a.slow.On() {
+		d += a.slowLat.Sample()
+	}
+	a.mu.Lock()
+	a.acksServed++
+	a.mu.Unlock()
+	return d, true
+}

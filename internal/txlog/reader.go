@@ -24,9 +24,15 @@ func (r *Reader) CaughtUp() bool {
 	return r.pos >= r.log.CommittedTail().Seq
 }
 
-// TryNext returns the next committed entry without blocking.
+// TryNext returns the next committed entry without blocking. During a
+// service outage (or a below-quorum zone set) it fails with the transient
+// ErrUnavailable: the cursor is unchanged, so the caller reconnects by
+// simply retrying later — no gaps, no duplicates.
 func (r *Reader) TryNext() (Entry, bool, error) {
 	l := r.log
+	if err := l.svc.readErr(); err != nil {
+		return Entry{}, false, err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if r.pos < l.baseSeq {
@@ -42,10 +48,14 @@ func (r *Reader) TryNext() (Entry, bool, error) {
 }
 
 // Next blocks until a committed entry past the cursor is available, the
-// context is cancelled, or the log is destroyed.
+// context is cancelled, or the log is destroyed. Like TryNext it surfaces
+// a service outage as ErrUnavailable with the cursor unchanged.
 func (r *Reader) Next(ctx context.Context) (Entry, error) {
 	for {
 		l := r.log
+		if err := l.svc.readErr(); err != nil {
+			return Entry{}, err
+		}
 		l.mu.Lock()
 		if r.pos < l.baseSeq {
 			l.mu.Unlock()

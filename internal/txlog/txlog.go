@@ -7,11 +7,16 @@
 // simulated Availability Zones.
 //
 // The real AWS service is an existing, battle-tested internally replicated
-// system; MemoryDB consumes only its API surface. We therefore model the
-// service as internally reliable — entries, once assigned, always commit
-// after the quorum latency — and inject failures at the client boundary
-// (partitions, service unavailability, latency spikes), which is exactly
-// where MemoryDB observes them.
+// system; MemoryDB consumes only its API surface. We model its interior
+// just deeply enough to reproduce its fault envelope: every log is copied
+// to AZCount simulated zone replicas (AZReplica), each with its own
+// latency draw and independently injectable faults (down, flaky, slow).
+// An append is accepted only when a quorum of zones acknowledges it —
+// below quorum the service is unavailable and appends/reads fail with
+// ErrUnavailable — and an accepted entry always commits after the quorum
+// latency (internal reliability). Client-boundary failures (partitions,
+// whole-service outages) are injected on top, which is exactly where
+// MemoryDB observes them.
 package txlog
 
 import (
@@ -20,7 +25,9 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"sort"
 	"sync"
+	"time"
 
 	"memorydb/internal/clock"
 	"memorydb/internal/netsim"
@@ -97,6 +104,9 @@ type Entry struct {
 	// records-per-entry statistics without parsing payloads.
 	Records uint32
 	Payload []byte
+	// acks is the number of AZ replicas that acknowledged this entry's
+	// append (set by StartAppend; drives the AZCopies metric).
+	acks uint8
 }
 
 // RecordCount returns the number of logical records the entry carries.
@@ -107,13 +117,22 @@ func (e Entry) RecordCount() int {
 	return int(e.Records)
 }
 
-// Errors returned by the log.
+// Errors returned by the log. They split into two classes that clients
+// MUST treat differently (§4.1.3):
+//
+//   - Transient (retryable): ErrUnavailable. The service could not be
+//     reached or could not assemble a quorum right now; the caller's
+//     position in the log is unchanged, so retrying the identical call is
+//     safe and correct. IsTransient reports this class.
+//   - Fatal: ErrConditionFailed (the fencing primitive — another writer
+//     owns the tail; retrying can never succeed and the caller must
+//     demote), ErrNoSuchLog, ErrTrimmed. Retrying is wrong.
 var (
 	// ErrConditionFailed reports that After did not name the current tail
 	// — another writer appended first. This is the fencing primitive.
 	ErrConditionFailed = errors.New("txlog: conditional append failed: not at tail")
 	// ErrUnavailable reports that the caller cannot reach the service
-	// (partition or injected outage).
+	// (partition, injected outage, or fewer than quorum healthy AZs).
 	ErrUnavailable = errors.New("txlog: service unavailable")
 	// ErrNoSuchLog reports an unknown shard log.
 	ErrNoSuchLog = errors.New("txlog: no such log")
@@ -121,18 +140,36 @@ var (
 	ErrTrimmed = errors.New("txlog: position trimmed")
 )
 
+// IsTransient reports whether err is a retryable service condition (the
+// caller's log position is unchanged and the identical call may succeed
+// later). Fencing and trim errors are fatal: retrying cannot help and the
+// caller must change state (demote, restore from snapshot) instead.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrUnavailable) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 var crcTable = crc64.MakeTable(crc64.ECMA)
 
 // Config parameterizes the service.
 type Config struct {
 	// Clock drives latency simulation. Defaults to the wall clock.
 	Clock clock.Clock
-	// CommitLatency models the quorum commit across AZs (time from append
-	// to durable acknowledgement). Defaults to zero.
+	// CommitLatency is the per-AZ acknowledgement latency model: each zone
+	// replica draws independently and an append commits at the Quorum-th
+	// fastest ack. Defaults to zero.
 	CommitLatency netsim.LatencyModel
-	// AZCount is the number of availability zones entries are copied to;
-	// informational plus used by AZCopies. Defaults to 3.
+	// SlowExtra is the additional latency a zone marked slow pays per
+	// acknowledgement. Defaults to a fixed 2ms.
+	SlowExtra netsim.LatencyModel
+	// AZCount is the number of availability zone replicas entries are
+	// copied to. Defaults to 3.
 	AZCount int
+	// Quorum is how many AZ acknowledgements an append needs. Defaults to
+	// a majority of AZCount (2 of 3).
+	Quorum int
+	// Seed makes flaky-AZ fault draws deterministic. Zero is a valid seed.
+	Seed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -142,15 +179,24 @@ func (c Config) withDefaults() Config {
 	if c.CommitLatency == nil {
 		c.CommitLatency = netsim.Zero{}
 	}
+	if c.SlowExtra == nil {
+		c.SlowExtra = netsim.Fixed(2 * time.Millisecond)
+	}
 	if c.AZCount == 0 {
 		c.AZCount = 3
+	}
+	if c.Quorum == 0 {
+		c.Quorum = c.AZCount/2 + 1
 	}
 	return c
 }
 
-// Service hosts one transaction log per shard.
+// Service hosts one transaction log per shard, replicated across a fixed
+// set of simulated availability zones shared by all logs (zones are a
+// property of the service deployment, not of one shard).
 type Service struct {
 	cfg  Config
+	azs  []*AZReplica
 	mu   sync.Mutex
 	logs map[string]*Log
 	down netsim.Flag // whole-service outage injection
@@ -158,11 +204,72 @@ type Service struct {
 
 // NewService returns an empty log service.
 func NewService(cfg Config) *Service {
-	return &Service{cfg: cfg.withDefaults(), logs: make(map[string]*Log)}
+	cfg = cfg.withDefaults()
+	s := &Service{cfg: cfg, logs: make(map[string]*Log)}
+	for i := 0; i < cfg.AZCount; i++ {
+		s.azs = append(s.azs, newAZReplica(i, cfg.CommitLatency, cfg.SlowExtra, cfg.Seed+int64(i)))
+	}
+	return s
 }
 
 // SetUnavailable injects (or clears) a whole-service outage.
 func (s *Service) SetUnavailable(down bool) { s.down.Set(down) }
+
+// AZ returns the i-th zone replica for fault injection (0-based).
+func (s *Service) AZ(i int) *AZReplica { return s.azs[i] }
+
+// AZs returns all zone replicas.
+func (s *Service) AZs() []*AZReplica { return append([]*AZReplica(nil), s.azs...) }
+
+// HealthyAZs counts zones not currently down (flaky/slow zones count as
+// healthy — they still serve, just unreliably or slowly).
+func (s *Service) HealthyAZs() int {
+	n := 0
+	for _, az := range s.azs {
+		if !az.Down() {
+			n++
+		}
+	}
+	return n
+}
+
+// Quorum returns the acknowledgement quorum appends must reach.
+func (s *Service) Quorum() int { return s.cfg.Quorum }
+
+// Degraded reports whether the service is running below full replication
+// (at least one zone down) while still meeting quorum.
+func (s *Service) Degraded() bool {
+	h := s.HealthyAZs()
+	return h < s.cfg.AZCount && h >= s.cfg.Quorum
+}
+
+// readErr reports whether committed entries can currently be served to
+// readers: a whole-service outage or a below-quorum zone set makes reads
+// fail transiently (the data is safe; the service just cannot serve it).
+func (s *Service) readErr() error {
+	if s.down.On() || s.HealthyAZs() < s.cfg.Quorum {
+		return ErrUnavailable
+	}
+	return nil
+}
+
+// quorumAck samples one append across the zone replicas: every zone draws
+// an acknowledgement (or drops it — down/flaky), and the append commits at
+// the Quorum-th fastest ack. ok=false means quorum was not reached and the
+// append must be rejected as unavailable.
+func (s *Service) quorumAck() (commit time.Duration, acks int, ok bool) {
+	var lat []time.Duration
+	for _, az := range s.azs {
+		if d, acked := az.ack(); acked {
+			lat = append(lat, d)
+		}
+	}
+	if len(lat) < s.cfg.Quorum {
+		return 0, len(lat), false
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[s.cfg.Quorum-1], len(lat), true
+}
 
 // CreateLog provisions the log for shardID. Creating an existing log is an
 // error (resharding must use fresh shard IDs).
@@ -242,6 +349,9 @@ type Stats struct {
 	// counts data entries carrying [2^i, 2^(i+1)) records (the last bucket
 	// is open-ended).
 	RecordsPerEntry [8]int64
+	// DegradedAppends counts appends that committed with fewer than
+	// AZCount acknowledgements (quorum met, full replication not).
+	DegradedAppends int64
 }
 
 // histBucket maps a record count to its RecordsPerEntry bucket.
@@ -280,16 +390,30 @@ func (l *Log) ShardID() string { return l.shardID }
 // FailAppends injects (or clears) append failures for this log only.
 func (l *Log) FailAppends(on bool) { l.appendsFailed.Set(on) }
 
+// Degraded reports whether the owning service currently runs below full
+// replication (at least one AZ down) while still meeting quorum.
+func (l *Log) Degraded() bool { return l.svc.Degraded() }
+
 // Pending is an assigned-but-possibly-not-yet-durable append. The entry
 // is guaranteed to commit (the service is internally reliable); Wait
 // blocks until it is durable in a quorum of AZs.
 type Pending struct {
-	id   EntryID
-	done chan struct{}
+	id      EntryID
+	acks    int // AZ replicas that acknowledged (>= quorum)
+	azTotal int // configured AZ count
+	done    chan struct{}
 }
 
 // ID returns the assigned entry ID.
 func (p *Pending) ID() EntryID { return p.id }
+
+// Acks returns how many AZ replicas acknowledged the append. Acks below
+// AZTotal means the write committed degraded (quorum met, full
+// replication not).
+func (p *Pending) Acks() int { return p.acks }
+
+// AZTotal returns the configured number of AZ replicas.
+func (p *Pending) AZTotal() int { return p.azTotal }
 
 // Wait blocks until the entry is durably committed or ctx is cancelled.
 // A cancelled wait does not abort the append: the entry still commits —
@@ -314,6 +438,14 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 	if l.svc.down.On() || l.appendsFailed.On() {
 		return nil, ErrUnavailable
 	}
+	// Per-AZ quorum: sample every zone's acknowledgement before assigning a
+	// sequence number, so a below-quorum service rejects the append with no
+	// state change (the caller's position is intact and a retry is safe).
+	// Once assigned, the entry is guaranteed to commit.
+	commitLat, acks, ok := l.svc.quorumAck()
+	if !ok {
+		return nil, ErrUnavailable
+	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -334,9 +466,13 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 	}
 	l.assigned++
 	e.ID = EntryID{Seq: l.assigned}
+	e.acks = uint8(acks)
 	l.entries = append(l.entries, e)
 	l.cums = append(l.cums, 0)
 	l.stats.Appends++
+	if acks < l.svc.cfg.AZCount {
+		l.stats.DegradedAppends++
+	}
 	if e.Type == EntryData {
 		records := e.RecordCount()
 		l.stats.DataAppends++
@@ -347,16 +483,16 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 			l.stats.MaxRecordsPerEntry = int64(records)
 		}
 	}
-	p := &Pending{id: e.ID, done: make(chan struct{})}
-	clk, lat := l.svc.cfg.Clock, l.svc.cfg.CommitLatency
+	p := &Pending{id: e.ID, acks: acks, azTotal: l.svc.cfg.AZCount, done: make(chan struct{})}
+	clk := l.svc.cfg.Clock
 	l.mu.Unlock()
 
 	go func() {
-		// Quorum commit: the append is durable after the slower of the
-		// two fastest AZ acknowledgements; the latency model captures
-		// that as a single draw.
-		if d := lat.Sample(); d > 0 {
-			<-clk.After(d)
+		// Quorum commit: the append is durable at the quorum-th fastest
+		// per-AZ acknowledgement (with one zone down, the slower of the
+		// remaining two — degraded latency, preserved availability).
+		if commitLat > 0 {
+			<-clk.After(commitLat)
 		}
 		l.commitEntry(p.id)
 		// Acknowledgement implies the whole prefix is durable: hold the
@@ -409,7 +545,11 @@ func (l *Log) commitEntry(id EntryID) {
 		}
 		l.committed++
 		advanced = true
-		l.azCopies += int64(l.svc.cfg.AZCount)
+		copies := int64(next.acks)
+		if copies == 0 {
+			copies = int64(l.svc.cfg.AZCount) // pre-quorum-model entries
+		}
+		l.azCopies += copies
 		if next.Type == EntryData {
 			l.checksum = crc64.Update(l.checksum, crcTable, next.Payload)
 		}

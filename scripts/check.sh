@@ -8,3 +8,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/core/ ./internal/tracker/ ./internal/txlog/
+# Fixed-seed chaos gate: the fault schedules (AZ outages, rolling
+# maintenance, flaky-AZ storm, randomized fault storm) must reproduce at
+# two pinned seeds so fault-path regressions are deterministic.
+MEMORYDB_CHAOS_SEED=1 go test -race -run Chaos ./internal/cluster/
+MEMORYDB_CHAOS_SEED=2 go test -race -run Chaos ./internal/cluster/
