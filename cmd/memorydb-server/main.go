@@ -19,6 +19,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"memorydb/internal/baseline"
@@ -26,6 +27,7 @@ import (
 	"memorydb/internal/clock"
 	"memorydb/internal/core"
 	"memorydb/internal/election"
+	"memorydb/internal/faultpoint"
 	"memorydb/internal/s3"
 	"memorydb/internal/server"
 	"memorydb/internal/snapshot"
@@ -51,11 +53,16 @@ func main() {
 			log.Fatalf("create log: %v", err)
 		}
 		snaps := snapshot.NewManager(s3.New(), "snapshots")
+		faults, err := faultRegistryFromEnv()
+		if err != nil {
+			log.Fatalf("MEMORYDB_FAULTPOINTS: %v", err)
+		}
 		node, err := core.NewNode(core.Config{
 			NodeID:    "node-0",
 			ShardID:   "shard-0",
 			Log:       logHandle,
 			Snapshots: snaps,
+			Faults:    faults,
 		})
 		if err != nil {
 			log.Fatalf("create node: %v", err)
@@ -85,6 +92,31 @@ func main() {
 	signal.Notify(sig, os.Interrupt)
 	<-sig
 	fmt.Println("shutting down")
+}
+
+// faultRegistryFromEnv builds the node's crash-fault registry from the
+// MEMORYDB_FAULTPOINTS spec ("site=kind[@N|:prob]" clauses separated by
+// ';' — see faultpoint.Parse) seeded by MEMORYDB_CRASH_SEED. Returns nil
+// (faults disabled, zero overhead) when the spec is unset.
+func faultRegistryFromEnv() (*faultpoint.Registry, error) {
+	spec := os.Getenv("MEMORYDB_FAULTPOINTS")
+	if spec == "" {
+		return nil, nil
+	}
+	var seed int64 = 1
+	if s := os.Getenv("MEMORYDB_CRASH_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("MEMORYDB_CRASH_SEED: %w", err)
+		}
+		seed = v
+	}
+	reg, err := faultpoint.Parse(spec, seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("fault injection armed: %s (seed %d)\n", spec, seed)
+	return reg, nil
 }
 
 func fixedOr(d time.Duration) interface {

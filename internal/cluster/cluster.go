@@ -16,6 +16,7 @@ import (
 	"memorydb/internal/core"
 	"memorydb/internal/crc16"
 	"memorydb/internal/election"
+	"memorydb/internal/faultpoint"
 	"memorydb/internal/resp"
 	"memorydb/internal/snapshot"
 	"memorydb/internal/txlog"
@@ -40,6 +41,13 @@ type Config struct {
 	// RetrySeed seeds every node's transient-failure retry jitter, so
 	// fixed-seed chaos schedules reproduce.
 	RetrySeed int64
+	// Faults provisions every node with its own crash-fault registry
+	// (seeded from FaultSeed plus a stable per-node index), enabling the
+	// Kill/Restart/Resurrect lifecycle and site-level fault schedules.
+	// A restarted node keeps its predecessor's registry, so hit/fired
+	// accounting spans the node's whole identity, not one incarnation.
+	Faults    bool
+	FaultSeed int64
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +78,10 @@ type Cluster struct {
 	blockedSlots map[uint16]bool
 	nodeSeq      int
 	shardSeq     int
+	// faults maps nodeID → its crash-fault registry (Config.Faults only).
+	// Keyed by identity, not incarnation: Restart hands the replacement
+	// process the same registry.
+	faults map[string]*faultpoint.Registry
 }
 
 // Shard is one replication group: a transaction log plus its nodes.
@@ -88,25 +100,27 @@ func (s *Shard) Nodes() []*core.Node {
 	return append([]*core.Node(nil), s.nodes...)
 }
 
-// Primary returns the shard's current primary, if any.
+// Primary returns the shard's current primary, if any. A crash-frozen
+// node is dead to routing: it may still *believe* it is primary, but no
+// client can be directed at it.
 func (s *Shard) Primary() (*core.Node, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, n := range s.nodes {
-		if n.Role() == election.RolePrimary && !n.Stopped() {
+		if n.Role() == election.RolePrimary && !n.Stopped() && !n.Frozen() {
 			return n, true
 		}
 	}
 	return nil, false
 }
 
-// Replicas returns the shard's replica nodes.
+// Replicas returns the shard's live replica nodes.
 func (s *Shard) Replicas() []*core.Node {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	var out []*core.Node
 	for _, n := range s.nodes {
-		if n.Role() == election.RoleReplica && !n.Stopped() {
+		if n.Role() == election.RoleReplica && !n.Stopped() && !n.Frozen() {
 			out = append(out, n)
 		}
 	}
@@ -185,6 +199,49 @@ func (c *Cluster) addNode(sh *Shard) (*core.Node, error) {
 	az := c.cfg.AZs[c.nodeSeq%len(c.cfg.AZs)]
 	c.nodeSeq++
 	c.mu.Unlock()
+	return c.addNodeAs(sh, nodeID, az)
+}
+
+// nodeFaults returns (creating on first use) the crash-fault registry for
+// nodeID. Seeds are derived from FaultSeed plus a stable FNV hash of the
+// node's identity, so a fixed seed reproduces the same per-node schedules
+// regardless of provisioning interleaving.
+func (c *Cluster) nodeFaults(nodeID string) *faultpoint.Registry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.faults == nil {
+		c.faults = make(map[string]*faultpoint.Registry)
+	}
+	r, ok := c.faults[nodeID]
+	if !ok {
+		var h uint64 = 14695981039346656037
+		for i := 0; i < len(nodeID); i++ {
+			h ^= uint64(nodeID[i])
+			h *= 1099511628211
+		}
+		r = faultpoint.New(c.cfg.FaultSeed ^ int64(h&0x7fffffffffffffff))
+		c.faults[nodeID] = r
+	}
+	return r
+}
+
+// NodeFaults exposes nodeID's fault registry (nil unless Config.Faults).
+// Harnesses use it to arm site schedules and to audit coverage.
+func (c *Cluster) NodeFaults(nodeID string) *faultpoint.Registry {
+	if !c.cfg.Faults {
+		return nil
+	}
+	return c.nodeFaults(nodeID)
+}
+
+// addNodeAs provisions a node with a fixed identity — the restart path
+// reuses the killed node's ID and AZ, exactly like a replacement process
+// on the same host.
+func (c *Cluster) addNodeAs(sh *Shard, nodeID, az string) (*core.Node, error) {
+	var faults *faultpoint.Registry
+	if c.cfg.Faults {
+		faults = c.nodeFaults(nodeID)
+	}
 	n, err := core.NewNode(core.Config{
 		NodeID:          nodeID,
 		ShardID:         sh.ID,
@@ -200,6 +257,7 @@ func (c *Cluster) addNode(sh *Shard) (*core.Node, error) {
 		ChecksumEvery:   c.cfg.ChecksumEvery,
 		MaxBatchRecords: c.cfg.MaxBatchRecords,
 		RetrySeed:       c.cfg.RetrySeed,
+		Faults:          faults,
 	})
 	if err != nil {
 		return nil, err

@@ -34,6 +34,15 @@ func (m *Monitor) Alarms() []string {
 	return append([]string(nil), m.alarms...)
 }
 
+// RaiseAlarm records an externally detected fault — e.g. the snapshot
+// scheduler's verification failures feed here, so a bad snapshot pages
+// through the same channel as a primaryless shard.
+func (m *Monitor) RaiseAlarm(msg string) {
+	m.mu.Lock()
+	m.alarms = append(m.alarms, msg)
+	m.mu.Unlock()
+}
+
 // Replacements returns how many dead replicas the monitor replaced.
 func (m *Monitor) Replacements() int {
 	m.mu.Lock()

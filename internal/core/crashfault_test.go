@@ -1,0 +1,184 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"memorydb/internal/election"
+	"memorydb/internal/faultpoint"
+	"memorydb/internal/netsim"
+	"memorydb/internal/s3"
+	"memorydb/internal/snapshot"
+)
+
+// TestResyncTrimmedGapFails: when the log has been trimmed past the
+// newest usable snapshot, resync must fail with the explicit
+// ErrLogTrimmedGap — never replay across the gap, which would silently
+// drop the committed entries that lived in it.
+func TestResyncTrimmedGapFails(t *testing.T) {
+	svc := testService(t, netsim.Zero{})
+	log, _ := svc.CreateLog("shard-trim")
+	snaps := snapshot.NewManager(s3.New(), "snaps")
+	p := testNode(t, "node-a", log, snaps)
+	waitRole(t, p, election.RolePrimary, 2*time.Second)
+
+	for i := 0; i < 8; i++ {
+		mustDo(t, p, "SET", "pre", "v")
+	}
+	ob := &snapshot.Offbox{Manager: snaps, EngineVersion: 1}
+	meta, err := ob.Run(context.Background(), log.ShardID(), log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		mustDo(t, p, "SET", "post", "v")
+	}
+	// Trim past the snapshot position: the suffix the snapshot needs is
+	// gone.
+	log.Trim(log.CommittedTail())
+	if log.CommittedTail().Seq <= meta.LogPos.Seq {
+		t.Fatal("test setup: trim did not pass the snapshot position")
+	}
+
+	fresh, err := NewNode(Config{
+		NodeID: "node-fresh", ShardID: log.ShardID(), Log: log,
+		Lease: 120 * time.Millisecond, Backoff: 160 * time.Millisecond,
+		RenewEvery: 30 * time.Millisecond, ReplicaPoll: time.Millisecond,
+		Snapshots: snaps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.resync(); !errors.Is(err, ErrLogTrimmedGap) {
+		t.Fatalf("resync across trimmed gap: err = %v, want ErrLogTrimmedGap", err)
+	}
+
+	// Without any snapshot store the same trim is equally fatal: a cold
+	// replay from zero hits the trim point immediately.
+	bare, err := NewNode(Config{
+		NodeID: "node-bare", ShardID: log.ShardID(), Log: log,
+		Lease: 120 * time.Millisecond, Backoff: 160 * time.Millisecond,
+		RenewEvery: 30 * time.Millisecond, ReplicaPoll: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bare.resync(); !errors.Is(err, ErrLogTrimmedGap) {
+		t.Fatalf("snapshotless resync across trim: err = %v, want ErrLogTrimmedGap", err)
+	}
+}
+
+// TestResyncSkipsTornSnapshotAndCounts: a corrupt newest snapshot must
+// not block a restore — resync falls back to the older good version and
+// records the skip in TornSnapshotsDetected.
+func TestResyncSkipsTornSnapshotAndCounts(t *testing.T) {
+	svc := testService(t, netsim.Zero{})
+	log, _ := svc.CreateLog("shard-torn")
+	st := s3.New()
+	snaps := snapshot.NewManager(st, "snaps")
+	p := testNode(t, "node-a", log, snaps)
+	waitRole(t, p, election.RolePrimary, 2*time.Second)
+
+	mustDo(t, p, "SET", "good", "1")
+	ob := &snapshot.Offbox{Manager: snaps, EngineVersion: 1}
+	if _, err := ob.Run(context.Background(), log.ShardID(), log); err != nil {
+		t.Fatal(err)
+	}
+	mustDo(t, p, "SET", "later", "2")
+	faults := faultpoint.New(3)
+	faults.Arm(faultpoint.SiteSnapUpload, faultpoint.Corrupt, 0)
+	obBad := &snapshot.Offbox{Manager: snaps, EngineVersion: 1, Faults: faults}
+	if _, err := obBad.Run(context.Background(), log.ShardID(), log); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := testNode(t, "node-fresh", log, snaps)
+	// The bootstrap resync runs asynchronously in the role loop; wait for
+	// it to have walked past the damaged version.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && fresh.Stats().TornSnapshotsDetected.Load() < 1 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := fresh.Stats().TornSnapshotsDetected.Load(); got < 1 {
+		t.Fatalf("TornSnapshotsDetected = %d, want >= 1", got)
+	}
+	waitRole(t, fresh, election.RoleReplica, 2*time.Second)
+	v, err := fresh.DoReadOnly(context.Background(), [][]byte{[]byte("GET"), []byte("later")})
+	if err != nil || v.Text() != "2" {
+		t.Fatalf("replica read after torn-snapshot fallback: %q %v", v.Text(), err)
+	}
+}
+
+// TestFreezeThawGate covers the crash primitive itself: a frozen node
+// parks client tasks at the gate (no replies, like a dead process), a
+// stopped-while-frozen node fails them with ErrStopped, and a thawed
+// node resumes service.
+func TestFreezeThawGate(t *testing.T) {
+	svc := testService(t, netsim.Zero{})
+	log, _ := svc.CreateLog("shard-freeze")
+	n := testNode(t, "node-a", log, nil)
+	waitRole(t, n, election.RolePrimary, 2*time.Second)
+	mustDo(t, n, "SET", "k", "v1")
+
+	n.Freeze()
+	if !n.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	_, err := n.Do(ctx, [][]byte{[]byte("GET"), []byte("k")})
+	cancel()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("command against frozen node: err = %v, want deadline exceeded", err)
+	}
+
+	n.Thaw()
+	if n.Frozen() {
+		t.Fatal("Frozen() true after Thaw")
+	}
+	// Thawed with time still on the lease (the freeze was shorter than
+	// the lease) the node serves again; if the lease lapsed it demotes —
+	// either way the node answers instead of hanging.
+	ctx, cancel = context.WithTimeout(context.Background(), time.Second)
+	_, err = n.Do(ctx, [][]byte{[]byte("GET"), []byte("k")})
+	cancel()
+	if err != nil {
+		t.Fatalf("command against thawed node: %v", err)
+	}
+}
+
+// TestCheckpointErrorIsTransient: an Error decision at a fault site
+// surfaces as txlog.ErrUnavailable — the transient taxonomy — so the
+// retry discipline, not demotion, absorbs it.
+func TestCheckpointErrorIsTransient(t *testing.T) {
+	svc := testService(t, netsim.Zero{})
+	log, _ := svc.CreateLog("shard-ckpt")
+	faults := faultpoint.New(1)
+	n, err := NewNode(Config{
+		NodeID: "node-a", ShardID: log.ShardID(), Log: log,
+		Lease: 120 * time.Millisecond, Backoff: 160 * time.Millisecond,
+		RenewEvery: 30 * time.Millisecond, ReplicaPoll: time.Millisecond,
+		Faults: faults,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	t.Cleanup(n.Stop)
+	waitRole(t, n, election.RolePrimary, 2*time.Second)
+
+	// One transient error on the next append: the lease-bounded retry
+	// loop must absorb it and the write must still acknowledge.
+	faults.Arm(faultpoint.SiteAppendPre, faultpoint.Error, 0)
+	mustDo(t, n, "SET", "k", "v1")
+	if faults.Fired(faultpoint.SiteAppendPre, faultpoint.Error) != 1 {
+		t.Fatal("armed transient error never fired")
+	}
+	if n.Stats().AppendsRetried.Load() == 0 {
+		t.Fatal("transient checkpoint error was not retried")
+	}
+	if v := mustDo(t, n, "GET", "k"); v.Text() != "v1" {
+		t.Fatalf("GET = %q after retried append, want v1", v.Text())
+	}
+}

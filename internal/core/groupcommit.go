@@ -6,6 +6,7 @@ import (
 
 	"memorydb/internal/election"
 	"memorydb/internal/engine"
+	"memorydb/internal/faultpoint"
 	"memorydb/internal/resp"
 	"memorydb/internal/txlog"
 )
@@ -142,6 +143,16 @@ func (n *Node) flushPending() bool {
 		n.abortPending(errDemoted)
 		return false
 	}
+	if err := n.checkpoint(faultpoint.SiteFlushPre); err != nil {
+		// Crashed (and later stopped) or transiently failed at the head of
+		// the flush: nothing reached the log, so the buffered mutations can
+		// never become durable under this node — same treatment as a
+		// lost append.
+		n.stats.AppendsFailed.Add(1)
+		n.demote()
+		n.abortPending(errLogDown)
+		return false
+	}
 	payload := gc.payload
 	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:          txlog.EntryData,
@@ -196,8 +207,17 @@ func (n *Node) flushPending() bool {
 	gc.inflight.Add(1)
 	go func() {
 		if _, err := p.Wait(n.stopCtx); err == nil {
-			n.noteAZHealth(p)
-			trk.Commit(seq)
+			// Two crash gates inside the committed-but-unacknowledged
+			// window: the entry is quorum-durable, but a kill at either
+			// point means no gated reply is ever delivered — the harness's
+			// "durable yet unacknowledged" case. On a checkpoint failure the
+			// commit is skipped but the inflight decrement and wakeup below
+			// still run, so a thawed zombie's workloop is not wedged.
+			if n.checkpoint(faultpoint.SiteFlushPost) == nil &&
+				n.checkpoint(faultpoint.SiteTrackerRelease) == nil {
+				n.noteAZHealth(p)
+				trk.Commit(seq)
+			}
 		}
 		gc.inflight.Add(-1)
 		// Coalesced poke: wake the workloop so the batch that accumulated

@@ -19,6 +19,7 @@ import (
 	"memorydb/internal/clock"
 	"memorydb/internal/election"
 	"memorydb/internal/engine"
+	"memorydb/internal/faultpoint"
 	"memorydb/internal/netsim"
 	"memorydb/internal/resp"
 	"memorydb/internal/retry"
@@ -96,6 +97,12 @@ type Config struct {
 	// RetrySeed makes retry jitter deterministic for fixed-seed chaos
 	// runs. Each node salts it so a fleet does not retry in lockstep.
 	RetrySeed int64
+	// Faults, when set, is the node's crash-fault registry: named sites on
+	// the critical write paths consult it and may crash the node exactly
+	// there (the node freezes in place as a killed process would), stall,
+	// or fail transiently. Production leaves it nil — a nil registry is a
+	// no-op costing one pointer check per site.
+	Faults *faultpoint.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -189,6 +196,14 @@ type Node struct {
 	// full-replication commit after the window.
 	degradedSince atomic.Int64
 
+	// frozenCh gates every node goroutine while the node is "crashed":
+	// non-nil while frozen (goroutines park on it at their next gate),
+	// nil while running. Closed and nilled by Thaw. Guarded by frozenMu —
+	// deliberately separate from mu, so freezing never contends with the
+	// serving paths it is about to halt.
+	frozenMu sync.Mutex
+	frozenCh chan struct{}
+
 	tasks chan *task
 	// appendAcked is a coalesced wakeup: append-waiter goroutines poke it
 	// after a flushed entry commits so the workloop flushes the batch that
@@ -229,6 +244,11 @@ type Stats struct {
 	// sleeps while retrying transient log failures, plus windows during
 	// which commits carried fewer than AZCount acknowledgements.
 	DegradedMillis atomic.Int64
+	// TornSnapshotsDetected counts corrupt or torn snapshots this node's
+	// restore path skipped (checksum/frame gate, §7.2.1) before finding a
+	// usable one. Nonzero means recovery fell back to an older S3 version
+	// or pure log replay instead of failing.
+	TornSnapshotsDetected atomic.Int64
 }
 
 // StatsView is a plain copy of the counters at one instant.
@@ -246,6 +266,8 @@ type StatsView struct {
 	AppendsRetried   int64
 	RenewalsRetried  int64
 	DegradedMillis   int64
+
+	TornSnapshotsDetected int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -264,6 +286,8 @@ func (s *Stats) Snapshot() StatsView {
 		AppendsRetried:   s.AppendsRetried.Load(),
 		RenewalsRetried:  s.RenewalsRetried.Load(),
 		DegradedMillis:   s.DegradedMillis.Load(),
+
+		TornSnapshotsDetected: s.TornSnapshotsDetected.Load(),
 	}
 }
 
@@ -389,12 +413,109 @@ func (n *Node) partitioned() bool {
 	return n.cfg.Partition != nil && n.cfg.Partition.On()
 }
 
-// startAppend wraps Log.StartAppend with the node-level partition check.
+// Freeze halts the node as an OS-level kill would: every node goroutine
+// parks at its next crash gate, no cleanup runs, no reply is delivered,
+// and in-flight appends are left in limbo (entries the log already
+// assigned still commit — the durable-but-unacknowledged window a real
+// crash produces). The node can then either be discarded and replaced by
+// a fresh process that resyncs from S3 + the log (cluster.Restart), or
+// thawed in place as a zombie that must be fenced (cluster.Resurrect).
+func (n *Node) Freeze() {
+	n.frozenMu.Lock()
+	if n.frozenCh == nil {
+		n.frozenCh = make(chan struct{})
+	}
+	n.frozenMu.Unlock()
+}
+
+// Thaw resumes a frozen node exactly where it stopped — the zombie case:
+// the stale process wakes believing whatever it believed at the kill
+// instant, and only the log's conditional-append fencing (plus its
+// expired lease) keeps it from acknowledging anything new.
+func (n *Node) Thaw() {
+	n.frozenMu.Lock()
+	if n.frozenCh != nil {
+		close(n.frozenCh)
+		n.frozenCh = nil
+	}
+	n.frozenMu.Unlock()
+}
+
+// Frozen reports whether the node is currently crash-frozen.
+func (n *Node) Frozen() bool {
+	n.frozenMu.Lock()
+	defer n.frozenMu.Unlock()
+	return n.frozenCh != nil
+}
+
+// gate blocks while the node is frozen. It returns false when the node
+// was stopped (the crashed process is being torn down for replacement) —
+// callers must unwind without side effects; true means the node is live
+// (possibly thawed as a zombie) and execution may continue.
+func (n *Node) gate() bool {
+	for {
+		n.frozenMu.Lock()
+		ch := n.frozenCh
+		n.frozenMu.Unlock()
+		if ch == nil {
+			return n.stopCtx.Err() == nil
+		}
+		select {
+		case <-ch:
+		case <-n.stopCtx.Done():
+			return false
+		}
+	}
+}
+
+// checkpoint is one crash-fault gate on a critical path: it first parks
+// while the node is frozen, then consults the fault registry for the
+// named site. A Crash decision freezes the node at this exact instant —
+// the calling goroutine blocks mid-operation until the node is either
+// stopped (restart path: returns ErrStopped, the caller unwinds) or
+// thawed (zombie path: returns nil, the stale operation resumes and must
+// be fenced by the log). Delay stalls, Error injects a transient service
+// failure, Corrupt is meaningless on these paths and ignored.
+func (n *Node) checkpoint(site string) error {
+	if !n.gate() {
+		return ErrStopped
+	}
+	if n.cfg.Faults == nil {
+		return nil
+	}
+	switch d := n.cfg.Faults.Hit(site); d.Kind {
+	case faultpoint.Crash:
+		n.Freeze()
+		if !n.gate() {
+			return ErrStopped
+		}
+	case faultpoint.Delay:
+		n.clk.Sleep(d.Delay)
+	case faultpoint.Error:
+		return txlog.ErrUnavailable
+	}
+	return nil
+}
+
+// startAppend wraps Log.StartAppend with the node-level partition check
+// and the pre/post crash gates. A crash between assignment and return
+// models the nastiest case: the log owns a durable entry the dead node
+// never learned the ID of.
 func (n *Node) startAppend(after txlog.EntryID, e txlog.Entry) (*txlog.Pending, error) {
+	if err := n.checkpoint(faultpoint.SiteAppendPre); err != nil {
+		return nil, err
+	}
 	if n.partitioned() {
 		return nil, txlog.ErrUnavailable
 	}
-	return n.cfg.Log.StartAppend(after, e)
+	p, err := n.cfg.Log.StartAppend(after, e)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.checkpoint(faultpoint.SiteAppendPost); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // startAppendRetry is startAppend with the transient-failure retry

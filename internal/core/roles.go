@@ -39,12 +39,37 @@ func (n *Node) roleLoop() {
 			return
 		default:
 		}
+		if !n.gate() {
+			return
+		}
 		switch n.Role() {
 		case election.RoleReplica:
 			n.runReplica()
 		case election.RolePrimary:
 			n.runPrimary()
 		case election.RoleDemoted:
+			// Drain the workloop before rebuilding state: when demotion
+			// came from the role loop (lease expiry) the workloop may
+			// still be inside a flush retry holding client replies gated
+			// under the lost leadership. Those replies must fail out
+			// while the node is observably demoted — resync would
+			// otherwise race ahead and rejoin as a replica before the
+			// failed writers ever saw the step-down.
+			if !n.drainWorkloop() {
+				return
+			}
+			// Fencing quarantine: a deposed primary sits out one full
+			// backoff window before resyncing and rejoining. The window
+			// guarantees the step-down is externally observable (failed
+			// writers receive their errors while the node is still
+			// demoted, never after it has already re-entered the fleet)
+			// and that a caught-up successor has had time to claim
+			// leadership, so the rejoin replays the new regime's history
+			// rather than racing its election.
+			n.clk.Sleep(n.cfg.Backoff)
+			if n.stopCtx.Err() != nil {
+				return
+			}
 			if err := n.resync(); err != nil {
 				if n.stopCtx.Err() != nil {
 					return
@@ -73,6 +98,11 @@ func (n *Node) runReplica() {
 		case <-n.stopCtx.Done():
 			return
 		default:
+		}
+		if !n.gate() {
+			// Stopped while crash-frozen: unwind without campaigning — a
+			// dead replica must never become primary.
+			return
 		}
 		if n.partitioned() {
 			// Cut off from the log service: no reads, no campaigning.
@@ -209,6 +239,9 @@ func (n *Node) runPrimary() {
 				return
 			}
 		case <-n.clk.After(ticker):
+			if !n.gate() {
+				return
+			}
 			n.mu.Lock()
 			lease := n.lease
 			role := n.role
@@ -236,18 +269,34 @@ func (n *Node) runPrimary() {
 	}
 }
 
+// ErrLogTrimmedGap reports that the transaction log was trimmed past the
+// replay start position (no snapshot, or none new enough): the suffix
+// needed to bridge snapshot → tail no longer exists, and a restore must
+// fail loudly rather than replay across the gap — a gapped replay would
+// silently drop committed writes. Recovery needs a newer snapshot to
+// appear (the scheduler's next run), so callers may retry.
+var ErrLogTrimmedGap = errors.New("core: log trimmed past newest usable snapshot; refusing gapped replay")
+
 // resync rebuilds the node's state from durable sources: the latest
-// snapshot in S3 (when configured) plus the transaction log suffix
+// usable snapshot in S3 (when configured) plus the transaction log suffix
 // (§4.2.1). It runs entirely against shared, separately scaled services —
-// no interaction with live peers.
+// no interaction with live peers. Corrupt or torn snapshot versions are
+// skipped (counted in TornSnapshotsDetected), falling back to the next
+// older version or pure log replay (§7.2.1).
 func (n *Node) resync() error {
+	if !n.gate() {
+		return ErrStopped
+	}
 	if n.partitioned() {
 		return errors.New("core: partitioned from durable sources")
 	}
 	eng := engine.New(n.clk)
 	from := txlog.ZeroID
 	if n.cfg.Snapshots != nil {
-		db, meta, ok, err := n.cfg.Snapshots.Latest(n.cfg.ShardID)
+		db, meta, skipped, ok, err := n.cfg.Snapshots.LatestUsable(n.cfg.ShardID)
+		if skipped > 0 {
+			n.stats.TornSnapshotsDetected.Add(int64(skipped))
+		}
 		if err != nil {
 			return err
 		}
@@ -264,8 +313,8 @@ func (n *Node) resync() error {
 	// replica tailer continues from there.
 	target := n.cfg.Log.CommittedTail()
 	if err := snapshot.ReplayRange(n.stopCtx, n.cfg.Log, eng, from, target); err != nil {
-		if errors.Is(err, txlog.ErrTrimmed) && n.cfg.Snapshots == nil {
-			return errors.New("core: log trimmed and no snapshot store configured")
+		if errors.Is(err, txlog.ErrTrimmed) {
+			return ErrLogTrimmedGap
 		}
 		return err
 	}
@@ -286,6 +335,24 @@ func (n *Node) resync() error {
 	n.stalled = false
 	n.mu.Unlock()
 	return nil
+}
+
+// drainWorkloop round-trips a barrier task through the workloop, blocking
+// until everything queued (and in flight) ahead of it has been handled.
+// Returns false when the node stopped instead.
+func (n *Node) drainWorkloop() bool {
+	t := &task{kind: taskBarrier, swapCh: make(chan struct{})}
+	select {
+	case n.tasks <- t:
+	case <-n.stopCtx.Done():
+		return false
+	}
+	select {
+	case <-t.swapCh:
+		return true
+	case <-n.stopCtx.Done():
+		return false
+	}
 }
 
 func (n *Node) appliedPos() txlog.EntryID {

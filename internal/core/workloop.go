@@ -8,6 +8,7 @@ import (
 
 	"memorydb/internal/election"
 	"memorydb/internal/engine"
+	"memorydb/internal/faultpoint"
 	"memorydb/internal/resp"
 	"memorydb/internal/txlog"
 )
@@ -25,6 +26,7 @@ const (
 	taskMigCtl
 	taskMigDump
 	taskSlotInfo
+	taskBarrier
 )
 
 type task struct {
@@ -137,6 +139,12 @@ func (n *Node) workloop() {
 }
 
 func (n *Node) handleTask(t *task) {
+	if !n.gate() {
+		// Stopped while frozen: the crashed process is being torn down.
+		// Drop the task without replying — exactly what a dead process
+		// does; submit's stopCtx select fails the caller.
+		return
+	}
 	switch t.kind {
 	case taskCmd:
 		n.handleCmd(t)
@@ -156,6 +164,11 @@ func (n *Node) handleTask(t *task) {
 		n.handleMigDump(t)
 	case taskSlotInfo:
 		t.slotCh <- n.eng.DB().SlotKeys(t.slot, 0)
+	case taskBarrier:
+		// Pure synchronization: reaching this point proves every task
+		// queued ahead of the barrier — including a flush whose retry
+		// loop was failing out gated replies — has been fully handled.
+		close(t.swapCh)
 	case taskSwap:
 		// Installing restored state discards any buffered, never-logged
 		// mutations: their clients must see errors, not silence (the node
@@ -371,6 +384,12 @@ func (n *Node) injectChecksum() {
 func (n *Node) commitWatermarkAsync(p *txlog.Pending, trk trackerIface) {
 	go func() {
 		if id, err := p.Wait(n.stopCtx); err == nil {
+			// Crash gate before the watermark advances: a kill here leaves
+			// the entry durable but every gated reply undelivered — clients
+			// time out and must treat the write as ambiguous.
+			if n.checkpoint(faultpoint.SiteTrackerRelease) != nil {
+				return
+			}
 			n.noteAZHealth(p)
 			trk.Commit(id.Seq)
 		}
@@ -443,6 +462,7 @@ func (n *Node) infoText() string {
 	fmt.Fprintf(&b, "degraded_millis:%d\r\n", st.DegradedMillis)
 	fmt.Fprintf(&b, "log_degraded:%v\r\n", degraded)
 	fmt.Fprintf(&b, "log_degraded_appends:%d\r\n", logStats.DegradedAppends)
+	fmt.Fprintf(&b, "torn_snapshots_detected:%d\r\n", st.TornSnapshotsDetected)
 	fmt.Fprintf(&b, "# Keyspace\r\n")
 	fmt.Fprintf(&b, "keys:%d\r\n", n.eng.DB().Len())
 	fmt.Fprintf(&b, "used_bytes:%d\r\n", n.eng.DB().UsedBytes())
@@ -496,6 +516,13 @@ func (n *Node) handleRenew() {
 	// Flush buffered mutations first so the log order of entries matches
 	// workloop execution order.
 	if !n.flushPending() {
+		return
+	}
+	// Crash gate on the renewal path: a kill here lets the lease run out
+	// under the frozen primary, so a thawed zombie wakes already expired.
+	// A transient Error decision just skips this tick (the next one
+	// retries), mirroring how a real renewal RPC can be lost.
+	if n.checkpoint(faultpoint.SiteRenew) != nil {
 		return
 	}
 	r := election.Renewal{NodeID: n.cfg.NodeID, Epoch: epoch, LeaseMs: n.cfg.Lease.Milliseconds()}

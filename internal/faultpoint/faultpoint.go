@@ -1,0 +1,374 @@
+// Package faultpoint implements deterministic crash-fault injection for
+// the recovery harness. The critical write paths (workloop appends,
+// group-commit flushes, tracker release, lease renewal, off-box snapshot
+// build/upload) each consult a named fault site before proceeding; a
+// Registry decides, per hit, whether the site should crash the process,
+// delay, fail with a transient error, or corrupt the bytes in flight.
+//
+// Decisions are seedable (fixed-seed schedules reproduce exactly) and the
+// registry keeps per-site hit/fired accounting, which is how the crash
+// harness proves every registered site was actually exercised by a
+// schedule. A nil *Registry is a valid no-op: production code paths call
+// Hit unconditionally and pay only a nil check.
+//
+// Interpretation of a decision is owned by the host:
+//   - a node treats Crash as process death at that instant (it freezes in
+//     place — no cleanup, no replies, in-flight appends left in limbo);
+//   - the off-box snapshotter treats Crash as the ephemeral cluster dying
+//     (the run aborts);
+//   - Corrupt is only meaningful at byte-producing sites (snapshot build
+//     and upload) and is ignored elsewhere.
+package faultpoint
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind is the action a fault site takes when a decision fires.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// None: proceed normally (the common case).
+	None Kind = iota
+	// Crash: the process dies at this instant.
+	Crash
+	// Delay: the operation stalls for Decision.Delay before proceeding.
+	Delay
+	// Error: the operation fails with a transient error.
+	Error
+	// Corrupt: the bytes produced at this site are damaged (flipped or
+	// truncated, site-specific).
+	Corrupt
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Crash:
+		return "crash"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Corrupt:
+		return "corrupt"
+	}
+	return "unknown"
+}
+
+// ParseKind parses a kind name.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "crash":
+		return Crash, nil
+	case "delay":
+		return Delay, nil
+	case "error":
+		return Error, nil
+	case "corrupt":
+		return Corrupt, nil
+	}
+	return None, fmt.Errorf("faultpoint: unknown kind %q", s)
+}
+
+// Decision is what a site must do for one hit.
+type Decision struct {
+	Kind  Kind
+	Delay time.Duration
+}
+
+// Canonical site names instrumented across the write and snapshot paths.
+// The crash harness asserts every one of these is hit under its schedule.
+const (
+	// SiteAppendPre fires before a transaction-log conditional append is
+	// issued (workloop side: data flushes, checksums, renewals, control).
+	SiteAppendPre = "core.append.pre"
+	// SiteAppendPost fires after the log assigned the entry but before the
+	// node records the new tail — a crash here leaves a durable entry the
+	// dead node never knew about.
+	SiteAppendPost = "core.append.post"
+	// SiteFlushPre fires at the head of a group-commit flush, before the
+	// batched entry is handed to the log.
+	SiteFlushPre = "core.flush.pre"
+	// SiteFlushPost fires after the flushed entry reached quorum but
+	// before any reply is released — the committed-but-unacknowledged
+	// window.
+	SiteFlushPost = "core.flush.post"
+	// SiteTrackerRelease fires immediately before the tracker releases
+	// gated replies for a committed entry.
+	SiteTrackerRelease = "core.tracker.release"
+	// SiteRenew fires before a lease-renewal append.
+	SiteRenew = "core.renew"
+	// SiteSnapBuild fires after an off-box snapshot is serialized but
+	// before upload; Corrupt flips a byte (silent bit rot in the build).
+	SiteSnapBuild = "snapshot.build"
+	// SiteSnapUpload fires at the upload step; Corrupt truncates the
+	// object — the torn-write case (§7.2.1).
+	SiteSnapUpload = "snapshot.upload"
+	// SiteS3Put fires at the S3 PUT issued by the off-box run.
+	SiteS3Put = "s3.put"
+)
+
+// AllSites returns the canonical instrumented sites, in a stable order.
+func AllSites() []string {
+	return []string{
+		SiteAppendPre, SiteAppendPost,
+		SiteFlushPre, SiteFlushPost,
+		SiteTrackerRelease, SiteRenew,
+		SiteSnapBuild, SiteSnapUpload, SiteS3Put,
+	}
+}
+
+// armed is a one-shot fault scheduled to fire once site hits exceed a
+// threshold.
+type armed struct {
+	kind  Kind
+	after int64 // fire on the first hit with count > after
+	delay time.Duration
+}
+
+// site is per-site accounting plus its active schedule.
+type site struct {
+	hits  int64
+	fired map[Kind]int64
+	armed []armed
+	// Probabilistic plan: each hit fires one of kinds with probability
+	// prob (one-shots take precedence).
+	prob  float64
+	kinds []Kind
+	delay time.Duration
+}
+
+// Registry holds the named fault sites of one host (a node, or an
+// off-box snapshot runner) and decides, deterministically from its seed,
+// what each hit does.
+type Registry struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	sites map[string]*site
+}
+
+// New returns a registry with every canonical site pre-registered (so
+// coverage accounting can see never-hit sites) and all decisions seeded.
+func New(seed int64) *Registry {
+	r := &Registry{rng: rand.New(rand.NewSource(seed)), sites: make(map[string]*site)}
+	for _, name := range AllSites() {
+		r.sites[name] = &site{fired: make(map[Kind]int64)}
+	}
+	return r
+}
+
+func (r *Registry) siteLocked(name string) *site {
+	s, ok := r.sites[name]
+	if !ok {
+		s = &site{fired: make(map[Kind]int64)}
+		r.sites[name] = s
+	}
+	return s
+}
+
+// Hit records one pass through the named site and returns the decision
+// for it. Safe on a nil registry (always None) and for concurrent use.
+func (r *Registry) Hit(name string) Decision {
+	if r == nil {
+		return Decision{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.siteLocked(name)
+	s.hits++
+	for i, a := range s.armed {
+		if s.hits > a.after {
+			s.armed = append(s.armed[:i], s.armed[i+1:]...)
+			s.fired[a.kind]++
+			return Decision{Kind: a.kind, Delay: a.delay}
+		}
+	}
+	if s.prob > 0 && len(s.kinds) > 0 && r.rng.Float64() < s.prob {
+		k := s.kinds[r.rng.Intn(len(s.kinds))]
+		s.fired[k]++
+		return Decision{Kind: k, Delay: s.delay}
+	}
+	return Decision{}
+}
+
+// Arm schedules a one-shot fault at the named site: it fires on the first
+// hit after `after` more hits pass (after=0 means the very next hit).
+func (r *Registry) Arm(name string, k Kind, after int) {
+	r.ArmDelay(name, k, after, 0)
+}
+
+// ArmDelay is Arm with an explicit stall duration (Delay kind).
+func (r *Registry) ArmDelay(name string, k Kind, after int, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.siteLocked(name)
+	s.armed = append(s.armed, armed{kind: k, after: s.hits + int64(after), delay: d})
+}
+
+// SetPlan installs a probabilistic schedule at the named site: each hit
+// fires one of kinds (uniformly) with probability prob. delay applies to
+// Delay decisions. prob=0 clears the plan.
+func (r *Registry) SetPlan(name string, prob float64, delay time.Duration, kinds ...Kind) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.siteLocked(name)
+	s.prob = prob
+	s.kinds = append([]Kind(nil), kinds...)
+	s.delay = delay
+}
+
+// Hits returns how many times the named site was passed.
+func (r *Registry) Hits(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sites[name]; ok {
+		return s.hits
+	}
+	return 0
+}
+
+// Fired returns how many decisions of kind k the named site has fired.
+func (r *Registry) Fired(name string, k Kind) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sites[name]; ok {
+		return s.fired[k]
+	}
+	return 0
+}
+
+// ArmedCount returns the number of one-shot faults still pending at the
+// named site (harnesses poll this to know a trigger fired).
+func (r *Registry) ArmedCount(name string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.sites[name]; ok {
+		return len(s.armed)
+	}
+	return 0
+}
+
+// Names returns every registered site name, sorted.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.sites))
+	for name := range r.sites {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FlipByte returns a copy of b with one seeded byte flipped — the silent
+// bit-rot corruption a body checksum must catch.
+func (r *Registry) FlipByte(b []byte) []byte {
+	cp := append([]byte(nil), b...)
+	if len(cp) == 0 {
+		return cp
+	}
+	r.mu.Lock()
+	i := r.rng.Intn(len(cp))
+	r.mu.Unlock()
+	cp[i] ^= 0xFF
+	return cp
+}
+
+// TornWrite returns a seeded strict prefix of b — the torn-write
+// truncation of an interrupted upload.
+func (r *Registry) TornWrite(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	n := r.rng.Intn(len(b))
+	r.mu.Unlock()
+	return append([]byte(nil), b[:n]...)
+}
+
+// Parse builds a registry from a ;- or ,-separated spec, one clause per
+// site:
+//
+//	site=kind            one-shot, fires on the next hit
+//	site=kind@N          one-shot, fires after N more hits
+//	site=error:P         probabilistic: each hit errors with prob P
+//	site=delay:DUR:P     probabilistic: each hit stalls DUR with prob P
+//
+// e.g. "core.flush.pre=crash@3;core.append.pre=error:0.05;core.renew=delay:2ms:0.1".
+// This is the grammar behind the MEMORYDB_FAULTPOINTS environment knob.
+func Parse(spec string, seed int64) (*Registry, error) {
+	r := New(seed)
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return r, nil
+	}
+	for _, clause := range strings.FieldsFunc(spec, func(c rune) bool { return c == ';' || c == ',' }) {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		name, rhs, ok := strings.Cut(clause, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultpoint: bad clause %q (want site=action)", clause)
+		}
+		name = strings.TrimSpace(name)
+		parts := strings.Split(rhs, ":")
+		kindStr, after := parts[0], 0
+		if ks, n, ok := strings.Cut(kindStr, "@"); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("faultpoint: bad @count in %q", clause)
+			}
+			kindStr, after = ks, v
+		}
+		kind, err := ParseKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case len(parts) == 1:
+			r.Arm(name, kind, after)
+		case kind == Error && len(parts) == 2:
+			p, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultpoint: bad probability in %q", clause)
+			}
+			r.SetPlan(name, p, 0, Error)
+		case kind == Delay && len(parts) == 3:
+			d, err := time.ParseDuration(parts[1])
+			if err != nil {
+				return nil, fmt.Errorf("faultpoint: bad duration in %q", clause)
+			}
+			p, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultpoint: bad probability in %q", clause)
+			}
+			r.SetPlan(name, p, d, Delay)
+		default:
+			return nil, fmt.Errorf("faultpoint: bad clause %q", clause)
+		}
+	}
+	return r, nil
+}

@@ -52,24 +52,28 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 // snapshot must not second-guess it with its own clock.
 func timeZero() time.Time { return time.Time{} }
 
-// Write serializes db and meta to w. The body is covered by a CRC64
-// stored in the footer, so corruption is detected before a restore is
-// attempted.
+// Write serializes db and meta to w. Everything before the stored sum —
+// header, meta, body length, and body — is covered by a CRC64 in the
+// footer, so a flipped byte anywhere in the file (not just the body; a
+// corrupted LogPos or LogChecksum would silently poison the restore
+// rehearsal) is detected before a restore is attempted.
 func Write(w io.Writer, db *store.DB, meta Meta) error {
 	bw := bufio.NewWriterSize(w, 256<<10)
-	if _, err := bw.Write(magicHeader); err != nil {
+	h := crc64.New(crcTable)
+	mw := io.MultiWriter(bw, h)
+	if _, err := mw.Write(magicHeader); err != nil {
 		return err
 	}
-	if err := writeString(bw, meta.ShardID); err != nil {
+	if err := writeString(mw, meta.ShardID); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.BigEndian, meta.EngineVersion); err != nil {
+	if err := binary.Write(mw, binary.BigEndian, meta.EngineVersion); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.BigEndian, meta.LogPos.Seq); err != nil {
+	if err := binary.Write(mw, binary.BigEndian, meta.LogPos.Seq); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.BigEndian, meta.LogChecksum); err != nil {
+	if err := binary.Write(mw, binary.BigEndian, meta.LogChecksum); err != nil {
 		return err
 	}
 
@@ -87,14 +91,13 @@ func Write(w io.Writer, db *store.DB, meta Meta) error {
 	if encodeErr != nil {
 		return encodeErr
 	}
-	if err := binary.Write(bw, binary.BigEndian, uint64(body.Len())); err != nil {
+	if err := binary.Write(mw, binary.BigEndian, uint64(body.Len())); err != nil {
 		return err
 	}
-	sum := crc64.Checksum(body.Bytes(), crcTable)
-	if _, err := bw.Write(body.Bytes()); err != nil {
+	if _, err := mw.Write(body.Bytes()); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.BigEndian, sum); err != nil {
+	if err := binary.Write(bw, binary.BigEndian, h.Sum64()); err != nil {
 		return err
 	}
 	if _, err := bw.Write(magicFooter); err != nil {
@@ -104,40 +107,43 @@ func Write(w io.Writer, db *store.DB, meta Meta) error {
 }
 
 // Read parses a snapshot, returning a freshly built keyspace and its
-// meta. The body checksum is verified before any object is returned.
+// meta. The whole-file checksum (header + meta + body) is verified before
+// any object is returned.
 func Read(r io.Reader) (*store.DB, Meta, error) {
 	br := bufio.NewReaderSize(r, 256<<10)
+	h := crc64.New(crcTable)
+	tr := io.TeeReader(br, h)
 	var meta Meta
 	hdr := make([]byte, len(magicHeader))
-	if _, err := io.ReadFull(br, hdr); err != nil {
+	if _, err := io.ReadFull(tr, hdr); err != nil {
 		return nil, meta, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
 	}
 	if !bytes.Equal(hdr, magicHeader) {
 		return nil, meta, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
-	shardID, err := readString(br)
+	shardID, err := readString(tr)
 	if err != nil {
 		return nil, meta, err
 	}
 	meta.ShardID = shardID
-	if err := binary.Read(br, binary.BigEndian, &meta.EngineVersion); err != nil {
+	if err := binary.Read(tr, binary.BigEndian, &meta.EngineVersion); err != nil {
 		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if err := binary.Read(br, binary.BigEndian, &meta.LogPos.Seq); err != nil {
+	if err := binary.Read(tr, binary.BigEndian, &meta.LogPos.Seq); err != nil {
 		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
-	if err := binary.Read(br, binary.BigEndian, &meta.LogChecksum); err != nil {
+	if err := binary.Read(tr, binary.BigEndian, &meta.LogChecksum); err != nil {
 		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	var bodyLen uint64
-	if err := binary.Read(br, binary.BigEndian, &bodyLen); err != nil {
+	if err := binary.Read(tr, binary.BigEndian, &bodyLen); err != nil {
 		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if bodyLen > 16<<30 {
 		return nil, meta, fmt.Errorf("%w: implausible body length %d", ErrBadSnapshot, bodyLen)
 	}
 	body := make([]byte, bodyLen)
-	if _, err := io.ReadFull(br, body); err != nil {
+	if _, err := io.ReadFull(tr, body); err != nil {
 		return nil, meta, fmt.Errorf("%w: short body: %v", ErrBadSnapshot, err)
 	}
 	var storedSum uint64
@@ -148,7 +154,7 @@ func Read(r io.Reader) (*store.DB, Meta, error) {
 	if _, err := io.ReadFull(br, ftr); err != nil || !bytes.Equal(ftr, magicFooter) {
 		return nil, meta, fmt.Errorf("%w: bad footer", ErrBadSnapshot)
 	}
-	if crc64.Checksum(body, crcTable) != storedSum {
+	if h.Sum64() != storedSum {
 		return nil, meta, ErrChecksum
 	}
 

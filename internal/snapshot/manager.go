@@ -2,9 +2,11 @@ package snapshot
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"memorydb/internal/retry"
 	"memorydb/internal/s3"
@@ -18,6 +20,10 @@ import (
 type Manager struct {
 	store  s3.Interface
 	prefix string
+	// torn counts corrupt/truncated snapshot versions skipped by
+	// LatestUsable across all shards. Shared (by pointer) with every
+	// WithRetries derivative so the count survives rewrapping.
+	torn *atomic.Int64
 }
 
 // NewManager returns a manager writing under prefix. st is typically a
@@ -27,14 +33,18 @@ func NewManager(st s3.Interface, prefix string) *Manager {
 	if prefix == "" {
 		prefix = "snapshots"
 	}
-	return &Manager{store: st, prefix: prefix}
+	return &Manager{store: st, prefix: prefix, torn: new(atomic.Int64)}
 }
 
 // WithRetries returns a Manager reading and writing through a retrying
 // wrapper with the given policy, sharing the underlying store.
 func (m *Manager) WithRetries(pol retry.Policy) *Manager {
-	return &Manager{store: s3.WithRetry(m.store, pol), prefix: m.prefix}
+	return &Manager{store: s3.WithRetry(m.store, pol), prefix: m.prefix, torn: m.torn}
 }
+
+// TornDetected returns how many corrupt or torn snapshot versions this
+// manager (and its retrying derivatives) has skipped during restores.
+func (m *Manager) TornDetected() int64 { return m.torn.Load() }
 
 func (m *Manager) key(shardID string, pos txlog.EntryID) string {
 	return fmt.Sprintf("%s/%s/%020d", m.prefix, shardID, pos.Seq)
@@ -55,25 +65,60 @@ func (m *Manager) SaveRaw(shardID string, pos txlog.EntryID, data []byte) error 
 	return m.store.Put(m.key(shardID, pos), data)
 }
 
-// Latest fetches the freshest snapshot for shardID. ok=false when the
-// shard has no snapshot yet (cold start replays the whole log).
+// Latest fetches the freshest usable snapshot for shardID. ok=false when
+// the shard has no usable snapshot yet (cold start replays the whole
+// log). Corrupt or torn versions are skipped; see LatestUsable.
 func (m *Manager) Latest(shardID string) (*store.DB, Meta, bool, error) {
+	db, meta, _, ok, err := m.LatestUsable(shardID)
+	return db, meta, ok, err
+}
+
+// LatestUsable walks the shard's snapshot versions newest → oldest and
+// returns the first one that deserializes with a valid body checksum.
+// A version whose bytes are damaged — truncated by a torn write, or
+// silently corrupted at rest — fails the §7.2.1 checksum gates
+// (ErrBadSnapshot / ErrChecksum) and is skipped, falling back to the
+// next-older version; exhausting every version falls back to pure log
+// replay (ok=false), never a hard restore failure. skipped reports how
+// many damaged versions were passed over (also accumulated in
+// TornDetected). Only genuine storage errors abort the walk: a restore
+// must not silently time-travel past a snapshot that is merely
+// unreachable right now.
+func (m *Manager) LatestUsable(shardID string) (*store.DB, Meta, int, bool, error) {
 	keys, err := m.store.List(m.prefix + "/" + shardID + "/")
 	if err != nil {
-		return nil, Meta{}, false, err
+		return nil, Meta{}, 0, false, err
 	}
-	if len(keys) == 0 {
-		return nil, Meta{}, false, nil
+	skipped := 0
+	for i := len(keys) - 1; i >= 0; i-- {
+		data, err := m.store.Get(keys[i])
+		if err != nil {
+			if errors.Is(err, s3.ErrNoSuchKey) {
+				// Deleted between List and Get (quarantine or trim races
+				// are benign): treat like any other unusable version.
+				continue
+			}
+			return nil, Meta{}, skipped, false, err
+		}
+		db, meta, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if errors.Is(err, ErrBadSnapshot) || errors.Is(err, ErrChecksum) {
+				skipped++
+				m.torn.Add(1)
+				continue
+			}
+			return nil, Meta{}, skipped, false, err
+		}
+		return db, meta, skipped, true, nil
 	}
-	data, err := m.store.Get(keys[len(keys)-1])
-	if err != nil {
-		return nil, Meta{}, false, err
-	}
-	db, meta, err := Read(bytes.NewReader(data))
-	if err != nil {
-		return nil, Meta{}, false, err
-	}
-	return db, meta, true, nil
+	return nil, Meta{}, skipped, false, nil
+}
+
+// Remove deletes the snapshot version at pos (idempotent). The scheduler
+// quarantines a just-produced snapshot that fails verification so it can
+// never be picked up by a restore.
+func (m *Manager) Remove(shardID string, pos txlog.EntryID) error {
+	return m.store.Delete(m.key(shardID, pos))
 }
 
 // LatestRaw returns the freshest snapshot's raw bytes and log position.

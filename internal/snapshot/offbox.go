@@ -3,10 +3,12 @@ package snapshot
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 
 	"memorydb/internal/clock"
 	"memorydb/internal/engine"
+	"memorydb/internal/faultpoint"
 	"memorydb/internal/retry"
 	"memorydb/internal/txlog"
 )
@@ -28,7 +30,17 @@ type Offbox struct {
 	// so a brief storage blip degrades one run's latency instead of
 	// failing it. The zero value uses the library defaults.
 	Retry retry.Policy
+	// Faults, when set, injects crash faults into the snapshot pipeline:
+	// Crash aborts the run (the ephemeral cluster died), Corrupt at the
+	// build site flips a byte in the serialized image (silent bit rot),
+	// Corrupt at the upload site truncates it (torn write). Production
+	// leaves it nil.
+	Faults *faultpoint.Registry
 }
+
+// ErrRunCrashed reports that a fault schedule killed the ephemeral
+// snapshot cluster mid-run; no snapshot was (intentionally) produced.
+var ErrRunCrashed = errors.New("offbox: snapshot run crashed by fault schedule")
 
 // Run performs one off-box snapshot of shardID against log, returning the
 // meta of the snapshot it produced. Verification (restore rehearsal) is a
@@ -79,7 +91,40 @@ func (o *Offbox) Run(ctx context.Context, shardID string, log *txlog.Log) (Meta,
 	if err := Write(&buf, eng.DB(), meta); err != nil {
 		return Meta{}, fmt.Errorf("offbox: serialize: %w", err)
 	}
-	if err := mgr.SaveRaw(shardID, target, buf.Bytes()); err != nil {
+	data := buf.Bytes()
+	// Crash sites across the dump-and-upload leg. Corrupt at the build
+	// site is silent bit rot in the serialized image; at the upload site
+	// it is a torn write (§7.2.1) — both upload bytes the checksum gates
+	// must later reject.
+	switch d := o.Faults.Hit(faultpoint.SiteSnapBuild); d.Kind {
+	case faultpoint.Crash:
+		return Meta{}, ErrRunCrashed
+	case faultpoint.Error:
+		return Meta{}, errors.New("offbox: serialize: injected fault")
+	case faultpoint.Delay:
+		clk.Sleep(d.Delay)
+	case faultpoint.Corrupt:
+		data = o.Faults.FlipByte(data)
+	}
+	switch d := o.Faults.Hit(faultpoint.SiteSnapUpload); d.Kind {
+	case faultpoint.Crash:
+		return Meta{}, ErrRunCrashed
+	case faultpoint.Error:
+		return Meta{}, errors.New("offbox: upload: injected fault")
+	case faultpoint.Delay:
+		clk.Sleep(d.Delay)
+	case faultpoint.Corrupt:
+		data = o.Faults.TornWrite(data)
+	}
+	switch d := o.Faults.Hit(faultpoint.SiteS3Put); d.Kind {
+	case faultpoint.Crash:
+		return Meta{}, ErrRunCrashed
+	case faultpoint.Error:
+		return Meta{}, errors.New("offbox: s3 put: injected fault")
+	case faultpoint.Delay:
+		clk.Sleep(d.Delay)
+	}
+	if err := mgr.SaveRaw(shardID, target, data); err != nil {
 		return Meta{}, fmt.Errorf("offbox: upload: %w", err)
 	}
 	return meta, nil

@@ -2,6 +2,7 @@ package snapshot
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"memorydb/internal/clock"
@@ -62,9 +63,14 @@ type Scheduler struct {
 	Offbox   *Offbox
 	Interval time.Duration
 	Clock    clock.Clock
-	// Verify enables the restore rehearsal after each snapshot; failed
-	// verifications leave the previous snapshot as latest-verified.
+	// Verify enables the restore rehearsal after each snapshot; a failed
+	// verification quarantines (deletes) the just-produced snapshot so it
+	// can never serve a restore, leaving the previous version as latest.
 	Verify bool
+	// AlarmFn, when set, is invoked with a description each time a
+	// produced snapshot fails verification — the monitoring hook that
+	// pages instead of letting a bad snapshot rot silently in S3.
+	AlarmFn func(msg string)
 
 	mu     sync.Mutex
 	shards []Shard
@@ -110,7 +116,8 @@ func (s *Scheduler) Tick(ctx context.Context) {
 		if !s.Policy.Stale(distance, size) {
 			continue
 		}
-		if _, err := s.Offbox.Run(ctx, sh.ShardID, sh.Log); err != nil {
+		meta, err := s.Offbox.Run(ctx, sh.ShardID, sh.Log)
+		if err != nil {
 			s.countFailure()
 			continue
 		}
@@ -119,6 +126,15 @@ func (s *Scheduler) Tick(ctx context.Context) {
 		s.mu.Unlock()
 		if s.Verify {
 			if err := Verify(ctx, s.Offbox.Manager, sh.ShardID, sh.Log, s.Clock); err != nil {
+				// The freshest version failed its restore rehearsal:
+				// quarantine it (idempotent delete) so no restore can pick
+				// it up, and page — a shard silently accumulating bad
+				// snapshots is one trim away from unrecoverable.
+				_ = s.Offbox.Manager.Remove(sh.ShardID, meta.LogPos)
+				if s.AlarmFn != nil {
+					s.AlarmFn(fmt.Sprintf("snapshot verification failed for shard %s at seq %d: %v",
+						sh.ShardID, meta.LogPos.Seq, err))
+				}
 				s.countFailure()
 				continue
 			}

@@ -256,3 +256,34 @@ func TestConcurrentCommitAndRegister(t *testing.T) {
 	trk.Commit(n) // in case registrations outran the committer
 	delivered.Wait()
 }
+
+// TestAbortThenLateCommitDeliversExactlyOnce is the demotion-by-fencing
+// sequence: a primary's append is in flight when another writer fences it
+// (the node aborts its tracker), and the quorum acknowledgement for the
+// old append arrives AFTER the abort. Each gated reply must be delivered
+// exactly once — as an error at abort time — and the late Commit must not
+// re-deliver or resurrect it.
+func TestAbortThenLateCommitDeliversExactlyOnce(t *testing.T) {
+	trk := New(0)
+	var mu sync.Mutex
+	calls := 0
+	var sawAborted bool
+	trk.RegisterWrite(3, []string{"k"}, func(aborted bool) {
+		mu.Lock()
+		calls++
+		sawAborted = aborted
+		mu.Unlock()
+	})
+	trk.Abort() // fenced: the node demotes and fails gated replies
+	// The old entry still commits durably; its waiter reports late.
+	trk.Commit(3)
+	trk.Commit(5)
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Fatalf("gated reply delivered %d times across abort+late-commit, want exactly 1", calls)
+	}
+	if !sawAborted {
+		t.Fatal("fenced reply delivered as success instead of aborted")
+	}
+}

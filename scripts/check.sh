@@ -13,3 +13,10 @@ go test -race ./internal/core/ ./internal/tracker/ ./internal/txlog/
 # two pinned seeds so fault-path regressions are deterministic.
 MEMORYDB_CHAOS_SEED=1 go test -race -run Chaos ./internal/cluster/
 MEMORYDB_CHAOS_SEED=2 go test -race -run Chaos ./internal/cluster/
+# Fixed-seed crash gate: the deterministic crash-fault schedules (kill /
+# restart / zombie resurrection at registered fault sites, torn-snapshot
+# fallback, committed-but-unacknowledged writes) must hold linearizability
+# and lose zero acknowledged writes at two pinned seeds under the race
+# detector.
+MEMORYDB_CRASH_SEED=1 go test -race -run CrashRestart ./internal/cluster/
+MEMORYDB_CRASH_SEED=2 go test -race -run CrashRestart ./internal/cluster/
