@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench crash
+.PHONY: check vet build test race bench crash obs
 
-check: vet build test race crash
+check: vet build test race crash obs
 
 vet:
 	$(GO) vet ./...
@@ -28,6 +28,12 @@ race:
 crash:
 	MEMORYDB_CRASH_SEED=1 $(GO) test -race -run CrashRestart ./internal/cluster/
 	MEMORYDB_CRASH_SEED=2 $(GO) test -race -run CrashRestart ./internal/cluster/
+
+# Metrics-overhead guard: recording with sampling off must stay
+# zero-alloc (internal/obs) and within 5% of an uninstrumented node's
+# write throughput (internal/core, armed by MEMORYDB_OBS_GUARD=1).
+obs:
+	MEMORYDB_OBS_GUARD=1 $(GO) test -run TestObsOverheadGuard -count=1 ./internal/obs/ ./internal/core/
 
 # Regenerate the paper figures (long; not part of the tier-1 gate).
 bench:

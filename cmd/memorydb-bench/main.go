@@ -15,9 +15,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"memorydb/internal/bench"
@@ -28,56 +30,67 @@ func main() {
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per data point")
 	clients := flag.Int("clients", 256, "concurrent client connections")
 	prefill := flag.Int("prefill", 5000, "keys pre-filled before measuring")
+	jsonDir := flag.String("json-dir", "", "also write each figure's rows (with p50/p95/p99/p999) to <dir>/BENCH_<fig>.json")
 	flag.Parse()
 
 	opts := bench.Options{Clients: *clients, Duration: *duration, Prefill: *prefill}
 	ctx := context.Background()
 
-	run := func(name string) error {
+	// run executes one figure and returns its machine-readable rows (nil
+	// for figures that only produce scalar or sample output).
+	run := func(name string) (any, error) {
 		switch name {
 		case "4a":
 			fmt.Println("== Figure 4a: read-only max throughput (op/s) ==")
-			_, err := bench.Figure4(ctx, bench.WorkloadReadOnly, opts, os.Stdout)
-			return err
+			return bench.Figure4(ctx, bench.WorkloadReadOnly, opts, os.Stdout)
 		case "4b":
 			fmt.Println("== Figure 4b: write-only max throughput (op/s) ==")
-			_, err := bench.Figure4(ctx, bench.WorkloadWriteOnly, opts, os.Stdout)
-			return err
+			return bench.Figure4(ctx, bench.WorkloadWriteOnly, opts, os.Stdout)
 		case "5a":
 			fmt.Println("== Figure 5a: read-only latency vs offered throughput (r7g.16xlarge) ==")
-			_, err := bench.Figure5(ctx, bench.WorkloadReadOnly, opts, os.Stdout)
-			return err
+			return bench.Figure5(ctx, bench.WorkloadReadOnly, opts, os.Stdout)
 		case "5b":
 			fmt.Println("== Figure 5b: write-only latency vs offered throughput ==")
-			_, err := bench.Figure5(ctx, bench.WorkloadWriteOnly, opts, os.Stdout)
-			return err
+			return bench.Figure5(ctx, bench.WorkloadWriteOnly, opts, os.Stdout)
 		case "5c":
 			fmt.Println("== Figure 5c: mixed 80/20 latency vs offered throughput ==")
-			_, err := bench.Figure5(ctx, bench.WorkloadMixed8020, opts, os.Stdout)
-			return err
+			return bench.Figure5(ctx, bench.WorkloadMixed8020, opts, os.Stdout)
 		case "6":
 			fmt.Println("== Figure 6: Redis BGSave under memory pressure ==")
-			bench.Figure6(os.Stdout)
-			return nil
+			return bench.Figure6(os.Stdout), nil
 		case "7":
 			fmt.Println("== Figure 7: MemoryDB off-box snapshotting ==")
-			bench.Figure7(os.Stdout)
-			return nil
+			return bench.Figure7(os.Stdout), nil
 		case "bw":
 			fmt.Println("== §6.1.2.1: single-shard pipelined write bandwidth ==")
 			mbps, err := bench.WriteBandwidth(ctx, 4096, 64, *duration*4)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			fmt.Printf("achieved %.1f MB/s (4 KiB values, pipeline depth 64)\n", mbps)
-			return nil
+			return map[string]float64{"mb_per_sec": mbps}, nil
 		case "gc":
 			fmt.Println("== Group commit ablation: write-only throughput, batched vs per-mutation appends ==")
-			_, err := bench.FigureGroupCommit(ctx, opts, os.Stdout)
-			return err
+			return bench.FigureGroupCommit(ctx, opts, os.Stdout)
 		default:
-			return fmt.Errorf("unknown figure %q", name)
+			return nil, fmt.Errorf("unknown figure %q", name)
 		}
+	}
+
+	writeJSON := func(name string, rows any) error {
+		if *jsonDir == "" || rows == nil {
+			return nil
+		}
+		data, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
 	}
 
 	var names []string
@@ -87,8 +100,13 @@ func main() {
 		names = []string{*fig}
 	}
 	for _, n := range names {
-		if err := run(n); err != nil {
+		rows, err := run(n)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "memorydb-bench: %s: %v\n", n, err)
+			os.Exit(1)
+		}
+		if err := writeJSON(n, rows); err != nil {
+			fmt.Fprintf(os.Stderr, "memorydb-bench: %s: writing json: %v\n", n, err)
 			os.Exit(1)
 		}
 		fmt.Println()

@@ -11,12 +11,22 @@
 //
 //	go run ./cmd/memorydb-server -addr 127.0.0.1:6379
 //	go run ./cmd/memorydb-cli -addr 127.0.0.1:6379 SET hello world
+//
+// Observability knobs (flags, with env fallbacks):
+//
+//	-metrics-addr / MEMORYDB_METRICS_ADDR  — serve Prometheus text on
+//	    http://<addr>/metrics (empty = disabled)
+//	-slowlog-threshold / MEMORYDB_SLOWLOG_THRESHOLD — end-to-end latency
+//	    above which a command is recorded in the slowlog
+//	-trace-sample / MEMORYDB_TRACE_SAMPLE — fraction of commands traced
+//	    into the in-memory ring (0 disables sampling entirely)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -28,6 +38,7 @@ import (
 	"memorydb/internal/core"
 	"memorydb/internal/election"
 	"memorydb/internal/faultpoint"
+	"memorydb/internal/obs"
 	"memorydb/internal/s3"
 	"memorydb/internal/server"
 	"memorydb/internal/snapshot"
@@ -39,7 +50,21 @@ func main() {
 	mode := flag.String("mode", "memorydb", "memorydb or redis")
 	multiplex := flag.Bool("multiplex", true, "enable Enhanced IO Multiplexing")
 	commitLat := flag.Duration("commit-latency", 2*time.Millisecond, "base multi-AZ commit latency")
+	metricsAddr := flag.String("metrics-addr", os.Getenv("MEMORYDB_METRICS_ADDR"),
+		"serve Prometheus metrics on this address (empty = disabled)")
+	slowlogThresh := flag.Duration("slowlog-threshold", envDuration("MEMORYDB_SLOWLOG_THRESHOLD", 10*time.Millisecond),
+		"record commands slower than this in the slowlog")
+	traceSample := flag.Float64("trace-sample", envFloat("MEMORYDB_TRACE_SAMPLE", 0),
+		"fraction of commands to trace (0 disables sampling)")
 	flag.Parse()
+
+	// One shared metrics registry spans the front-end (read_parse,
+	// reply_write), the node's workloop and commit pipeline, and the
+	// per-AZ log replicas — so /metrics and INFO see the whole path.
+	metrics := obs.New(obs.Options{
+		SlowlogThreshold: *slowlogThresh,
+		TraceSampleRate:  *traceSample,
+	})
 
 	var backend server.Backend
 	switch *mode {
@@ -52,6 +77,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("create log: %v", err)
 		}
+		for _, az := range svc.AZs() {
+			metrics.RegisterHistogram("az_append", fmt.Sprintf("az=%q", az.Name()), az.AckLatency())
+		}
 		snaps := snapshot.NewManager(s3.New(), "snapshots")
 		faults, err := faultRegistryFromEnv()
 		if err != nil {
@@ -63,6 +91,7 @@ func main() {
 			Log:       logHandle,
 			Snapshots: snaps,
 			Faults:    faults,
+			Obs:       metrics,
 		})
 		if err != nil {
 			log.Fatalf("create node: %v", err)
@@ -81,12 +110,25 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	srv := server.New(server.Config{Addr: *addr, Backend: backend, Multiplex: *multiplex})
+	srv := server.New(server.Config{Addr: *addr, Backend: backend, Multiplex: *multiplex, Obs: metrics})
 	if err := srv.Start(); err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
 	fmt.Printf("%s-mode server listening on %s (multiplex=%v)\n", *mode, srv.Addr(), *multiplex)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.Handler(metrics))
+		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("metrics server: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		fmt.Printf("metrics on http://%s/metrics\n", *metricsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -117,6 +159,30 @@ func faultRegistryFromEnv() (*faultpoint.Registry, error) {
 	}
 	fmt.Printf("fault injection armed: %s (seed %d)\n", spec, seed)
 	return reg, nil
+}
+
+func envDuration(key string, def time.Duration) time.Duration {
+	s := os.Getenv(key)
+	if s == "" {
+		return def
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		log.Fatalf("%s: %v", key, err)
+	}
+	return d
+}
+
+func envFloat(key string, def float64) float64 {
+	s := os.Getenv(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		log.Fatalf("%s: %v", key, err)
+	}
+	return v
 }
 
 func fixedOr(d time.Duration) interface {

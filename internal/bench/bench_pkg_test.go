@@ -75,11 +75,19 @@ func TestRecorderPercentiles(t *testing.T) {
 	if s.Throughput != 100 {
 		t.Fatalf("throughput = %v", s.Throughput)
 	}
-	if s.P50 < 50*time.Millisecond || s.P50 > 52*time.Millisecond {
+	// Percentiles now come from the log-linear histogram: never below the
+	// exact value, at most one bucket width (6.25%) above it.
+	if s.P50 < 50*time.Millisecond || s.P50 > 54*time.Millisecond {
 		t.Fatalf("p50 = %v", s.P50)
 	}
-	if s.P99 != 99*time.Millisecond && s.P99 != 100*time.Millisecond {
+	if s.P99 < 99*time.Millisecond || s.P99 > 107*time.Millisecond {
 		t.Fatalf("p99 = %v", s.P99)
+	}
+	if s.P95 < 95*time.Millisecond || s.P95 > 102*time.Millisecond {
+		t.Fatalf("p95 = %v", s.P95)
+	}
+	if s.P999 < s.P99 || s.P999 > s.P100 {
+		t.Fatalf("p999 = %v outside [p99=%v, p100=%v]", s.P999, s.P99, s.P100)
 	}
 	if s.P100 != 100*time.Millisecond {
 		t.Fatalf("p100 = %v", s.P100)

@@ -92,9 +92,11 @@ func Figure5(ctx context.Context, w Workload, opts Options, out io.Writer) ([]Ro
 				Values: map[string]float64{
 					"offered_ops": offered,
 					"p50_ms":      float64(sum.P50) / 1e6,
+					"p95_ms":      float64(sum.P95) / 1e6,
 					"p99_ms":      float64(sum.P99) / 1e6,
+					"p999_ms":     float64(sum.P999) / 1e6,
 				},
-				Order: []string{"offered_ops", "p50_ms", "p99_ms"},
+				Order: []string{"offered_ops", "p50_ms", "p95_ms", "p99_ms", "p999_ms"},
 			}
 			rows = append(rows, row)
 			if out != nil {
@@ -168,10 +170,12 @@ func FigureGroupCommit(ctx context.Context, opts Options, out io.Writer) ([]Row,
 			Values: map[string]float64{
 				"ops":               ps.Throughput,
 				"p50_ms":            float64(ps.P50) / 1e6,
+				"p95_ms":            float64(ps.P95) / 1e6,
 				"p99_ms":            float64(ps.P99) / 1e6,
+				"p999_ms":           float64(ps.P999) / 1e6,
 				"records_per_entry": ps.RecordsPerEntry,
 			},
-			Order: []string{"ops", "p50_ms", "p99_ms", "records_per_entry"},
+			Order: []string{"ops", "p50_ms", "p95_ms", "p99_ms", "p999_ms", "records_per_entry"},
 		}
 		rows = append(rows, row)
 		if out != nil {

@@ -1,70 +1,67 @@
 package bench
 
 import (
-	"sort"
-	"sync"
+	"sync/atomic"
 	"time"
+
+	"memorydb/internal/obs"
 )
 
-// Recorder accumulates latency samples from many client goroutines.
+// Recorder accumulates latency samples from many client goroutines into a
+// lock-free log-linear histogram (internal/obs). Unlike the old
+// sort-all-samples design, memory stays constant regardless of run length
+// and Record never takes a lock, so the recorder itself cannot become the
+// bottleneck in saturation benchmarks.
 type Recorder struct {
-	mu      sync.Mutex
-	samples []time.Duration
-	errs    int
+	hist obs.Histogram
+	errs atomic.Int64
 }
 
 // Record adds one sample.
 func (r *Recorder) Record(d time.Duration) {
-	r.mu.Lock()
-	r.samples = append(r.samples, d)
-	r.mu.Unlock()
+	r.hist.Observe(d)
 }
 
 // RecordErr counts a failed operation.
 func (r *Recorder) RecordErr() {
-	r.mu.Lock()
-	r.errs++
-	r.mu.Unlock()
+	r.errs.Add(1)
 }
 
-// Summary holds the percentile digest of a run.
+// Histogram exposes the underlying distribution, e.g. for merging into a
+// shared metrics registry or dumping bucket-level JSON.
+func (r *Recorder) Histogram() *obs.Histogram { return &r.hist }
+
+// Summary holds the percentile digest of a run. Percentiles come from the
+// log-linear histogram (≤6.25% bucket error, never under-reported); P100
+// is the exact maximum.
 type Summary struct {
 	Count      int
 	Errors     int
 	Throughput float64 // ops/sec over the measured window
 	Avg        time.Duration
 	P50        time.Duration
+	P95        time.Duration
 	P99        time.Duration
+	P999       time.Duration
 	P100       time.Duration
 }
 
 // Summarize computes the digest over a window of elapsed wall time.
 func (r *Recorder) Summarize(elapsed time.Duration) Summary {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := Summary{Count: len(r.samples), Errors: r.errs}
+	n := int(r.hist.Count())
+	s := Summary{Count: n, Errors: int(r.errs.Load())}
 	if elapsed > 0 {
-		s.Throughput = float64(len(r.samples)) / elapsed.Seconds()
+		s.Throughput = float64(n) / elapsed.Seconds()
 	}
-	if len(r.samples) == 0 {
+	if n == 0 {
 		return s
 	}
-	sorted := append([]time.Duration(nil), r.samples...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	var total time.Duration
-	for _, d := range sorted {
-		total += d
-	}
-	s.Avg = total / time.Duration(len(sorted))
-	s.P50 = sorted[len(sorted)/2]
-	s.P99 = sorted[min(len(sorted)-1, len(sorted)*99/100)]
-	s.P100 = sorted[len(sorted)-1]
+	q := r.hist.Quantiles()
+	s.Avg = r.hist.Mean()
+	s.P50 = q.P50
+	s.P95 = q.P95
+	s.P99 = q.P99
+	s.P999 = q.P999
+	s.P100 = q.Max
 	return s
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

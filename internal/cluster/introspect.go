@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"memorydb/internal/crc16"
 	"memorydb/internal/resp"
@@ -146,5 +147,21 @@ func (c *Cluster) clusterInfoText() string {
 	fmt.Fprintf(&b, "cluster_slots_assigned:%d\r\n", assigned)
 	fmt.Fprintf(&b, "cluster_known_nodes:%d\r\n", nodes)
 	fmt.Fprintf(&b, "cluster_size:%d\r\n", len(shards))
+	// Per-AZ transaction-log health: served/dropped ack counts plus the
+	// ack latency distribution, so a flaky or slow zone is identifiable
+	// from one INFO call (drops climb, or its p99 diverges from its
+	// peers').
+	if svc := c.cfg.LogService; svc != nil {
+		for i, az := range svc.AZs() {
+			served, dropped := az.Acks()
+			q := az.AckLatency().Quantiles()
+			fmt.Fprintf(&b, "az%d_name:%s\r\n", i, az.Name())
+			fmt.Fprintf(&b, "az%d_acks_served:%d\r\n", i, served)
+			fmt.Fprintf(&b, "az%d_acks_dropped:%d\r\n", i, dropped)
+			fmt.Fprintf(&b, "az%d_ack_p50_usec:%d\r\n", i, int64(q.P50/time.Microsecond))
+			fmt.Fprintf(&b, "az%d_ack_p99_usec:%d\r\n", i, int64(q.P99/time.Microsecond))
+			fmt.Fprintf(&b, "az%d_ack_max_usec:%d\r\n", i, int64(q.Max/time.Microsecond))
+		}
+	}
 	return b.String()
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"memorydb/internal/election"
+	"memorydb/internal/obs"
 )
 
 // Monitor is the external monitoring service (paper §4.2, §5.1): it polls
@@ -22,25 +23,44 @@ type Monitor struct {
 	PrimaryAlarmAfter time.Duration
 
 	mu             sync.Mutex
-	alarms         []string
+	alarms         *obs.AlarmLog
 	replaced       int
 	primarylessFor map[string]time.Duration
 }
 
-// Alarms returns raised alarm messages.
-func (m *Monitor) Alarms() []string {
+// monitorAlarmRing bounds retained alarm history. A wedged shard raising
+// an alarm per tick used to grow the alarm slice without limit; a ring
+// keeps the newest window (Total() still counts everything) so long
+// chaos runs cannot leak memory through the alarm path.
+const monitorAlarmRing = 256
+
+// AlarmLog returns the bounded alarm ring (created on first use), for
+// wiring into node INFO output.
+func (m *Monitor) AlarmLog() *obs.AlarmLog {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return append([]string(nil), m.alarms...)
+	if m.alarms == nil {
+		m.alarms = obs.NewAlarmLog(monitorAlarmRing)
+	}
+	return m.alarms
+}
+
+// Alarms returns retained alarm messages, oldest first.
+func (m *Monitor) Alarms() []string {
+	log := m.AlarmLog()
+	rec := log.Oldest(monitorAlarmRing)
+	out := make([]string, len(rec))
+	for i, a := range rec {
+		out[i] = a.Msg
+	}
+	return out
 }
 
 // RaiseAlarm records an externally detected fault — e.g. the snapshot
 // scheduler's verification failures feed here, so a bad snapshot pages
 // through the same channel as a primaryless shard.
 func (m *Monitor) RaiseAlarm(msg string) {
-	m.mu.Lock()
-	m.alarms = append(m.alarms, msg)
-	m.mu.Unlock()
+	m.AlarmLog().Raise(msg)
 }
 
 // Replacements returns how many dead replicas the monitor replaced.
@@ -87,7 +107,9 @@ func (m *Monitor) Tick() {
 				limit = 30 * time.Second
 			}
 			if m.primarylessFor[sh.ID] >= limit {
-				m.alarms = append(m.alarms, "shard "+sh.ID+" has no primary")
+				m.mu.Unlock()
+				m.RaiseAlarm("shard " + sh.ID + " has no primary")
+				m.mu.Lock()
 				m.primarylessFor[sh.ID] = 0
 			}
 		}

@@ -7,6 +7,7 @@ import (
 	"memorydb/internal/election"
 	"memorydb/internal/engine"
 	"memorydb/internal/faultpoint"
+	"memorydb/internal/obs"
 	"memorydb/internal/resp"
 	"memorydb/internal/txlog"
 )
@@ -42,6 +43,9 @@ type gatedReply struct {
 	keys []string // dirty keys (mutations only; nil for gated reads)
 	val  resp.Value
 	send func(v resp.Value)
+	// execDone is the mutation's engine-execution stamp (obs.Now nanos,
+	// 0 when unstamped) — batch residency is measured from it at flush.
+	execDone int64
 }
 
 // groupCommit is the workloop-owned batching buffer.
@@ -92,7 +96,7 @@ func (n *Node) bufferMutation(t *task, res engine.Result) {
 	gc := &n.gc
 	gc.payload = engine.AppendRecord(gc.payload, res.Effects)
 	gc.records++
-	gc.writes = append(gc.writes, gatedReply{keys: res.Keys, val: res.Reply, send: t.reply})
+	gc.writes = append(gc.writes, gatedReply{keys: res.Keys, val: res.Reply, send: t.reply, execDone: t.execDone})
 	if gc.keys == nil {
 		gc.keys = make(map[string]struct{}, 16)
 	}
@@ -153,6 +157,17 @@ func (n *Node) flushPending() bool {
 		n.abortPending(errLogDown)
 		return false
 	}
+	var flushStart int64
+	if n.obs != nil {
+		// Batch residency ends here: every buffered mutation waited from
+		// its engine execution until this flush began.
+		flushStart = obs.Now()
+		for _, w := range gc.writes {
+			if w.execDone != 0 {
+				n.obs.Stage(obs.StageBatchWait).ObserveNanos(flushStart - w.execDone)
+			}
+		}
+	}
 	payload := gc.payload
 	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:          txlog.EntryData,
@@ -183,14 +198,30 @@ func (n *Node) flushPending() bool {
 	seq := p.ID().Seq
 	n.stats.BatchFlushes.Add(1)
 	n.stats.BatchedRecords.Add(int64(gc.records))
+	// ackAt is the batch's quorum-acknowledgement stamp, written by the
+	// waiter goroutine and read by the tracker deliver closures (which
+	// may run on the waiter's Commit or on an Abort from elsewhere —
+	// hence atomic). One cell is shared by every reply in the batch.
+	var ackAt *atomic.Int64
+	var appendDone int64
+	if n.obs != nil {
+		appendDone = obs.Now()
+		n.obs.Stage(obs.StageAppend).ObserveNanos(appendDone - flushStart)
+		ackAt = new(atomic.Int64)
+	}
 	for _, w := range gc.writes {
 		w := w
 		trk.RegisterWrite(seq, w.keys, func(aborted bool) {
 			if aborted {
 				w.send(errDemoted)
-			} else {
-				w.send(w.val)
+				return
 			}
+			if ackAt != nil {
+				if at := ackAt.Load(); at != 0 {
+					n.obs.Stage(obs.StageTrackerRelease).ObserveNanos(obs.Now() - at)
+				}
+			}
+			w.send(w.val)
 		})
 	}
 	for _, r := range gc.reads {
@@ -207,6 +238,11 @@ func (n *Node) flushPending() bool {
 	gc.inflight.Add(1)
 	go func() {
 		if _, err := p.Wait(n.stopCtx); err == nil {
+			if ackAt != nil {
+				now := obs.Now()
+				ackAt.Store(now)
+				n.obs.Stage(obs.StageQuorumWait).ObserveNanos(now - appendDone)
+			}
 			// Two crash gates inside the committed-but-unacknowledged
 			// window: the entry is quorum-durable, but a kill at either
 			// point means no gated reply is ever delivered — the harness's

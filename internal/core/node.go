@@ -21,6 +21,7 @@ import (
 	"memorydb/internal/engine"
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/netsim"
+	"memorydb/internal/obs"
 	"memorydb/internal/resp"
 	"memorydb/internal/retry"
 	"memorydb/internal/snapshot"
@@ -103,6 +104,28 @@ type Config struct {
 	// or fail transiently. Production leaves it nil — a nil registry is a
 	// no-op costing one pointer check per site.
 	Faults *faultpoint.Registry
+	// Obs, when set, is a shared observability registry: the node records
+	// write-path stage latencies, per-command histograms, slowlog entries
+	// and sampled traces into it, and the server front-end / log service /
+	// metrics endpoint read the same instance. Nil creates a private
+	// registry (instrumentation is always on unless NoObs is set).
+	Obs *obs.Metrics
+	// NoObs disables latency instrumentation entirely. This is the
+	// ablation arm of the overhead-guard benchmark, not a production
+	// setting.
+	NoObs bool
+	// SlowlogThreshold, TraceSampleRate and TraceSeed configure the
+	// private registry created when Obs is nil: commands slower than the
+	// threshold end-to-end enter the slowlog (default 10ms), and
+	// TraceSampleRate in [0,1] of commands get a stage-breakdown trace
+	// (default 0 — sampling off keeps the hot path allocation-free).
+	SlowlogThreshold time.Duration
+	TraceSampleRate  float64
+	TraceSeed        int64
+	// Alarms, when set, is surfaced in INFO's # Slowlog section so
+	// operational alarms (snapshot quarantines, primaryless shards) are
+	// visible next to the latency outliers they usually explain.
+	Alarms *obs.AlarmLog
 }
 
 func (c Config) withDefaults() Config {
@@ -215,6 +238,11 @@ type Node struct {
 	wg          sync.WaitGroup
 
 	stats Stats
+
+	// obs is the observability registry (nil when Config.NoObs). Histogram
+	// recording is lock-free, so every goroutine may record; the map-backed
+	// per-command lookup is RWMutex-guarded inside obs.
+	obs *obs.Metrics
 }
 
 // Stats are cumulative node counters. Fields are atomics rather than a
@@ -318,8 +346,23 @@ func NewNode(cfg Config) (*Node, error) {
 		},
 	}
 	n.stopCtx, n.stopFn = context.WithCancel(context.Background())
+	if !cfg.NoObs {
+		n.obs = cfg.Obs
+		if n.obs == nil {
+			n.obs = obs.New(obs.Options{
+				SlowlogThreshold: cfg.SlowlogThreshold,
+				TraceSampleRate:  cfg.TraceSampleRate,
+				TraceSeed:        cfg.TraceSeed,
+			})
+		}
+		n.eng.SetObs(n.obs)
+		n.registerCounters()
+	}
 	return n, nil
 }
+
+// Obs returns the node's observability registry (nil when disabled).
+func (n *Node) Obs() *obs.Metrics { return n.obs }
 
 // ID returns the node ID.
 func (n *Node) ID() string { return n.cfg.NodeID }

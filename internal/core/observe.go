@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"memorydb/internal/obs"
+)
+
+// This file is the node side of the observability layer: stage-stamp
+// bookkeeping for tasks, counter registration for Prometheus export,
+// and the INFO sections (# Latency, # Commandstats, # Slowlog).
+//
+// Stage stamps live on the task (enq/deq/execDone, obs.Now monotonic
+// nanos, 0 = unset) and on the per-batch ack cell in groupcommit.go.
+// Everything here is gated on n.obs != nil so NoObs nodes pay one
+// pointer check per site.
+
+// obsFinish runs inside the reply closure: it computes the end-to-end
+// span and the queue/execute breakdown and hands them to the registry
+// (e2e + per-command histograms, slowlog check, trace sampling).
+func (n *Node) obsFinish(t *task) {
+	if t.enq == 0 {
+		return
+	}
+	now := obs.Now()
+	total := now - t.enq
+	var queue, exec int64
+	if t.deq != 0 {
+		queue = t.deq - t.enq
+	}
+	if t.execDone != 0 && t.deq != 0 {
+		exec = t.execDone - t.deq
+	}
+	n.obs.FinishCommand(t.name, t.argv, total, queue, exec)
+}
+
+// obsDequeued stamps a client task's dequeue and records its queue wait.
+func (n *Node) obsDequeued(t *task) {
+	t.deq = obs.Now()
+	n.obs.Stage(obs.StageQueueWait).ObserveNanos(t.deq - t.enq)
+}
+
+// obsExecuted stamps engine-execution completion.
+func (n *Node) obsExecuted(t *task) {
+	t.execDone = obs.Now()
+	n.obs.Stage(obs.StageExecute).ObserveNanos(t.execDone - t.deq)
+}
+
+// registerCounters exposes every Stats field (plus log-service counters)
+// through the registry so /metrics covers the pre-existing counter
+// surface. Labels carry the node ID so shared registries keep nodes
+// distinguishable.
+func (n *Node) registerCounters() {
+	label := fmt.Sprintf("node=%q", n.cfg.NodeID)
+	reg := func(name string, v interface{ Load() int64 }) {
+		n.obs.RegisterCounter(name, label, v.Load)
+	}
+	reg("commands", &n.stats.Commands)
+	reg("mutations", &n.stats.Mutations)
+	reg("gated_reads", &n.stats.GatedReads)
+	reg("appends_failed", &n.stats.AppendsFailed)
+	reg("demotions", &n.stats.Demotions)
+	reg("promotions", &n.stats.Promotions)
+	reg("entries_applied", &n.stats.EntriesApplied)
+	reg("snapshot_restores", &n.stats.SnapshotRestores)
+	reg("batch_flushes", &n.stats.BatchFlushes)
+	reg("batched_records", &n.stats.BatchedRecords)
+	reg("appends_retried", &n.stats.AppendsRetried)
+	reg("renewals_retried", &n.stats.RenewalsRetried)
+	reg("degraded_millis", &n.stats.DegradedMillis)
+	reg("torn_snapshots_detected", &n.stats.TornSnapshotsDetected)
+}
+
+// usec rounds up, so any recorded sub-microsecond stage reports as 1µs
+// rather than vanishing to 0 in INFO (a stage that ran is never "free").
+func usec(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64((d + time.Microsecond - 1) / time.Microsecond)
+}
+
+// obsInfoSections renders # Latency, # Commandstats and # Slowlog for
+// INFO. Returns "" when instrumentation is off.
+func (n *Node) obsInfoSections() string {
+	if n.obs == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Latency\r\n")
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		h := n.obs.Stage(s)
+		q := h.Quantiles()
+		fmt.Fprintf(&b, "stage_%s:count=%d,p50_usec=%d,p95_usec=%d,p99_usec=%d,p999_usec=%d,max_usec=%d\r\n",
+			s, h.Count(), usec(q.P50), usec(q.P95), usec(q.P99), usec(q.P999), usec(q.Max))
+	}
+	fmt.Fprintf(&b, "# Commandstats\r\n")
+	n.obs.EachCommand(func(name string, h *obs.Histogram) {
+		q := h.Quantiles()
+		fmt.Fprintf(&b, "cmdstat_%s:calls=%d,p50_usec=%d,p99_usec=%d,max_usec=%d\r\n",
+			strings.ToLower(name), h.Count(), usec(q.P50), usec(q.P99), usec(q.Max))
+	})
+	fmt.Fprintf(&b, "# Slowlog\r\n")
+	sl := n.obs.Slow
+	fmt.Fprintf(&b, "slowlog_threshold_usec:%d\r\n", usec(sl.Threshold()))
+	fmt.Fprintf(&b, "slowlog_total:%d\r\n", sl.Total())
+	fmt.Fprintf(&b, "slowlog_len:%d\r\n", sl.Len())
+	for i, e := range sl.Recent(8) {
+		fmt.Fprintf(&b, "slowlog_entry_%d:id=%d,cmd=%s,usec=%d,queue_usec=%d,exec_usec=%d,commit_usec=%d\r\n",
+			i, e.ID, e.Cmd, usec(e.Total), usec(e.Queue), usec(e.Exec), usec(e.Commit))
+	}
+	if n.cfg.Alarms != nil {
+		fmt.Fprintf(&b, "alarms_total:%d\r\n", n.cfg.Alarms.Total())
+		for i, a := range n.cfg.Alarms.Recent(8) {
+			fmt.Fprintf(&b, "alarm_%d:%s\r\n", i, a.Msg)
+		}
+	}
+	return b.String()
+}

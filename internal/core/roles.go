@@ -291,6 +291,7 @@ func (n *Node) resync() error {
 		return errors.New("core: partitioned from durable sources")
 	}
 	eng := engine.New(n.clk)
+	eng.SetObs(n.obs)
 	from := txlog.ZeroID
 	if n.cfg.Snapshots != nil {
 		db, meta, skipped, ok, err := n.cfg.Snapshots.LatestUsable(n.cfg.ShardID)

@@ -9,6 +9,7 @@ import (
 	"memorydb/internal/election"
 	"memorydb/internal/engine"
 	"memorydb/internal/faultpoint"
+	"memorydb/internal/obs"
 	"memorydb/internal/resp"
 	"memorydb/internal/txlog"
 )
@@ -35,6 +36,13 @@ type task struct {
 	batch    [][][]byte
 	readonly bool // client opted into replica reads (READONLY)
 	reply    func(v resp.Value)
+
+	// Observability stamps (obs.Now monotonic nanos; 0 = not stamped):
+	// enq at submit, deq at workloop dequeue, execDone after engine
+	// execution. name is the uppercase command name for per-command
+	// stats. Only set when the node's obs registry is enabled.
+	enq, deq, execDone int64
+	name               string
 
 	// taskApply
 	entry   txlog.Entry
@@ -83,7 +91,12 @@ func (n *Node) DoBatch(ctx context.Context, cmds [][][]byte) (resp.Value, error)
 
 func (n *Node) submit(ctx context.Context, t *task) (resp.Value, error) {
 	ch := make(chan resp.Value, 1)
-	t.reply = func(v resp.Value) { ch <- v }
+	if n.obs != nil {
+		t.enq = obs.Now()
+		t.reply = func(v resp.Value) { n.obsFinish(t); ch <- v }
+	} else {
+		t.reply = func(v resp.Value) { ch <- v }
+	}
 	select {
 	case n.tasks <- t:
 	case <-ctx.Done():
@@ -200,6 +213,10 @@ var (
 func (n *Node) handleCmd(t *task) {
 	n.stats.Commands.Add(1)
 	name := strings.ToUpper(string(t.argv[0]))
+	if n.obs != nil && t.enq != 0 {
+		t.name = name
+		n.obsDequeued(t)
+	}
 	if name == "WAIT" {
 		n.handleWait(t)
 		return
@@ -251,6 +268,9 @@ func (n *Node) handleCmd(t *task) {
 		// Replica read: mutations only become visible once committed to
 		// the log, so no blocking is required (§3.2).
 		res := n.eng.Exec(t.argv)
+		if t.deq != 0 {
+			n.obsExecuted(t)
+		}
 		t.reply(res.Reply)
 		return
 	default:
@@ -260,6 +280,9 @@ func (n *Node) handleCmd(t *task) {
 
 	// Primary path.
 	res := n.eng.Exec(t.argv)
+	if t.deq != 0 {
+		n.obsExecuted(t)
+	}
 	if !res.Mutated() {
 		// Read: delay the reply if any observed key has a not-yet-durable
 		// mutation (key-level hazards, §3.2).
@@ -299,6 +322,10 @@ func (n *Node) handleCmd(t *task) {
 
 func (n *Node) handleBatch(t *task) {
 	n.stats.Commands.Add(1)
+	if n.obs != nil && t.enq != 0 {
+		t.name = "EXEC"
+		n.obsDequeued(t)
+	}
 	n.mu.Lock()
 	role := n.role
 	lease := n.lease
@@ -315,6 +342,9 @@ func (n *Node) handleBatch(t *task) {
 		return
 	}
 	res := n.eng.ExecBatch(t.batch)
+	if t.deq != 0 {
+		n.obsExecuted(t)
+	}
 	if !res.Mutated() {
 		// Read-only transaction: gate on everything outstanding, since
 		// computing the union of read keys across the group costs more
@@ -466,6 +496,7 @@ func (n *Node) infoText() string {
 	fmt.Fprintf(&b, "# Keyspace\r\n")
 	fmt.Fprintf(&b, "keys:%d\r\n", n.eng.DB().Len())
 	fmt.Fprintf(&b, "used_bytes:%d\r\n", n.eng.DB().UsedBytes())
+	b.WriteString(n.obsInfoSections())
 	return b.String()
 }
 
@@ -620,7 +651,7 @@ func gatesOnFullKeyspace(name string) bool {
 // READONLY state.
 func isAlwaysLocal(name string) bool {
 	switch name {
-	case "PING", "ECHO", "TIME", "COMMAND":
+	case "PING", "ECHO", "TIME", "COMMAND", "LATENCY", "SLOWLOG":
 		return true
 	}
 	return false

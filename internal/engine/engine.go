@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"memorydb/internal/clock"
+	"memorydb/internal/obs"
 	"memorydb/internal/resp"
 	"memorydb/internal/store"
 )
@@ -121,11 +122,19 @@ type Engine struct {
 	clk clock.Clock
 	rng *rand.Rand
 
+	// obs, when set by the owning node, backs the LATENCY/SLOWLOG
+	// introspection commands. The engine only reads from it.
+	obs *obs.Metrics
+
 	// Per-command scratch state, reset by Exec.
 	effects   [][]byte
 	dirtyKeys []string
 	applying  bool // true while replaying replicated effects
 }
+
+// SetObs attaches the observability registry the LATENCY and SLOWLOG
+// commands report from. Nil detaches (the commands then return an error).
+func (e *Engine) SetObs(m *obs.Metrics) { e.obs = m }
 
 // New returns an engine over a fresh keyspace.
 func New(clk clock.Clock) *Engine {

@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"memorydb/internal/obs"
+)
+
+func TestLatencySlowlogDisabledWithoutObs(t *testing.T) {
+	_, _, do := testEngine(t)
+	for _, cmd := range []string{"LATENCY", "SLOWLOG"} {
+		if v := do(cmd); !v.IsError() {
+			t.Errorf("%s without obs = %v, want error", cmd, v)
+		}
+	}
+}
+
+func TestLatencyStagesAndReset(t *testing.T) {
+	e, _, do := testEngine(t)
+	m := obs.New(obs.Options{})
+	e.SetObs(m)
+	m.Stage(obs.StageQueueWait).Observe(5 * time.Millisecond)
+	m.Stage(obs.StageQueueWait).Observe(7 * time.Millisecond)
+
+	v := do("LATENCY")
+	if v.IsError() || len(v.Array) != int(obs.NumStages) {
+		t.Fatalf("LATENCY = %v, want %d stage rows", v, obs.NumStages)
+	}
+	var found bool
+	for _, row := range v.Array {
+		if row.Array[0].Text() != "queue_wait" {
+			continue
+		}
+		found = true
+		if row.Array[1].Int != 2 {
+			t.Errorf("queue_wait count = %d, want 2", row.Array[1].Int)
+		}
+		if p50 := row.Array[2].Int; p50 < 5000 || p50 > 5400 {
+			t.Errorf("queue_wait p50 = %dµs, want ~5000", p50)
+		}
+	}
+	if !found {
+		t.Fatal("no queue_wait row in LATENCY reply")
+	}
+
+	if v := do("LATENCY", "HISTOGRAM", "queue_wait"); v.IsError() || len(v.Array) == 0 {
+		t.Fatalf("LATENCY HISTOGRAM = %v, want bucket rows", v)
+	}
+	if v := do("LATENCY", "HISTOGRAM", "nope"); !v.IsError() {
+		t.Fatalf("LATENCY HISTOGRAM nope = %v, want error", v)
+	}
+	if v := do("LATENCY", "RESET"); v.Text() != "OK" {
+		t.Fatalf("LATENCY RESET = %v", v)
+	}
+	if got := m.Stage(obs.StageQueueWait).Count(); got != 0 {
+		t.Fatalf("count after RESET = %d", got)
+	}
+}
+
+func TestSlowlogCommandSurface(t *testing.T) {
+	e, _, do := testEngine(t)
+	m := obs.New(obs.Options{SlowlogThreshold: time.Millisecond})
+	e.SetObs(m)
+
+	// Below threshold: ignored. Above: retained.
+	m.FinishCommand("GET", [][]byte{[]byte("GET"), []byte("k")}, int64(100*time.Microsecond), 0, 0)
+	m.FinishCommand("SET", [][]byte{[]byte("SET"), []byte("k"), []byte("v")},
+		int64(3*time.Millisecond), int64(time.Millisecond), int64(500*time.Microsecond))
+
+	if v := do("SLOWLOG", "LEN"); v.Int != 1 {
+		t.Fatalf("SLOWLOG LEN = %v, want 1", v)
+	}
+	v := do("SLOWLOG", "GET")
+	if len(v.Array) != 1 {
+		t.Fatalf("SLOWLOG GET = %v, want 1 entry", v)
+	}
+	entry := v.Array[0]
+	if entry.Array[2].Int != 3000 {
+		t.Errorf("slowlog total = %dµs, want 3000", entry.Array[2].Int)
+	}
+	if entry.Array[3].Array[0].Text() != "SET" {
+		t.Errorf("slowlog args = %v", entry.Array[3])
+	}
+
+	if v := do("SLOWLOG", "THRESHOLD"); v.Int != 1000 {
+		t.Fatalf("SLOWLOG THRESHOLD = %v, want 1000", v)
+	}
+	if v := do("SLOWLOG", "THRESHOLD", "2500"); v.Text() != "OK" {
+		t.Fatalf("set threshold = %v", v)
+	}
+	if got := m.Slow.Threshold(); got != 2500*time.Microsecond {
+		t.Fatalf("threshold = %v", got)
+	}
+	if v := do("SLOWLOG", "RESET"); v.Text() != "OK" {
+		t.Fatalf("SLOWLOG RESET = %v", v)
+	}
+	if v := do("SLOWLOG", "LEN"); v.Int != 0 {
+		t.Fatalf("SLOWLOG LEN after reset = %v", v)
+	}
+}

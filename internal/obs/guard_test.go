@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestObsOverheadGuardAllocs enforces the always-on budget: the full
+// per-command record path — stage observes plus FinishCommand with
+// sampling off and the command under the slowlog threshold — must not
+// allocate. This is the half of the overhead guard that is
+// deterministic, so it runs in every test invocation; the throughput
+// half lives in internal/core (TestObsOverheadGuardWorkloop) behind
+// MEMORYDB_OBS_GUARD=1 because wall-clock comparisons flake on loaded
+// CI machines.
+func TestObsOverheadGuardAllocs(t *testing.T) {
+	m := New(Options{SlowlogThreshold: time.Hour}) // sampling off, nothing slow
+	argv := [][]byte{[]byte("SET"), []byte("key"), []byte("value")}
+	allocs := testing.AllocsPerRun(1000, func() {
+		start := Now()
+		m.Stage(StageQueueWait).ObserveNanos(120)
+		m.Stage(StageExecute).ObserveNanos(300)
+		m.Stage(StageBatchWait).ObserveNanos(800)
+		m.Stage(StageAppend).ObserveNanos(1500)
+		m.Stage(StageQuorumWait).ObserveNanos(40000)
+		m.Stage(StageTrackerRelease).ObserveNanos(900)
+		m.FinishCommand("SET", argv, Now()-start+45000, 120, 300)
+	})
+	if allocs != 0 {
+		t.Fatalf("record path allocates %v per command with sampling off; budget is 0", allocs)
+	}
+}
+
+func BenchmarkObsRecordPath(b *testing.B) {
+	m := New(Options{SlowlogThreshold: time.Hour})
+	argv := [][]byte{[]byte("SET"), []byte("key"), []byte("value")}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			start := Now()
+			m.Stage(StageQueueWait).ObserveNanos(120)
+			m.Stage(StageExecute).ObserveNanos(300)
+			m.FinishCommand("SET", argv, Now()-start+45000, 120, 300)
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := &Histogram{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNanos(int64(i)&0xFFFFF + 1000)
+	}
+}

@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket geometry: values below subCount nanoseconds get exact
+// unit buckets; above that, each power-of-two octave is split into
+// subCount linear sub-buckets (HDR-style log-linear ladder). With
+// subBits=4 the relative quantization error of any reported percentile
+// is at most 1/16 ≈ 6.25%, which is far below run-to-run latency noise
+// while keeping the whole ladder small enough to embed per stage and
+// per command.
+const (
+	subBits  = 4
+	subCount = 1 << subBits
+	// maxExp caps the ladder at 2^40ns ≈ 18.3 minutes; anything slower
+	// collapses into the top bucket (Max still records the exact value).
+	maxExp = 40
+	// NumBuckets = exact unit buckets + (maxExp-subBits) octaves of
+	// subCount sub-buckets each.
+	NumBuckets = subCount + (maxExp-subBits)*subCount
+)
+
+// Histogram is a lock-free log-linear latency histogram. The zero value
+// is ready to use; all methods are safe for concurrent use and the
+// recording path performs no allocation and takes no lock.
+type Histogram struct {
+	counts [NumBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// bucketIndex maps a non-negative nanosecond value to its bucket.
+func bucketIndex(v int64) int {
+	if v < subCount {
+		return int(v)
+	}
+	u := uint64(v)
+	exp := bits.Len64(u) - 1
+	if exp >= maxExp {
+		return NumBuckets - 1
+	}
+	sub := int(u>>(uint(exp)-subBits)) - subCount
+	return subCount + (exp-subBits)*subCount + sub
+}
+
+// BucketUpper returns the inclusive upper bound (in nanoseconds) of
+// bucket i. For the exact unit buckets the bound equals the value itself.
+func BucketUpper(i int) int64 {
+	if i < subCount {
+		return int64(i)
+	}
+	oct := (i - subCount) / subCount
+	sub := (i - subCount) % subCount
+	exp := oct + subBits
+	lower := int64(1)<<uint(exp) + int64(sub)<<uint(exp-subBits)
+	return lower + int64(1)<<uint(exp-subBits) - 1
+}
+
+// ObserveNanos records one latency sample in nanoseconds. Negative
+// values (possible from non-monotonic subtraction bugs) clamp to zero
+// rather than corrupting the ladder.
+func (h *Histogram) ObserveNanos(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Observe records one duration sample.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveNanos(int64(d)) }
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all recorded samples in nanoseconds.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Max returns the largest recorded sample, exactly (not quantized).
+func (h *Histogram) Max() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Mean returns the arithmetic mean of recorded samples.
+func (h *Histogram) Mean() time.Duration {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / int64(n))
+}
+
+// Percentile returns the latency at quantile q in (0, 1]. The result is
+// the bucket upper bound containing the q-th sample, clamped to the
+// exact observed max — so it never under-reports a sample's true value
+// and over-reports by at most the bucket width (≤6.25%).
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum >= target {
+			upper := BucketUpper(i)
+			if m := h.max.Load(); m < upper {
+				return time.Duration(m)
+			}
+			return time.Duration(upper)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// Quantiles is the standard percentile bundle reported by INFO and the
+// RESP LATENCY command.
+type Quantiles struct {
+	P50, P95, P99, P999, Max time.Duration
+}
+
+// Quantiles returns p50/p95/p99/p999 plus the exact max in one call.
+func (h *Histogram) Quantiles() Quantiles {
+	return Quantiles{
+		P50:  h.Percentile(0.50),
+		P95:  h.Percentile(0.95),
+		P99:  h.Percentile(0.99),
+		P999: h.Percentile(0.999),
+		Max:  h.Max(),
+	}
+}
+
+// Merge adds every sample recorded in other into h. Safe against
+// concurrent recording on either side; the merged view is a consistent
+// superset of both at some point during the call.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if c := other.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+		}
+	}
+	h.count.Add(other.count.Load())
+	h.sum.Add(other.sum.Load())
+	om := other.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Reset zeroes all counters. Not atomic with respect to concurrent
+// observers: samples recorded during the reset may be partially lost,
+// which is acceptable for an operator-initiated counter reset.
+func (h *Histogram) Reset() {
+	if h == nil {
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// EachBucket calls fn for every non-empty bucket in ascending order with
+// the bucket's inclusive upper bound in nanoseconds and its count.
+func (h *Histogram) EachBucket(fn func(upperNanos int64, count uint64)) {
+	if h == nil {
+		return
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if c := h.counts[i].Load(); c != 0 {
+			fn(BucketUpper(i), c)
+		}
+	}
+}
+
+// CumulativeAtNanos returns, for each bound in bounds (ascending,
+// nanoseconds), the number of samples whose bucket upper bound is ≤ that
+// bound — the cumulative counts Prometheus histogram exposition needs.
+// Samples above the last bound are only visible via Count().
+func (h *Histogram) CumulativeAtNanos(bounds []int64) []uint64 {
+	out := make([]uint64, len(bounds))
+	if h == nil {
+		return out
+	}
+	j := 0
+	var cum uint64
+	for i := 0; i < NumBuckets && j < len(bounds); i++ {
+		for j < len(bounds) && BucketUpper(i) > bounds[j] {
+			out[j] = cum
+			j++
+		}
+		if j >= len(bounds) {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	for ; j < len(bounds); j++ {
+		out[j] = cum
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexContinuity(t *testing.T) {
+	// Every value maps to exactly one bucket, indices are monotonically
+	// nondecreasing in the value, and each bucket's upper bound actually
+	// contains the values mapped to it.
+	prev := -1
+	for _, v := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 33, 63, 64, 1023, 1024,
+		1<<20 - 1, 1 << 20, 1<<30 + 12345, 1<<39 + 7, 1<<40 - 1, 1 << 40, 1 << 50} {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex not monotonic: v=%d idx=%d prev=%d", v, idx, prev)
+		}
+		prev = idx
+		if idx < 0 || idx >= NumBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, idx)
+		}
+		if v < 1<<maxExp && BucketUpper(idx) < v {
+			t.Fatalf("BucketUpper(%d)=%d < value %d", idx, BucketUpper(idx), v)
+		}
+	}
+	// Exhaustive low range: indices 0..subCount-1 are exact.
+	for v := int64(0); v < subCount; v++ {
+		if bucketIndex(v) != int(v) || BucketUpper(int(v)) != v {
+			t.Fatalf("exact bucket broken at %d", v)
+		}
+	}
+	// Bucket uppers strictly increase.
+	for i := 1; i < NumBuckets; i++ {
+		if BucketUpper(i) <= BucketUpper(i-1) {
+			t.Fatalf("BucketUpper not increasing at %d: %d <= %d", i, BucketUpper(i), BucketUpper(i-1))
+		}
+	}
+}
+
+// TestPercentileOracle compares histogram percentiles against a
+// sorted-slice oracle: the histogram may over-report by at most one
+// sub-bucket width (6.25%) and never under-report.
+func TestPercentileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	h := &Histogram{}
+	samples := make([]int64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~1µs..1s, the realistic latency range.
+		v := int64(float64(time.Microsecond) * math.Pow(10, rng.Float64()*6))
+		samples = append(samples, v)
+		h.ObserveNanos(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999, 1.0} {
+		idx := int(q*float64(len(samples))+0.5) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		oracle := samples[idx]
+		got := int64(h.Percentile(q))
+		if got < oracle {
+			t.Errorf("q=%v: histogram %d under-reports oracle %d", q, got, oracle)
+		}
+		if float64(got) > float64(oracle)*1.0626+1 {
+			t.Errorf("q=%v: histogram %d exceeds oracle %d by more than bucket width", q, got, oracle)
+		}
+	}
+	if h.Max() != time.Duration(samples[len(samples)-1]) {
+		t.Errorf("Max=%v want exact %v", h.Max(), time.Duration(samples[len(samples)-1]))
+	}
+	var sum int64
+	for _, s := range samples {
+		sum += s
+	}
+	if h.Sum() != sum {
+		t.Errorf("Sum=%d want %d", h.Sum(), sum)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b, both := &Histogram{}, &Histogram{}, &Histogram{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(int64(100 * time.Millisecond))
+		if i%2 == 0 {
+			a.ObserveNanos(v)
+		} else {
+			b.ObserveNanos(v)
+		}
+		both.ObserveNanos(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() || a.Max() != both.Max() {
+		t.Fatalf("merge mismatch: count %d/%d sum %d/%d max %v/%v",
+			a.Count(), both.Count(), a.Sum(), both.Sum(), a.Max(), both.Max())
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if a.Percentile(q) != both.Percentile(q) {
+			t.Fatalf("merged percentile q=%v: %v != %v", q, a.Percentile(q), both.Percentile(q))
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				h.ObserveNanos(rng.Int63n(int64(time.Second)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*perWorker {
+		t.Fatalf("count=%d want %d", h.Count(), workers*perWorker)
+	}
+	var bucketSum uint64
+	h.EachBucket(func(_ int64, c uint64) { bucketSum += c })
+	if bucketSum != workers*perWorker {
+		t.Fatalf("bucket sum=%d want %d", bucketSum, workers*perWorker)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := &Histogram{}
+	h.Observe(5 * time.Millisecond)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Percentile(0.5) != 0 {
+		t.Fatalf("reset left state behind: %+v", h.Quantiles())
+	}
+}
+
+func TestCumulativeAtNanos(t *testing.T) {
+	h := &Histogram{}
+	for _, v := range []time.Duration{5 * time.Microsecond, 40 * time.Microsecond,
+		2 * time.Millisecond, 30 * time.Millisecond, 4 * time.Second} {
+		h.Observe(v)
+	}
+	bounds := []int64{int64(10 * time.Microsecond), int64(time.Millisecond),
+		int64(100 * time.Millisecond), int64(10 * time.Second)}
+	cum := h.CumulativeAtNanos(bounds)
+	want := []uint64{1, 2, 4, 5}
+	for i := range want {
+		// Bucketization may push a value's upper bound just past a
+		// boundary; allow exact expected counts here because the chosen
+		// samples sit far from the bounds.
+		if cum[i] != want[i] {
+			t.Fatalf("cum[%d]=%d want %d (all %v)", i, cum[i], want[i], cum)
+		}
+	}
+	// Monotonic.
+	for i := 1; i < len(cum); i++ {
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts not monotonic: %v", cum)
+		}
+	}
+}

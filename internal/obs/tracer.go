@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one sampled command with its stage breakdown.
+type Trace struct {
+	// Seq is the 1-based index of this command among *sampled* commands.
+	Seq int64
+	At  time.Time
+	Cmd string
+	// Total = Queue + Exec + Commit (commit spans batch residency,
+	// append, quorum wait and tracker release).
+	Total, Queue, Exec, Commit time.Duration
+}
+
+// Tracer samples a fixed fraction of completed commands into a bounded
+// ring. Sampling decisions come from a seeded xorshift PRNG so tests
+// (and incident repro) are deterministic; with rate 0 the per-command
+// cost is one atomic-free mutex-free branch and no allocation.
+type Tracer struct {
+	rateBits atomic.Uint64 // math.Float64bits of the rate
+
+	mu      sync.Mutex
+	rng     uint64
+	ring    []Trace
+	nextIdx int
+	filled  bool
+	sampled int64
+}
+
+func newTracer(rate float64, seed int64, size int) *Tracer {
+	t := &Tracer{ring: make([]Trace, size)}
+	t.setRate(rate)
+	t.rng = uint64(seed)
+	if t.rng == 0 {
+		t.rng = 0x9e3779b97f4a7c15
+	}
+	return t
+}
+
+func (t *Tracer) setRate(rate float64) {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	t.rateBits.Store(math.Float64bits(rate))
+}
+
+// Rate returns the configured sample rate.
+func (t *Tracer) Rate() float64 {
+	if t == nil {
+		return 0
+	}
+	return math.Float64frombits(t.rateBits.Load())
+}
+
+// Sampled returns how many commands have been sampled so far.
+func (t *Tracer) Sampled() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sampled
+}
+
+// maybeRecord draws the sampling coin and, on a hit, appends a trace.
+func (t *Tracer) maybeRecord(cmd string, total, queue, exec, commit int64) {
+	if t == nil {
+		return
+	}
+	rate := math.Float64frombits(t.rateBits.Load())
+	if rate <= 0 {
+		// Fast path: sampling off costs one atomic load, no lock, no
+		// allocation.
+		return
+	}
+	t.mu.Lock()
+	// xorshift64* — tiny, deterministic, good enough for sampling.
+	x := t.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	t.rng = x
+	draw := float64(x*0x2545F4914F6CDD1D>>11) / float64(1<<53)
+	if draw >= rate {
+		t.mu.Unlock()
+		return
+	}
+	t.sampled++
+	tr := Trace{
+		Seq:    t.sampled,
+		At:     time.Now(),
+		Cmd:    cmd,
+		Total:  time.Duration(total),
+		Queue:  time.Duration(queue),
+		Exec:   time.Duration(exec),
+		Commit: time.Duration(commit),
+	}
+	t.ring[t.nextIdx] = tr
+	t.nextIdx++
+	if t.nextIdx == len(t.ring) {
+		t.nextIdx = 0
+		t.filled = true
+	}
+	t.mu.Unlock()
+}
+
+// Recent returns up to n traces, newest first.
+func (t *Tracer) Recent(n int) []Trace {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	have := t.nextIdx
+	if t.filled {
+		have = len(t.ring)
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]Trace, 0, n)
+	idx := t.nextIdx
+	for i := 0; i < n; i++ {
+		idx--
+		if idx < 0 {
+			idx = len(t.ring) - 1
+		}
+		out = append(out, t.ring[idx])
+	}
+	return out
+}

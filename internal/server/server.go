@@ -15,6 +15,7 @@ import (
 	"strings"
 	"sync"
 
+	"memorydb/internal/obs"
 	"memorydb/internal/resp"
 )
 
@@ -39,6 +40,12 @@ type Config struct {
 	Multiplex bool
 	// MuxWorkers is the dispatcher pool size when Multiplex is on.
 	MuxWorkers int
+	// Obs, when set, records the front-end's two write-path stages:
+	// read_parse (reading+parsing a command off the socket — includes
+	// wire idle time on keepalive connections) and reply_write
+	// (serializing+flushing the reply). Share the node's registry so the
+	// full pipeline lands in one place.
+	Obs *obs.Metrics
 }
 
 // Server accepts RESP connections.
@@ -177,7 +184,12 @@ func (s *Server) serveConn(conn net.Conn) {
 	r := resp.NewReader(conn)
 	w := resp.NewWriter(conn)
 	st := &connState{}
+	m := s.cfg.Obs
 	for {
+		var readStart int64
+		if m != nil {
+			readStart = obs.Now()
+		}
 		argv, err := r.ReadCommand()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
@@ -187,15 +199,25 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		if m != nil {
+			m.Stage(obs.StageReadParse).ObserveNanos(obs.Now() - readStart)
+		}
 		if len(argv) == 0 {
 			continue
 		}
 		reply, quit := s.handle(st, argv)
+		var writeStart int64
+		if m != nil {
+			writeStart = obs.Now()
+		}
 		if err := w.WriteValue(reply); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
 			return
+		}
+		if m != nil {
+			m.Stage(obs.StageReplyWrite).ObserveNanos(obs.Now() - writeStart)
 		}
 		if quit {
 			return

@@ -9,6 +9,7 @@ import (
 	"memorydb/internal/clock"
 	"memorydb/internal/engine"
 	"memorydb/internal/faultpoint"
+	"memorydb/internal/obs"
 	"memorydb/internal/retry"
 	"memorydb/internal/txlog"
 )
@@ -36,6 +37,9 @@ type Offbox struct {
 	// Corrupt at the upload site truncates it (torn write). Production
 	// leaves it nil.
 	Faults *faultpoint.Registry
+	// Obs, when set, records snapshot_build (restore+replay+serialize)
+	// and snapshot_upload (S3 put) durations into named histograms.
+	Obs *obs.Metrics
 }
 
 // ErrRunCrashed reports that a fault schedule killed the ephemeral
@@ -58,6 +62,7 @@ func (o *Offbox) Run(ctx context.Context, shardID string, log *txlog.Log) (Meta,
 		pol.Clock = clk
 	}
 	mgr := o.Manager.WithRetries(pol)
+	buildStart := obs.Now()
 	// (1) Record the tail position at creation time.
 	target := log.CommittedTail()
 
@@ -92,6 +97,10 @@ func (o *Offbox) Run(ctx context.Context, shardID string, log *txlog.Log) (Meta,
 		return Meta{}, fmt.Errorf("offbox: serialize: %w", err)
 	}
 	data := buf.Bytes()
+	if o.Obs != nil {
+		o.Obs.Named("snapshot_build").ObserveNanos(obs.Now() - buildStart)
+	}
+	uploadStart := obs.Now()
 	// Crash sites across the dump-and-upload leg. Corrupt at the build
 	// site is silent bit rot in the serialized image; at the upload site
 	// it is a torn write (§7.2.1) — both upload bytes the checksum gates
@@ -126,6 +135,9 @@ func (o *Offbox) Run(ctx context.Context, shardID string, log *txlog.Log) (Meta,
 	}
 	if err := mgr.SaveRaw(shardID, target, data); err != nil {
 		return Meta{}, fmt.Errorf("offbox: upload: %w", err)
+	}
+	if o.Obs != nil {
+		o.Obs.Named("snapshot_upload").ObserveNanos(obs.Now() - uploadStart)
 	}
 	return meta, nil
 }

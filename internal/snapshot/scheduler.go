@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"memorydb/internal/clock"
+	"memorydb/internal/obs"
 	"memorydb/internal/txlog"
 	"time"
 )
@@ -69,15 +70,45 @@ type Scheduler struct {
 	Verify bool
 	// AlarmFn, when set, is invoked with a description each time a
 	// produced snapshot fails verification — the monitoring hook that
-	// pages instead of letting a bad snapshot rot silently in S3.
+	// pages instead of letting a bad snapshot rot silently in S3. The
+	// alarm is also always retained in a bounded ring (RecentAlarms), so
+	// history survives even with no pager wired up — previously a nil
+	// AlarmFn silently discarded the message.
 	AlarmFn func(msg string)
 
 	mu     sync.Mutex
 	shards []Shard
+	alarms *obs.AlarmLog
 	// counters for tests/metrics
 	created  int
 	verified int
 	failures int
+}
+
+// alarm records msg in the bounded ring and forwards it to AlarmFn.
+func (s *Scheduler) alarm(msg string) {
+	s.mu.Lock()
+	if s.alarms == nil {
+		s.alarms = obs.NewAlarmLog(64)
+	}
+	ring := s.alarms
+	s.mu.Unlock()
+	ring.Raise(msg)
+	if s.AlarmFn != nil {
+		s.AlarmFn(msg)
+	}
+}
+
+// RecentAlarms returns up to n retained alarms, newest first — the
+// post-mortem view of quarantined snapshots.
+func (s *Scheduler) RecentAlarms(n int) []obs.Alarm {
+	s.mu.Lock()
+	ring := s.alarms
+	s.mu.Unlock()
+	if ring == nil {
+		return nil
+	}
+	return ring.Recent(n)
 }
 
 // AddShard registers a shard for monitoring.
@@ -131,10 +162,8 @@ func (s *Scheduler) Tick(ctx context.Context) {
 				// it up, and page — a shard silently accumulating bad
 				// snapshots is one trim away from unrecoverable.
 				_ = s.Offbox.Manager.Remove(sh.ShardID, meta.LogPos)
-				if s.AlarmFn != nil {
-					s.AlarmFn(fmt.Sprintf("snapshot verification failed for shard %s at seq %d: %v",
-						sh.ShardID, meta.LogPos.Seq, err))
-				}
+				s.alarm(fmt.Sprintf("snapshot verification failed for shard %s at seq %d: %v",
+					sh.ShardID, meta.LogPos.Seq, err))
 				s.countFailure()
 				continue
 			}

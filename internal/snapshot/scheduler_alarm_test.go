@@ -1,0 +1,53 @@
+package snapshot
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"memorydb/internal/faultpoint"
+	"memorydb/internal/s3"
+)
+
+// TestSchedulerRetainsAlarmsWithoutAlarmFn covers the dropped-alarm fix: a
+// scheduler with no pager wired up (AlarmFn == nil) must still retain
+// verification-failure alarms in its bounded ring, where post-mortems can
+// find them. Previously the message was silently discarded.
+func TestSchedulerRetainsAlarmsWithoutAlarmFn(t *testing.T) {
+	log, _ := buildLoggedShard(t, 20)
+	mgr := NewManager(s3.New(), "snaps")
+	faults := faultpoint.New(1)
+	faults.Arm(faultpoint.SiteSnapBuild, faultpoint.Corrupt, 0)
+	sched := &Scheduler{
+		Policy: Policy{MaxLogDistance: 1},
+		Offbox: &Offbox{Manager: mgr, EngineVersion: 1, Faults: faults},
+		Verify: true,
+		// AlarmFn deliberately nil.
+	}
+	sched.AddShard(Shard{ShardID: "s1", Log: log})
+
+	if got := sched.RecentAlarms(8); len(got) != 0 {
+		t.Fatalf("alarms before any tick: %v", got)
+	}
+	sched.Tick(context.Background())
+	if _, _, failures := sched.Stats(); failures == 0 {
+		t.Fatal("corrupt snapshot did not count as a failure")
+	}
+	alarms := sched.RecentAlarms(8)
+	if len(alarms) != 1 || !strings.Contains(alarms[0].Msg, "verification failed") {
+		t.Fatalf("retained alarms = %+v, want one verification failure", alarms)
+	}
+
+	// When a pager IS wired, it gets the message too — the ring is in
+	// addition to AlarmFn, not instead of it.
+	var paged []string
+	sched.AlarmFn = func(msg string) { paged = append(paged, msg) }
+	faults.Arm(faultpoint.SiteSnapBuild, faultpoint.Corrupt, 0)
+	sched.Tick(context.Background())
+	if len(paged) != 1 || !strings.Contains(paged[0], "verification failed") {
+		t.Fatalf("AlarmFn pages = %v, want one verification failure", paged)
+	}
+	if got := sched.RecentAlarms(8); len(got) != 2 {
+		t.Fatalf("retained alarms after second failure = %d, want 2", len(got))
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"memorydb/internal/netsim"
+	"memorydb/internal/obs"
 )
 
 // AZReplica simulates one availability zone's copy of the transaction log
@@ -36,6 +37,11 @@ type AZReplica struct {
 	// acksServed counts delivered ones (observability for tests).
 	acksDropped int64
 	acksServed  int64
+
+	// ackLatency records every served acknowledgement's latency draw.
+	// Always on: a flaky or slow AZ is identified by comparing the three
+	// zones' distributions (and drop counts) in CLUSTER INFO / metrics.
+	ackLatency obs.Histogram
 }
 
 func newAZReplica(i int, lat, slowLat netsim.LatencyModel, seed int64) *AZReplica {
@@ -65,6 +71,10 @@ func (a *AZReplica) SetFlaky(p float64) { a.flaky.SetP(p) }
 // arrive, but pay the service's SlowExtra model on top of the base draw.
 func (a *AZReplica) SetSlow(on bool) { a.slow.Set(on) }
 
+// AckLatency exposes the zone's served-acknowledgement latency
+// histogram (cluster introspection and the metrics endpoint read it).
+func (a *AZReplica) AckLatency() *obs.Histogram { return &a.ackLatency }
+
 // Acks returns (served, dropped) acknowledgement counts.
 func (a *AZReplica) Acks() (served, dropped int64) {
 	a.mu.Lock()
@@ -89,5 +99,6 @@ func (a *AZReplica) ack() (d time.Duration, ok bool) {
 	a.mu.Lock()
 	a.acksServed++
 	a.mu.Unlock()
+	a.ackLatency.Observe(d)
 	return d, true
 }

@@ -1,0 +1,55 @@
+package txlog
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"memorydb/internal/netsim"
+)
+
+// TestAZAckLatencyHistograms checks the per-AZ observability surface: each
+// zone's served-ack histogram grows with appends and reflects the
+// configured commit latency, so CLUSTER INFO can report per-zone p50/p99.
+func TestAZAckLatencyHistograms(t *testing.T) {
+	svc, l := newFaultService(t, Config{CommitLatency: netsim.Fixed(time.Millisecond)})
+
+	after := ZeroID
+	const appends = 5
+	for i := 0; i < appends; i++ {
+		p, err := l.StartAppend(after, Entry{Type: EntryData, Payload: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := p.Wait(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = id
+	}
+
+	azs := svc.AZs()
+	if len(azs) != 3 {
+		t.Fatalf("AZs = %d, want 3", len(azs))
+	}
+	// Quorum is 2-of-3, so across 3 zones at least 2×appends acks must be
+	// served by Wait time; every served ack lands in its zone's histogram.
+	var total uint64
+	for _, az := range azs {
+		h := az.AckLatency()
+		total += h.Count()
+		if h.Count() == 0 {
+			continue
+		}
+		if p50 := h.Percentile(0.50); p50 < time.Millisecond {
+			t.Errorf("%s ack p50 = %v, want >= 1ms commit latency", az.Name(), p50)
+		}
+		served, _ := az.Acks()
+		if uint64(served) != h.Count() {
+			t.Errorf("%s: served=%d but histogram count=%d", az.Name(), served, h.Count())
+		}
+	}
+	if total < 2*appends {
+		t.Fatalf("served-ack observations = %d, want >= %d", total, 2*appends)
+	}
+}

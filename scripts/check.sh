@@ -20,3 +20,7 @@ MEMORYDB_CHAOS_SEED=2 go test -race -run Chaos ./internal/cluster/
 # detector.
 MEMORYDB_CRASH_SEED=1 go test -race -run CrashRestart ./internal/cluster/
 MEMORYDB_CRASH_SEED=2 go test -race -run CrashRestart ./internal/cluster/
+# Metrics-overhead guard: with sampling off the instrumented hot path
+# must record zero allocations per command (internal/obs) and cost no
+# more than 5% of write throughput against a NoObs node (internal/core).
+MEMORYDB_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 ./internal/obs/ ./internal/core/
