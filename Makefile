@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench crash obs
+.PHONY: check vet build test race bench crash obs shards
 
-check: vet build test race crash obs
+check: vet build test race crash obs shards
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,20 @@ crash:
 # write throughput (internal/core, armed by MEMORYDB_OBS_GUARD=1).
 obs:
 	MEMORYDB_OBS_GUARD=1 $(GO) test -run TestObsOverheadGuard -count=1 ./internal/obs/ ./internal/core/
+
+# Sharded-execution gate: the core suite and the fixed-seed chaos/crash
+# schedules must hold at both one execution shard (the legacy
+# single-workloop configuration) and eight, under the race detector,
+# followed by the Figure 4b single-vs-sharded throughput comparison
+# (scripts/bench_shards.sh enforces the 1.8x bar on >= 4-vCPU runners).
+shards:
+	MEMORYDB_SHARDS=1 $(GO) test -race ./internal/core/
+	MEMORYDB_SHARDS=8 $(GO) test -race ./internal/core/
+	MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=1 $(GO) test -race -run Chaos ./internal/cluster/
+	MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=2 $(GO) test -race -run Chaos ./internal/cluster/
+	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=1 $(GO) test -race -run CrashRestart ./internal/cluster/
+	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=2 $(GO) test -race -run CrashRestart ./internal/cluster/
+	sh scripts/bench_shards.sh
 
 # Regenerate the paper figures (long; not part of the tier-1 gate).
 bench:

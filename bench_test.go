@@ -33,8 +33,12 @@ import (
 var figureOpts = bench.Options{Clients: 256, Duration: 150 * time.Millisecond, Prefill: 2000}
 
 func runFigure4Point(b *testing.B, sys bench.System, it bench.InstanceType, w bench.Workload) {
+	runFigure4PointShards(b, sys, it, w, 1)
+}
+
+func runFigure4PointShards(b *testing.B, sys bench.System, it bench.InstanceType, w bench.Workload, shards int) {
 	ctx := context.Background()
-	t, err := bench.NewTarget(sys, it)
+	t, err := bench.NewTargetShards(sys, it, 0, shards)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -52,7 +56,8 @@ func runFigure4Point(b *testing.B, sys bench.System, it bench.InstanceType, w be
 }
 
 // BenchmarkFigure4a reproduces Figure 4a: read-only maximum throughput
-// per instance type, Redis vs MemoryDB.
+// per instance type — Redis, single-workloop MemoryDB, and the
+// keyspace-sharded configuration (Shards=bench.ShardedArmShards).
 func BenchmarkFigure4a(b *testing.B) {
 	for _, it := range bench.R7gSweep {
 		for _, sys := range []bench.System{bench.SystemRedis, bench.SystemMemoryDB} {
@@ -60,11 +65,16 @@ func BenchmarkFigure4a(b *testing.B) {
 				runFigure4Point(b, sys, it, bench.WorkloadReadOnly)
 			})
 		}
+		b.Run(fmt.Sprintf("%s/MemoryDB-sharded", it.Name), func(b *testing.B) {
+			runFigure4PointShards(b, bench.SystemMemoryDB, it, bench.WorkloadReadOnly, bench.ShardedArmShards())
+		})
 	}
 }
 
 // BenchmarkFigure4b reproduces Figure 4b: write-only maximum throughput
-// per instance type. MemoryDB commits every write to the multi-AZ log.
+// per instance type. MemoryDB commits every write to the multi-AZ log;
+// the sharded arm flushes one group-commit buffer per execution shard,
+// so append pipelining widens with the shard count.
 func BenchmarkFigure4b(b *testing.B) {
 	for _, it := range bench.R7gSweep {
 		for _, sys := range []bench.System{bench.SystemRedis, bench.SystemMemoryDB} {
@@ -72,6 +82,9 @@ func BenchmarkFigure4b(b *testing.B) {
 				runFigure4Point(b, sys, it, bench.WorkloadWriteOnly)
 			})
 		}
+		b.Run(fmt.Sprintf("%s/MemoryDB-sharded", it.Name), func(b *testing.B) {
+			runFigure4PointShards(b, bench.SystemMemoryDB, it, bench.WorkloadWriteOnly, bench.ShardedArmShards())
+		})
 	}
 }
 
@@ -188,12 +201,17 @@ func BenchmarkWriteBandwidth(b *testing.B) {
 func BenchmarkPipelinedWrites(b *testing.B) {
 	it := bench.R7g16xlarge
 	for _, mode := range []struct {
-		name  string
-		batch int
-	}{{"batch=1", 1}, {"batch=default", 0}} {
+		name   string
+		batch  int
+		shards int
+	}{
+		{"batch=1", 1, 1},
+		{"batch=default", 0, 1},
+		{fmt.Sprintf("batch=default,shards=%d", bench.ShardedArmShards()), 0, bench.ShardedArmShards()},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			ctx := context.Background()
-			t, err := bench.NewTargetBatch(bench.SystemMemoryDB, it, mode.batch)
+			t, err := bench.NewTargetShards(bench.SystemMemoryDB, it, mode.batch, mode.shards)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -77,6 +77,13 @@ func main() {
 		}
 	}
 
+	// jsonName maps -fig values to artifact names; figures without an
+	// entry use the raw flag value.
+	jsonName := map[string]string{
+		"4a": "fig4a", "4b": "fig4b",
+		"5a": "fig5a", "5b": "fig5b", "5c": "fig5c",
+		"gc": "pipelined",
+	}
 	writeJSON := func(name string, rows any) error {
 		if *jsonDir == "" || rows == nil {
 			return nil
@@ -84,6 +91,9 @@ func main() {
 		data, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {
 			return err
+		}
+		if mapped, ok := jsonName[name]; ok {
+			name = mapped
 		}
 		path := filepath.Join(*jsonDir, "BENCH_"+name+".json")
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {

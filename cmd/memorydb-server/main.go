@@ -56,6 +56,8 @@ func main() {
 		"record commands slower than this in the slowlog")
 	traceSample := flag.Float64("trace-sample", envFloat("MEMORYDB_TRACE_SAMPLE", 0),
 		"fraction of commands to trace (0 disables sampling)")
+	shards := flag.Int("shards", envInt("MEMORYDB_SHARDS", 0),
+		"execution shards per node (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	// One shared metrics registry spans the front-end (read_parse,
@@ -92,6 +94,7 @@ func main() {
 			Snapshots: snaps,
 			Faults:    faults,
 			Obs:       metrics,
+			Shards:    *shards,
 		})
 		if err != nil {
 			log.Fatalf("create node: %v", err)
@@ -171,6 +174,18 @@ func envDuration(key string, def time.Duration) time.Duration {
 		log.Fatalf("%s: %v", key, err)
 	}
 	return d
+}
+
+func envInt(key string, def int) int {
+	s := os.Getenv(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		log.Fatalf("%s: %v", key, err)
+	}
+	return v
 }
 
 func envFloat(key string, def float64) float64 {

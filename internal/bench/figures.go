@@ -4,12 +4,29 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"memorydb/internal/memsim"
 )
+
+// ShardedArmShards is the execution-shard count of the benchmarks'
+// sharded MemoryDB arm: GOMAXPROCS, floored at 8 so the ablation stays
+// meaningful on small CI runners (where GOMAXPROCS would collapse the
+// sharded arm back to the single-workloop configuration), capped at the
+// keyspace's 64 parts.
+func ShardedArmShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	if n > 64 {
+		n = 64
+	}
+	return n
+}
 
 // Options scale the experiments so they fit the machine at hand. The
 // paper uses 10 load generators × 100 connections and 1M pre-filled
@@ -29,13 +46,24 @@ func DefaultOptions() Options {
 }
 
 // Figure4 regenerates Figure 4: maximum throughput per instance type for
-// read-only (a) and write-only (b) workloads, Redis vs MemoryDB.
+// read-only (a) and write-only (b) workloads — Redis, single-workloop
+// MemoryDB, and keyspace-sharded MemoryDB (Shards=ShardedArmShards).
 func Figure4(ctx context.Context, w Workload, opts Options, out io.Writer) ([]Row, error) {
 	var rows []Row
+	arms := []struct {
+		key    string
+		sys    System
+		shards int
+	}{
+		{"redis_ops", SystemRedis, 1},
+		{"memorydb_ops", SystemMemoryDB, 1},
+		{"memorydb_sharded_ops", SystemMemoryDB, ShardedArmShards()},
+	}
 	for _, it := range R7gSweep {
-		row := Row{Label: it.Name, Values: map[string]float64{}, Order: []string{"redis_ops", "memorydb_ops"}}
-		for _, sys := range []System{SystemRedis, SystemMemoryDB} {
-			t, err := NewTarget(sys, it)
+		row := Row{Label: it.Name, Values: map[string]float64{},
+			Order: []string{"redis_ops", "memorydb_ops", "memorydb_sharded_ops"}}
+		for _, arm := range arms {
+			t, err := NewTargetShards(arm.sys, it, 0, arm.shards)
 			if err != nil {
 				return nil, err
 			}
@@ -45,11 +73,7 @@ func Figure4(ctx context.Context, w Workload, opts Options, out io.Writer) ([]Ro
 			}
 			sum := RunClosedLoop(ctx, t, w, opts.Clients, opts.Duration)
 			t.Close()
-			key := "redis_ops"
-			if sys == SystemMemoryDB {
-				key = "memorydb_ops"
-			}
-			row.Values[key] = sum.Throughput
+			row.Values[arm.key] = sum.Throughput
 		}
 		rows = append(rows, row)
 		if out != nil {
@@ -149,13 +173,15 @@ func Figure7(out io.Writer) []memsim.Sample {
 func FigureGroupCommit(ctx context.Context, opts Options, out io.Writer) ([]Row, error) {
 	var rows []Row
 	for _, mode := range []struct {
-		label string
-		batch int
+		label  string
+		batch  int
+		shards int
 	}{
-		{"batch=1", 1},
-		{"batch=default", 0},
+		{"batch=1", 1, 1},
+		{"batch=default", 0, 1},
+		{fmt.Sprintf("batch=default,shards=%d", ShardedArmShards()), 0, ShardedArmShards()},
 	} {
-		t, err := NewTargetBatch(SystemMemoryDB, R7g16xlarge, mode.batch)
+		t, err := NewTargetShards(SystemMemoryDB, R7g16xlarge, mode.batch, mode.shards)
 		if err != nil {
 			return nil, err
 		}

@@ -8,6 +8,7 @@ import (
 	"memorydb/internal/baseline"
 	"memorydb/internal/clock"
 	"memorydb/internal/core"
+	"memorydb/internal/crc16"
 	"memorydb/internal/election"
 	"memorydb/internal/netsim"
 	"memorydb/internal/txlog"
@@ -23,7 +24,12 @@ type Target struct {
 	bnode *baseline.Node
 	log   *txlog.Log
 
-	pacer     Pacer
+	// shards is the node's execution-shard count; pacers models the
+	// engine as that many single-threaded service lanes (capped at the
+	// instance's vCPUs), routed by key slot exactly like the node routes
+	// commands. One shard = the classic single-engine queue.
+	shards    int
+	pacers    []Pacer
 	readCost  time.Duration
 	writeCost time.Duration
 
@@ -39,7 +45,9 @@ func DefaultCommitLatency() netsim.LatencyModel {
 }
 
 // NewTarget builds a target for the given system and instance type with
-// the default group-commit settings.
+// the default group-commit settings and a single execution shard (the
+// classic single-workloop configuration, so existing comparisons are
+// unaffected by the host's GOMAXPROCS).
 func NewTarget(sys System, it InstanceType) (*Target, error) {
 	return NewTargetBatch(sys, it, 0)
 }
@@ -47,7 +55,25 @@ func NewTarget(sys System, it InstanceType) (*Target, error) {
 // NewTargetBatch is NewTarget with an explicit group-commit batch cap for
 // the MemoryDB node (0 = core default, 1 = per-mutation legacy appends).
 func NewTargetBatch(sys System, it InstanceType, batch int) (*Target, error) {
-	t := &Target{Sys: sys, IT: it}
+	return NewTargetShards(sys, it, batch, 1)
+}
+
+// NewTargetShards is NewTargetBatch with an explicit execution-shard
+// count for the MemoryDB node. The capacity model gives each shard its
+// own single-threaded service lane (the engine parallelism sharding
+// buys), capped at the instance's vCPUs; the commit path is the real
+// sharded node, so append pipelining across shard buffers is measured,
+// not modeled.
+func NewTargetShards(sys System, it InstanceType, batch, shards int) (*Target, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	t := &Target{Sys: sys, IT: it, shards: shards}
+	lanes := shards
+	if lanes > it.VCPUs {
+		lanes = it.VCPUs
+	}
+	t.pacers = make([]Pacer, lanes)
 	t.readCost = CostFor(Capacity(sys, OpRead, it))
 	t.writeCost = CostFor(Capacity(sys, OpWrite, it))
 	switch sys {
@@ -67,6 +93,7 @@ func NewTargetBatch(sys System, it InstanceType, batch int) (*Target, error) {
 			Lease:   500 * time.Millisecond, Backoff: 650 * time.Millisecond,
 			RenewEvery:      100 * time.Millisecond,
 			MaxBatchRecords: batch,
+			Shards:          shards,
 		})
 		if err != nil {
 			return nil, err
@@ -145,19 +172,26 @@ func benchKey(i int) []byte {
 func (t *Target) Op(ctx context.Context, kind OpKind, keyIdx int, val []byte) (time.Duration, error) {
 	start := time.Now()
 	cost := t.readCost
+	key := benchKey(keyIdx)
 	var argv [][]byte
 	if kind == OpWrite {
 		cost = t.writeCost
-		argv = [][]byte{[]byte("SET"), benchKey(keyIdx), val}
+		argv = [][]byte{[]byte("SET"), key, val}
 	} else {
-		argv = [][]byte{[]byte("GET"), benchKey(keyIdx)}
+		argv = [][]byte{[]byte("GET"), key}
+	}
+	// Route the op to its shard's service lane by key slot, mirroring the
+	// node's own routing; with one shard this is the classic single queue.
+	lane := 0
+	if len(t.pacers) > 1 {
+		lane = core.ShardOfSlot(crc16.Slot(string(key)), t.shards) % len(t.pacers)
 	}
 	// Sub-200µs waits are absorbed rather than slept: Go timer overshoot
 	// at that granularity would dominate the measurement. The pacer's
 	// virtual queue still advances by the full cost, so capacity is
 	// enforced — short waits simply accumulate until they are worth a
 	// real sleep.
-	if wait := t.pacer.Reserve(start, cost); wait > 200*time.Microsecond {
+	if wait := t.pacers[lane].Reserve(start, cost); wait > 200*time.Microsecond {
 		time.Sleep(wait)
 	}
 	var err error

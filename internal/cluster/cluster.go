@@ -38,6 +38,12 @@ type Config struct {
 	// MaxBatchRecords is forwarded to every node's group-commit buffer
 	// (0 = the core default; 1 disables batching).
 	MaxBatchRecords int
+	// NodeShards is forwarded to every node's execution-shard count
+	// (core.Config.Shards): 0 = core default (MEMORYDB_SHARDS env, else
+	// GOMAXPROCS). Distinct from NumShards, which is the number of
+	// cluster shards (slot-range partitions); NodeShards sub-partitions
+	// the keyspace *within* one node for parallel execution.
+	NodeShards int
 	// RetrySeed seeds every node's transient-failure retry jitter, so
 	// fixed-seed chaos schedules reproduce.
 	RetrySeed int64
@@ -256,6 +262,7 @@ func (c *Cluster) addNodeAs(sh *Shard, nodeID, az string) (*core.Node, error) {
 		Snapshots:       c.cfg.Snapshots,
 		ChecksumEvery:   c.cfg.ChecksumEvery,
 		MaxBatchRecords: c.cfg.MaxBatchRecords,
+		Shards:          c.cfg.NodeShards,
 		RetrySeed:       c.cfg.RetrySeed,
 		Faults:          faults,
 	})

@@ -83,7 +83,7 @@ func (c *Cluster) MigrateSlot(ctx context.Context, slot uint16, toID string) (er
 
 	abort := func(cause error) error {
 		c.setSlotBlocked(slot, false)
-		srcP.EndSlotMigration()
+		srcP.EndSlotMigration(slot)
 		<-forwardErr
 		// Direct the target to delete all transferred data; resuming
 		// writes on the source makes the abort externally invisible.
@@ -105,7 +105,7 @@ func (c *Cluster) MigrateSlot(ctx context.Context, slot uint16, toID string) (er
 	if err := srcP.EnqueueSlotDump(ctx, slot); err != nil {
 		return abort(fmt.Errorf("cluster: final slot dump: %w", err))
 	}
-	srcP.EndSlotMigration()
+	srcP.EndSlotMigration(slot)
 	if err := <-forwardErr; err != nil {
 		return abort(fmt.Errorf("cluster: forwarding: %w", err))
 	}

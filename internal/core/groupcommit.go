@@ -22,21 +22,34 @@ import (
 // ONE EntryData whose payload is the concatenation of every buffered
 // record, and a single tracker.Commit releases every reply gated on it.
 //
+// With keyspace sharding each shard owns one of these buffers and flushes
+// independently; the flush acquires the node's sequencer (seqMu) to issue
+// its append, which is the only point where shards serialize. Per-shard
+// pipeline depth means total append concurrency is Shards ×
+// MaxInflightAppends.
+//
 // Correctness invariants:
 //   - A mutation's reply is withheld until its covering entry commits
 //     (buffered replies are registered with the tracker at flush, all at
 //     the batch entry's seq).
 //   - Reads that observed a buffered-but-unflushed mutation gate on the
 //     batch itself (the workloop tracks the buffer's dirty-key set), so
-//     undurable data is never exposed even before a seq exists.
+//     undurable data is never exposed even before a seq exists. A key's
+//     reads and writes land on the same shard, so the shard-local
+//     dirty-key set is complete for the keys it can be asked about.
 //   - A flush distinguishes fenced from transient failures: a transient
 //     error (service blip, below-quorum AZ set) re-enters the retry loop
 //     with every buffered reply still withheld, while a fenced append —
 //     or exhausting the lease-bounded retry deadline — demotes the node
 //     and fails every buffered reply.
 //   - Non-data appends (lease renewals, checksums, control records) flush
-//     the buffer first, so the log order of entries always matches the
-//     workloop execution order.
+//     the affected buffers first, so the log order of entries always
+//     matches execution order where it is observable.
+//   - The running checksum chains over data payloads in sequencer issue
+//     order, and checksum injection happens inside the same seqMu
+//     critical section as the data append that triggered it, so an
+//     EntryChecksum's payload always equals the chain over the exact log
+//     prefix preceding it — even with other shards flushing concurrently.
 
 // gatedReply is one client reply parked in the group-commit buffer.
 type gatedReply struct {
@@ -48,7 +61,7 @@ type gatedReply struct {
 	execDone int64
 }
 
-// groupCommit is the workloop-owned batching buffer.
+// groupCommit is one shard's workloop-owned batching buffer.
 type groupCommit struct {
 	payload []byte       // concatenated effect records for the next entry
 	records int          // logical records in payload
@@ -89,11 +102,11 @@ func (g *groupCommit) reset() {
 }
 
 // bufferMutation parks an executed mutation's effects and reply in the
-// batch. The engine already applied the mutation locally; visibility to
-// other clients is controlled by the read-gating below, and the reply is
-// withheld until the batch entry commits.
-func (n *Node) bufferMutation(t *task, res engine.Result) {
-	gc := &n.gc
+// shard's batch. The engine already applied the mutation locally;
+// visibility to other clients is controlled by the read-gating below, and
+// the reply is withheld until the batch entry commits.
+func (n *Node) bufferMutation(sh *nodeShard, t *task, res engine.Result) {
+	gc := &sh.gc
 	gc.payload = engine.AppendRecord(gc.payload, res.Effects)
 	gc.records++
 	gc.writes = append(gc.writes, gatedReply{keys: res.Keys, val: res.Reply, send: t.reply, execDone: t.execDone})
@@ -109,16 +122,16 @@ func (n *Node) bufferMutation(t *task, res engine.Result) {
 // delivered before the buffered mutations it observed become durable. It
 // is registered with the tracker at the batch's seq when the batch
 // flushes.
-func (n *Node) gateReadOnBatch(t *task, val resp.Value) {
-	n.gc.reads = append(n.gc.reads, gatedReply{val: val, send: t.reply})
+func (n *Node) gateReadOnBatch(sh *nodeShard, t *task, val resp.Value) {
+	sh.gc.reads = append(sh.gc.reads, gatedReply{val: val, send: t.reply})
 }
 
-// shouldFlush reports whether the buffer must be flushed now: a cap was
-// hit, or the append pipeline has room (flushing while the window is open
-// adds no latency — appends to the log pipeline commit in order — and
-// holding back would only delay the buffered replies).
-func (n *Node) shouldFlush() bool {
-	gc := &n.gc
+// shouldFlush reports whether the shard's buffer must be flushed now: a
+// cap was hit, or the shard's append pipeline has room (flushing while
+// the window is open adds no latency — appends to the log pipeline commit
+// in order — and holding back would only delay the buffered replies).
+func (n *Node) shouldFlush(sh *nodeShard) bool {
+	gc := &sh.gc
 	if !gc.pending() {
 		return false
 	}
@@ -127,11 +140,11 @@ func (n *Node) shouldFlush() bool {
 		gc.inflight.Load() < int64(n.cfg.MaxInflightAppends)
 }
 
-// flushPending appends the buffered batch as one EntryData and gates every
-// buffered reply on its commit. Returns false when the append failed (the
-// node demoted and all buffered replies were failed).
-func (n *Node) flushPending() bool {
-	gc := &n.gc
+// flushPending appends the shard's buffered batch as one EntryData and
+// gates every buffered reply on its commit. Returns false when the append
+// failed (the node demoted and all buffered replies were failed).
+func (n *Node) flushPending(sh *nodeShard) bool {
+	gc := &sh.gc
 	if !gc.pending() {
 		return true
 	}
@@ -144,7 +157,7 @@ func (n *Node) flushPending() bool {
 		// Demoted (or resyncing) with mutations still buffered: a stale
 		// writer must not append, and the replies were already promised an
 		// error by the demotion.
-		n.abortPending(errDemoted)
+		n.abortPending(sh, errDemoted)
 		return false
 	}
 	if err := n.checkpoint(faultpoint.SiteFlushPre); err != nil {
@@ -154,7 +167,7 @@ func (n *Node) flushPending() bool {
 		// lost append.
 		n.stats.AppendsFailed.Add(1)
 		n.demote()
-		n.abortPending(errLogDown)
+		n.abortPending(sh, errLogDown)
 		return false
 	}
 	var flushStart int64
@@ -169,6 +182,10 @@ func (n *Node) flushPending() bool {
 		}
 	}
 	payload := gc.payload
+	// Sequencer critical section: the append is issued, the chain
+	// checksum advances, and a due checksum entry is injected before any
+	// other shard can slot in an append.
+	n.seqMu.Lock()
 	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:          txlog.EntryData,
 		Epoch:         epoch,
@@ -177,6 +194,7 @@ func (n *Node) flushPending() bool {
 		Payload:       payload,
 	}, &n.stats.AppendsRetried)
 	if err != nil {
+		n.seqMu.Unlock()
 		// Transient failures were already absorbed by the retry loop
 		// (replies stayed withheld throughout); reaching here means the
 		// append is genuinely lost — fenced by another writer, or the
@@ -188,13 +206,20 @@ func (n *Node) flushPending() bool {
 		n.stats.AppendsFailed.Add(1)
 		n.demote()
 		if errors.Is(err, txlog.ErrConditionFailed) {
-			n.abortPending(errDemoted)
+			n.abortPending(sh, errDemoted)
 		} else {
-			n.abortPending(errLogDown)
+			n.abortPending(sh, errLogDown)
 		}
 		return false
 	}
 	n.lastIssued = p.ID()
+	n.runningChecksum = txlog.ChainChecksum(n.runningChecksum, payload)
+	n.dataSinceSum++
+	var cp *txlog.Pending
+	if n.cfg.ChecksumEvery > 0 && n.dataSinceSum >= n.cfg.ChecksumEvery {
+		cp = n.injectChecksumLocked()
+	}
+	n.seqMu.Unlock()
 	seq := p.ID().Seq
 	n.stats.BatchFlushes.Add(1)
 	n.stats.BatchedRecords.Add(int64(gc.records))
@@ -256,25 +281,51 @@ func (n *Node) flushPending() bool {
 			}
 		}
 		gc.inflight.Add(-1)
-		// Coalesced poke: wake the workloop so the batch that accumulated
-		// behind this round-trip flushes promptly.
+		// Coalesced poke: wake the shard workloop so the batch that
+		// accumulated behind this round-trip flushes promptly.
 		select {
-		case n.appendAcked <- struct{}{}:
+		case sh.appendAcked <- struct{}{}:
 		default:
 		}
 	}()
-	n.runningChecksum = txlog.ChainChecksum(n.runningChecksum, payload)
-	n.dataSinceSum++
-	if n.cfg.ChecksumEvery > 0 && n.dataSinceSum >= n.cfg.ChecksumEvery {
-		n.injectChecksum()
+	if cp != nil {
+		n.commitWatermarkAsync(cp, trk)
 	}
 	return true
 }
 
-// abortPending fails every reply parked in the buffer with errVal. Called
-// on flush failure and on demotion/resync while mutations were buffered.
-func (n *Node) abortPending(errVal resp.Value) {
-	gc := &n.gc
+// injectChecksumLocked appends the primary's running log checksum so
+// snapshot verification can rehearse against it (§7.2.1). Called with
+// seqMu held, immediately after the data append that made the checksum
+// due, so the checksum entry is contiguous with the prefix it covers.
+// Returns the pending append (the caller advances the tracker watermark
+// once it commits), or nil when the append failed and the node demoted.
+func (n *Node) injectChecksumLocked() *txlog.Pending {
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
+		Type:          txlog.EntryChecksum,
+		Epoch:         epoch,
+		EngineVersion: n.cfg.EngineVersion,
+		Payload:       txlog.EncodeChecksumPayload(n.runningChecksum),
+	}, &n.stats.AppendsRetried)
+	if err != nil {
+		// Fenced or retried out the lease: step down.
+		n.stats.AppendsFailed.Add(1)
+		n.demote()
+		return nil
+	}
+	n.lastIssued = p.ID()
+	n.dataSinceSum = 0
+	return p
+}
+
+// abortPending fails every reply parked in the shard's buffer with
+// errVal. Called on flush failure and on demotion/resync while mutations
+// were buffered.
+func (n *Node) abortPending(sh *nodeShard, errVal resp.Value) {
+	gc := &sh.gc
 	if gc.records == 0 && len(gc.reads) == 0 {
 		return
 	}

@@ -30,7 +30,7 @@ func TestGroupCommitBatchesUnderLoad(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			v, err := n.Do(ctx, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("k%d", i)), []byte("v")})
+			v, err := n.Do(ctx, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("{gc}k%d", i)), []byte("v")})
 			if err != nil || v.IsError() {
 				t.Errorf("write %d failed: %v %v", i, v, err)
 			}
@@ -54,7 +54,7 @@ func TestGroupCommitBatchesUnderLoad(t *testing.T) {
 	}
 	// Every acknowledged write must be readable.
 	for i := 0; i < writers; i++ {
-		v := mustDo(t, n, "GET", fmt.Sprintf("k%d", i))
+		v := mustDo(t, n, "GET", fmt.Sprintf("{gc}k%d", i))
 		if v.Text() != "v" {
 			t.Fatalf("k%d lost after batched commit: %v", i, v)
 		}
@@ -130,18 +130,18 @@ func TestReadGatedOnBufferedWrite(t *testing.T) {
 	ctx := context.Background()
 	// First write flushes immediately (no append in flight) and keeps the
 	// pipeline busy for one commit latency...
-	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("pipe"), []byte("x")})
+	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("{rg}pipe"), []byte("x")})
 	time.Sleep(2 * time.Millisecond)
 	// ...so this second write lands in the group-commit buffer.
 	writeDone := make(chan struct{})
 	go func() {
 		defer close(writeDone)
-		n.Do(ctx, [][]byte{[]byte("SET"), []byte("buffered"), []byte("v")})
+		n.Do(ctx, [][]byte{[]byte("SET"), []byte("{rg}buffered"), []byte("v")})
 	}()
 	time.Sleep(2 * time.Millisecond)
 
 	start := time.Now()
-	v, err := n.Do(ctx, [][]byte{[]byte("GET"), []byte("buffered")})
+	v, err := n.Do(ctx, [][]byte{[]byte("GET"), []byte("{rg}buffered")})
 	lat := time.Since(start)
 	if err != nil {
 		t.Fatal(err)
@@ -155,13 +155,13 @@ func TestReadGatedOnBufferedWrite(t *testing.T) {
 	<-writeDone
 
 	// An unrelated key is not gated on the batch (key-level hazards).
-	mustDo(t, n, "SET", "other", "x")
-	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("pipe"), []byte("y")})
+	mustDo(t, n, "SET", "{rg}other", "x")
+	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("{rg}pipe"), []byte("y")})
 	time.Sleep(2 * time.Millisecond)
-	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("buffered"), []byte("w")})
+	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("{rg}buffered"), []byte("w")})
 	time.Sleep(2 * time.Millisecond)
 	start = time.Now()
-	if _, err := n.Do(ctx, [][]byte{[]byte("GET"), []byte("other")}); err != nil {
+	if _, err := n.Do(ctx, [][]byte{[]byte("GET"), []byte("{rg}other")}); err != nil {
 		t.Fatal(err)
 	}
 	if lat := time.Since(start); lat > commit/2 {
@@ -181,8 +181,9 @@ func TestFlushFailureAbortsWholeBatch(t *testing.T) {
 	waitRole(t, n, election.RolePrimary, 2*time.Second)
 
 	ctx := context.Background()
-	// Occupy the pipeline, then buffer two mutations behind it.
-	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("pipe"), []byte("x")})
+	// Occupy the pipeline, then buffer two mutations behind it (one
+	// slot, so they share a shard buffer at any shard count).
+	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("{fb}pipe"), []byte("x")})
 	time.Sleep(2 * time.Millisecond)
 	type reply struct {
 		isErr bool
@@ -191,7 +192,7 @@ func TestFlushFailureAbortsWholeBatch(t *testing.T) {
 	replies := make(chan reply, 2)
 	for i := 0; i < 2; i++ {
 		go func(i int) {
-			v, err := n.Do(ctx, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("doomed%d", i)), []byte("v")})
+			v, err := n.Do(ctx, [][]byte{[]byte("SET"), []byte(fmt.Sprintf("{fb}doomed%d", i)), []byte("v")})
 			replies <- reply{isErr: v.IsError(), err: err}
 		}(i)
 	}
@@ -274,9 +275,9 @@ func TestWaitCoversBufferedWrites(t *testing.T) {
 	waitRole(t, n, election.RolePrimary, 2*time.Second)
 
 	ctx := context.Background()
-	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("pipe"), []byte("x")})
+	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("{wb}pipe"), []byte("x")})
 	time.Sleep(2 * time.Millisecond)
-	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("buffered"), []byte("v")})
+	go n.Do(ctx, [][]byte{[]byte("SET"), []byte("{wb}buffered"), []byte("v")})
 	time.Sleep(2 * time.Millisecond)
 	start := time.Now()
 	v, err := n.Do(ctx, [][]byte{[]byte("WAIT"), []byte("0"), []byte("0")})

@@ -15,12 +15,15 @@ import (
 var errNotPrimaryErr = errors.New("core: not the primary")
 
 // Slot migration support (paper §5.2). The source primary keeps serving
-// the slot while data moves: keys are dumped through the workloop into an
-// ordered stream that also carries the replication effects of concurrent
-// mutations on the slot, so the target observes "serialized keys plus
-// replication stream mutations of keys already transmitted" in a single
-// consistent order. Ownership transfer itself is coordinated by the
-// cluster layer with 2PC records in the transaction logs.
+// the slot while data moves: keys are dumped through the slot's owner
+// shard workloop into an ordered stream that also carries the replication
+// effects of concurrent mutations on the slot, so the target observes
+// "serialized keys plus replication stream mutations of keys already
+// transmitted" in a single consistent order. A slot maps to exactly one
+// execution shard, so migration tasks route to that shard and the stream
+// ordering argument is unchanged from the single-workloop design.
+// Ownership transfer itself is coordinated by the cluster layer with 2PC
+// records in the transaction logs.
 
 // ForwardItem is one unit of the migration stream: either a batch of
 // commands recreating a dumped key, or the effects of one mutation.
@@ -42,9 +45,10 @@ type MigrationStream struct {
 // EnqueueSlotDump schedules the bulk copy through the same stream.
 func (n *Node) StartSlotMigration(slot uint16) *MigrationStream {
 	ms := &MigrationStream{Slot: slot, C: make(chan ForwardItem, 1024)}
-	t := &task{kind: taskMigCtl, mig: ms, migOn: true, swapCh: make(chan struct{})}
+	sh := n.slotShard(slot)
+	t := &task{kind: taskMigCtl, shard: sh.idx, mig: ms, migOn: true, slot: slot, swapCh: make(chan struct{})}
 	select {
-	case n.tasks <- t:
+	case sh.tasks <- t:
 		<-t.swapCh
 	case <-n.stopCtx.Done():
 	}
@@ -52,13 +56,14 @@ func (n *Node) StartSlotMigration(slot uint16) *MigrationStream {
 }
 
 // EnqueueSlotDump dumps every key currently in the slot into the
-// migration stream. It runs inside the workloop, so the dump point is
-// serialized against mutations: effects emitted after it strictly follow
-// the dumped state.
+// migration stream. It runs inside the slot's owner shard workloop, so
+// the dump point is serialized against mutations: effects emitted after
+// it strictly follow the dumped state.
 func (n *Node) EnqueueSlotDump(ctx context.Context, slot uint16) error {
-	t := &task{kind: taskMigDump, slot: slot, swapCh: make(chan struct{})}
+	sh := n.slotShard(slot)
+	t := &task{kind: taskMigDump, shard: sh.idx, slot: slot, swapCh: make(chan struct{})}
 	select {
-	case n.tasks <- t:
+	case sh.tasks <- t:
 	case <-ctx.Done():
 		return ctx.Err()
 	case <-n.stopCtx.Done():
@@ -75,10 +80,11 @@ func (n *Node) EnqueueSlotDump(ctx context.Context, slot uint16) error {
 }
 
 // EndSlotMigration stops mirroring and closes the stream.
-func (n *Node) EndSlotMigration() {
-	t := &task{kind: taskMigCtl, migOn: false, swapCh: make(chan struct{})}
+func (n *Node) EndSlotMigration(slot uint16) {
+	sh := n.slotShard(slot)
+	t := &task{kind: taskMigCtl, shard: sh.idx, migOn: false, slot: slot, swapCh: make(chan struct{})}
 	select {
-	case n.tasks <- t:
+	case sh.tasks <- t:
 		<-t.swapCh
 	case <-n.stopCtx.Done():
 	}
@@ -96,17 +102,14 @@ func (n *Node) SetSlotGate(gate func(name string, keys []string, writing bool) (
 
 // AppendControl appends a control entry (slot 2PC messages etc.) through
 // the primary's append chain, returning once it is durably committed.
+// Control entries must not overtake buffered mutations, so the append
+// quiesces every shard (each flushes on park) before taking the
+// sequencer.
 func (n *Node) AppendControl(ctx context.Context, typ txlog.EntryType, payload []byte) (txlog.EntryID, error) {
-	t := &task{kind: taskControl, ctlType: typ, ctlPayload: payload, ctlCh: make(chan ctlResult, 1)}
+	ch := make(chan ctlResult, 1)
+	go n.runControl(typ, payload, ch)
 	select {
-	case n.tasks <- t:
-	case <-ctx.Done():
-		return txlog.ZeroID, ctx.Err()
-	case <-n.stopCtx.Done():
-		return txlog.ZeroID, ErrStopped
-	}
-	select {
-	case r := <-t.ctlCh:
+	case r := <-ch:
 		return r.id, r.err
 	case <-ctx.Done():
 		return txlog.ZeroID, ctx.Err()
@@ -120,67 +123,86 @@ type ctlResult struct {
 	err error
 }
 
-func (n *Node) handleControl(t *task) {
+// runControl is the barrier coordinator for one control entry.
+func (n *Node) runControl(typ txlog.EntryType, payload []byte, ch chan ctlResult) {
+	n.barrierMu.Lock()
+	defer n.barrierMu.Unlock()
+	if !n.gate() {
+		ch <- ctlResult{err: ErrStopped}
+		return
+	}
 	n.mu.Lock()
 	role := n.role
 	epoch := n.epoch
 	trk := n.trk
 	n.mu.Unlock()
 	if role != election.RolePrimary {
-		t.ctlCh <- ctlResult{err: errNotPrimaryErr}
+		ch <- ctlResult{err: errNotPrimaryErr}
 		return
 	}
-	// Control entries must not overtake buffered mutations: flush the
-	// group-commit batch first so log order matches execution order.
-	if !n.flushPending() {
-		t.ctlCh <- ctlResult{err: errNotPrimaryErr}
+	release, ok := n.holdShards(n.shards)
+	if !ok {
+		ch <- ctlResult{err: ErrStopped}
 		return
 	}
+	defer release()
+	// Parking flushed every shard; a flush failure demotes, so re-check.
+	n.mu.Lock()
+	role = n.role
+	n.mu.Unlock()
+	if role != election.RolePrimary {
+		ch <- ctlResult{err: errNotPrimaryErr}
+		return
+	}
+	n.seqMu.Lock()
 	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
-		Type:          t.ctlType,
+		Type:          typ,
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
-		Payload:       t.ctlPayload,
+		Payload:       payload,
 	}, &n.stats.AppendsRetried)
+	if err == nil {
+		n.lastIssued = p.ID()
+	}
+	n.seqMu.Unlock()
 	if err != nil {
 		// Fenced or retried out the lease: step down.
 		n.stats.AppendsFailed.Add(1)
 		n.demote()
-		t.ctlCh <- ctlResult{err: err}
+		ch <- ctlResult{err: err}
 		return
 	}
-	n.lastIssued = p.ID()
 	go func() {
 		id, err := p.Wait(n.stopCtx)
 		if err == nil {
 			trk.Commit(id.Seq)
 		}
-		t.ctlCh <- ctlResult{id: id, err: err}
+		ch <- ctlResult{id: id, err: err}
 	}()
 }
 
-func (n *Node) handleMigCtl(t *task) {
+func (n *Node) handleMigCtl(sh *nodeShard, t *task) {
 	if t.migOn {
-		n.migStream = t.mig
-	} else if n.migStream != nil {
-		close(n.migStream.C)
-		n.migStream = nil
+		sh.migStream = t.mig
+	} else if sh.migStream != nil {
+		close(sh.migStream.C)
+		sh.migStream = nil
 	}
 	close(t.swapCh)
 }
 
-func (n *Node) handleMigDump(t *task) {
+func (n *Node) handleMigDump(sh *nodeShard, t *task) {
 	defer close(t.swapCh)
-	if n.migStream == nil {
+	if sh.migStream == nil {
 		return
 	}
-	for _, key := range n.eng.DB().SlotKeys(t.slot, 0) {
-		cmds := n.eng.DumpCommands(key)
+	for _, key := range sh.eng.DB().SlotKeys(t.slot, 0) {
+		cmds := sh.eng.DumpCommands(key)
 		if len(cmds) == 0 {
 			continue
 		}
 		select {
-		case n.migStream.C <- ForwardItem{Cmds: cmds}:
+		case sh.migStream.C <- ForwardItem{Cmds: cmds}:
 		case <-n.stopCtx.Done():
 			return
 		}
@@ -206,11 +228,12 @@ func (n *Node) StepDown(ctx context.Context) error {
 }
 
 // SlotKeys returns the keys currently stored in slot, read inside the
-// workloop so the view is serialized against writes.
+// owner shard's workloop so the view is serialized against writes.
 func (n *Node) SlotKeys(ctx context.Context, slot uint16) ([]string, error) {
-	t := &task{kind: taskSlotInfo, slot: slot, slotCh: make(chan []string, 1)}
+	sh := n.slotShard(slot)
+	t := &task{kind: taskSlotInfo, shard: sh.idx, slot: slot, slotCh: make(chan []string, 1)}
 	select {
-	case n.tasks <- t:
+	case sh.tasks <- t:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case <-n.stopCtx.Done():
@@ -232,11 +255,11 @@ func (n *Node) SlotKeyCount(ctx context.Context, slot uint16) (int, error) {
 	return len(keys), err
 }
 
-// forwardEffects mirrors a mutation's effects into the migration stream
-// when any touched key belongs to the migrating slot. Called from the
-// workloop right after the effects were accepted by the log.
-func (n *Node) forwardEffects(keys []string, effects [][]byte) {
-	ms := n.migStream
+// forwardEffects mirrors a mutation's effects into the shard's migration
+// stream when any touched key belongs to the migrating slot. Called from
+// the shard workloop right after the effects were accepted by the log.
+func (n *Node) forwardEffects(sh *nodeShard, keys []string, effects [][]byte) {
+	ms := sh.migStream
 	if ms == nil {
 		return
 	}
@@ -253,5 +276,14 @@ func (n *Node) forwardEffects(keys []string, effects [][]byte) {
 	select {
 	case ms.C <- ForwardItem{Effects: effects}:
 	case <-n.stopCtx.Done():
+	}
+}
+
+// forwardEffectsParked is forwardEffects for barrier mutations: every
+// shard is parked (so its migStream field is safe to read), and a
+// cross-slot mutation may touch the migrating slot on any of them.
+func (n *Node) forwardEffectsParked(keys []string, effects [][]byte) {
+	for _, sh := range n.shards {
+		n.forwardEffects(sh, keys, effects)
 	}
 }

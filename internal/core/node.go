@@ -12,6 +12,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +28,7 @@ import (
 	"memorydb/internal/resp"
 	"memorydb/internal/retry"
 	"memorydb/internal/snapshot"
+	"memorydb/internal/store"
 	"memorydb/internal/tracker"
 	"memorydb/internal/txlog"
 )
@@ -75,8 +79,20 @@ type Config struct {
 	// only when the log pipeline is idle — which makes every writer under
 	// sustained load wait ~2 commit latencies (the in-flight entry, then
 	// its own). A deeper window overlaps batches so a write waits only
-	// ~1/depth of a commit before its batch is appended. Defaults to 8.
+	// ~1/depth of a commit before its batch is appended. The window is
+	// per execution shard. Defaults to 8.
 	MaxInflightAppends int
+	// Shards is the number of keyspace-sharded execution workloops. Each
+	// shard owns a contiguous range of store parts (crc16 slot ranges) and
+	// runs its own workloop goroutine, task queue and group-commit buffer;
+	// all shards feed one shared transaction-log sequencer that assigns
+	// commit order at flush time. Single-key commands route by slot and
+	// execute in parallel; cross-slot and whole-keyspace commands take a
+	// barrier path that quiesces the affected shards. 1 reproduces the
+	// single-workloop behavior exactly. Defaults to the MEMORYDB_SHARDS
+	// environment variable when set, otherwise GOMAXPROCS, clamped to
+	// [1, store.NumParts].
+	Shards int
 	// Partition, when set, injects a network partition between THIS node
 	// and the transaction log service: its appends and reads fail while
 	// the flag is raised, leaving other nodes unaffected (§4.1 failure
@@ -171,6 +187,22 @@ func (c Config) withDefaults() Config {
 	if c.RetryMax == 0 {
 		c.RetryMax = 16 * time.Millisecond
 	}
+	if c.Shards == 0 {
+		if env := os.Getenv("MEMORYDB_SHARDS"); env != "" {
+			if v, err := strconv.Atoi(env); err == nil {
+				c.Shards = v
+			}
+		}
+		if c.Shards == 0 {
+			c.Shards = runtime.GOMAXPROCS(0)
+		}
+	}
+	if c.Shards < 1 {
+		c.Shards = 1
+	}
+	if c.Shards > store.NumParts {
+		c.Shards = store.NumParts
+	}
 	return c
 }
 
@@ -194,20 +226,41 @@ type Node struct {
 	// commands by slot (MOVED / CROSSSLOT / migration write block, §5.2).
 	slotGate func(name string, keys []string, writing bool) (resp.Value, bool)
 
-	// Workloop-owned state (no locking: single consumer).
-	eng        *engine.Engine
+	// shards are the keyspace-sharded execution workloops. Each owns a
+	// contiguous range of store parts, a task queue, an engine over the
+	// shared DB, and a group-commit buffer. Immutable after NewNode; the
+	// per-shard state inside is owned by that shard's workloop goroutine
+	// (or by a barrier coordinator while the shard is parked).
+	shards []*nodeShard
+	// gEng is the whole-keyspace engine barrier operations execute on
+	// (cross-slot commands, FLUSHALL, KEYS, replica apply at Shards>1).
+	// Guarded by barrierMu together with parked shards.
+	gEng *engine.Engine
+	// dbPtr is the current keyspace, for lock-free monitoring reads
+	// (INFO keyspace section). Swapped by installState.
+	dbPtr atomic.Pointer[store.DB]
+
+	// barrierMu serializes barrier coordinators: cross-slot/whole-keyspace
+	// commands, replica apply at Shards>1, control entries, and state
+	// installs (promotion, resync). Lock order: barrierMu → seqMu → mu.
+	barrierMu sync.Mutex
+
+	// Sequencer state: every transaction-log append on this node is issued
+	// while holding seqMu, so shards flushing concurrently receive commit
+	// order at flush time. Holding seqMu across a (lease-bounded) append
+	// retry is deliberate — it is exactly the serialization the single
+	// workloop used to provide. Never acquire seqMu while holding mu.
+	seqMu      sync.Mutex
 	lastIssued txlog.EntryID
-	applied    txlog.EntryID
-	migStream  *MigrationStream
 	// Running checksum over data payloads this primary appended, chained
 	// from the value at its leadership claim; injected into the log
-	// every ChecksumEvery data entries (§7.2.1).
+	// every ChecksumEvery data entries (§7.2.1). Guarded by seqMu.
 	runningChecksum uint64
 	dataSinceSum    int
-	// gc is the group-commit buffer: mutations executed while a quorum
-	// append is in flight accumulate here until flush (workloop-owned).
-	gc groupCommit
 
+	// applied is owned by the role loop — the single apply driver on both
+	// the replica tail path and the install paths (promotion, resync).
+	applied txlog.EntryID
 	// appliedSeq mirrors applied.Seq for lock-free monitoring reads.
 	appliedSeq atomic.Uint64
 
@@ -227,11 +280,6 @@ type Node struct {
 	frozenMu sync.Mutex
 	frozenCh chan struct{}
 
-	tasks chan *task
-	// appendAcked is a coalesced wakeup: append-waiter goroutines poke it
-	// after a flushed entry commits so the workloop flushes the batch that
-	// accumulated behind the quorum round-trip.
-	appendAcked chan struct{}
 	roleChanged chan struct{}
 	stopCtx     context.Context
 	stopFn      context.CancelFunc
@@ -277,6 +325,11 @@ type Stats struct {
 	// usable one. Nonzero means recovery fell back to an older S3 version
 	// or pure log replay instead of failing.
 	TornSnapshotsDetected atomic.Int64
+	// BarrierOps counts commands that took the barrier path (cross-slot,
+	// whole-keyspace, WAIT at Shards>1); CrossSlotOps counts the subset
+	// whose keys spanned more than one execution shard.
+	BarrierOps   atomic.Int64
+	CrossSlotOps atomic.Int64
 }
 
 // StatsView is a plain copy of the counters at one instant.
@@ -296,6 +349,8 @@ type StatsView struct {
 	DegradedMillis   int64
 
 	TornSnapshotsDetected int64
+	BarrierOps            int64
+	CrossSlotOps          int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -316,6 +371,8 @@ func (s *Stats) Snapshot() StatsView {
 		DegradedMillis:   s.DegradedMillis.Load(),
 
 		TornSnapshotsDetected: s.TornSnapshotsDetected.Load(),
+		BarrierOps:            s.BarrierOps.Load(),
+		CrossSlotOps:          s.CrossSlotOps.Load(),
 	}
 }
 
@@ -334,9 +391,6 @@ func NewNode(cfg Config) (*Node, error) {
 		clk:         cfg.Clock,
 		role:        election.RoleReplica,
 		trk:         tracker.New(0),
-		eng:         engine.New(cfg.Clock),
-		tasks:       make(chan *task, 4096),
-		appendAcked: make(chan struct{}, 1),
 		roleChanged: make(chan struct{}, 4),
 		retryPol: retry.Policy{
 			Base:  cfg.RetryBase,
@@ -344,6 +398,21 @@ func NewNode(cfg Config) (*Node, error) {
 			Clock: cfg.Clock,
 			Seed:  retry.SaltSeed(cfg.RetrySeed),
 		},
+	}
+	db := store.NewDB()
+	n.dbPtr.Store(db)
+	n.gEng = engine.NewShared(cfg.Clock, db)
+	n.shards = make([]*nodeShard, cfg.Shards)
+	for i := range n.shards {
+		n.shards[i] = &nodeShard{
+			idx:         i,
+			n:           n,
+			eng:         engine.NewShared(cfg.Clock, db),
+			tasks:       make(chan *task, 4096),
+			appendAcked: make(chan struct{}, 1),
+			partLo:      ceilDiv(i*store.NumParts, cfg.Shards),
+			partHi:      ceilDiv((i+1)*store.NumParts, cfg.Shards),
+		}
 	}
 	n.stopCtx, n.stopFn = context.WithCancel(context.Background())
 	if !cfg.NoObs {
@@ -355,7 +424,11 @@ func NewNode(cfg Config) (*Node, error) {
 				TraceSeed:        cfg.TraceSeed,
 			})
 		}
-		n.eng.SetObs(n.obs)
+		n.gEng.SetObs(n.obs)
+		for _, sh := range n.shards {
+			sh.eng.SetObs(n.obs)
+		}
+		n.obs.EnsureShards(len(n.shards))
 		n.registerCounters()
 	}
 	return n, nil
@@ -408,12 +481,37 @@ func (n *Node) AppliedSeq() uint64 { return n.appliedSeq.Load() }
 // EngineVersion returns the engine version this node runs.
 func (n *Node) EngineVersion() uint32 { return n.cfg.EngineVersion }
 
-// Start launches the workloop and role management.
+// Start launches the shard workloops and role management.
 func (n *Node) Start() {
-	n.wg.Add(2)
-	go n.workloop()
+	n.wg.Add(len(n.shards) + 1)
+	for _, sh := range n.shards {
+		go sh.workloop()
+	}
 	go n.roleLoop()
 }
+
+// NumShards returns the node's execution-shard count.
+func (n *Node) NumShards() int { return len(n.shards) }
+
+// QueueDepths returns the instantaneous task-queue depth of every
+// execution shard (monitoring).
+func (n *Node) QueueDepths() []int {
+	out := make([]int, len(n.shards))
+	for i, sh := range n.shards {
+		out[i] = len(sh.tasks)
+	}
+	return out
+}
+
+// lastIssuedSeq reads the sequencer tail (the highest log sequence this
+// node has issued an append for).
+func (n *Node) lastIssuedSeq() uint64 {
+	n.seqMu.Lock()
+	defer n.seqMu.Unlock()
+	return n.lastIssued.Seq
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
 
 // Stop terminates the node. Pending gated replies are aborted.
 func (n *Node) Stop() {

@@ -36,16 +36,30 @@ func (n *Node) obsFinish(t *task) {
 	n.obs.FinishCommand(t.name, t.argv, total, queue, exec)
 }
 
-// obsDequeued stamps a client task's dequeue and records its queue wait.
+// obsDequeued stamps a client task's dequeue and records its queue wait,
+// both node-wide and on the handling shard. Per-shard recording is
+// skipped on single-shard nodes, where it would only duplicate the
+// node-wide histogram (keeping the legacy hot path cost unchanged), and
+// for barrier tasks (shard -1), which no one shard handled.
 func (n *Node) obsDequeued(t *task) {
 	t.deq = obs.Now()
 	n.obs.Stage(obs.StageQueueWait).ObserveNanos(t.deq - t.enq)
+	if t.shard >= 0 && len(n.shards) > 1 {
+		if ss := n.obs.ShardStage(t.shard); ss != nil {
+			ss.QueueWait.ObserveNanos(t.deq - t.enq)
+		}
+	}
 }
 
 // obsExecuted stamps engine-execution completion.
 func (n *Node) obsExecuted(t *task) {
 	t.execDone = obs.Now()
 	n.obs.Stage(obs.StageExecute).ObserveNanos(t.execDone - t.deq)
+	if t.shard >= 0 && len(n.shards) > 1 {
+		if ss := n.obs.ShardStage(t.shard); ss != nil {
+			ss.Execute.ObserveNanos(t.execDone - t.deq)
+		}
+	}
 }
 
 // registerCounters exposes every Stats field (plus log-service counters)
@@ -71,6 +85,37 @@ func (n *Node) registerCounters() {
 	reg("renewals_retried", &n.stats.RenewalsRetried)
 	reg("degraded_millis", &n.stats.DegradedMillis)
 	reg("torn_snapshots_detected", &n.stats.TornSnapshotsDetected)
+	reg("barrier_ops", &n.stats.BarrierOps)
+	reg("cross_slot_ops", &n.stats.CrossSlotOps)
+	n.obs.RegisterGauge("shard_count", label, func() int64 {
+		return int64(len(n.shards))
+	})
+	n.obs.RegisterGauge("shard_queue_depth_max", label, func() int64 {
+		max := 0
+		for _, d := range n.QueueDepths() {
+			if d > max {
+				max = d
+			}
+		}
+		return int64(max)
+	})
+	// Imbalance as max/mean in permille (1000 = perfectly balanced); 0
+	// when every queue is empty.
+	n.obs.RegisterGauge("shard_imbalance_permille", label, func() int64 {
+		depths := n.QueueDepths()
+		total, max := 0, 0
+		for _, d := range depths {
+			total += d
+			if d > max {
+				max = d
+			}
+		}
+		if total == 0 {
+			return 0
+		}
+		mean := float64(total) / float64(len(depths))
+		return int64(float64(max) / mean * 1000)
+	})
 }
 
 // usec rounds up, so any recorded sub-microsecond stage reports as 1µs
@@ -95,6 +140,23 @@ func (n *Node) obsInfoSections() string {
 		q := h.Quantiles()
 		fmt.Fprintf(&b, "stage_%s:count=%d,p50_usec=%d,p95_usec=%d,p99_usec=%d,p999_usec=%d,max_usec=%d\r\n",
 			s, h.Count(), usec(q.P50), usec(q.P95), usec(q.P99), usec(q.P999), usec(q.Max))
+	}
+	for i := range n.shards {
+		if len(n.shards) == 1 {
+			break // per-shard stages not recorded on single-shard nodes
+		}
+		ss := n.obs.ShardStage(i)
+		if ss == nil {
+			continue
+		}
+		for _, e := range []struct {
+			name string
+			h    *obs.Histogram
+		}{{"queue_wait", &ss.QueueWait}, {"execute", &ss.Execute}} {
+			q := e.h.Quantiles()
+			fmt.Fprintf(&b, "stage_shard%d_%s:count=%d,p50_usec=%d,p99_usec=%d,max_usec=%d\r\n",
+				i, e.name, e.h.Count(), usec(q.P50), usec(q.P99), usec(q.Max))
+		}
 	}
 	fmt.Fprintf(&b, "# Commandstats\r\n")
 	n.obs.EachCommand(func(name string, h *obs.Histogram) {

@@ -141,16 +141,16 @@ func (n *Node) runReplica() {
 					}
 					n.mu.Unlock()
 				}
-				n.applyViaWorkloop(e)
+				n.applyEntry(e)
 			case txlog.EntryControl:
 				if string(e.Payload) == string(LeaseReleasePayload) {
 					// Collaborative hand-over: the primary released its
 					// lease, so the backoff no longer applies.
 					bootstrap = true
 				}
-				n.applyViaWorkloop(e)
+				n.applyEntry(e)
 			default:
-				if err := n.applyViaWorkloop(e); err != nil {
+				if err := n.applyEntry(e); err != nil {
 					if errors.Is(err, errUpgradeStall) {
 						// Stop consuming the log (§7.1) but keep serving
 						// stale reads until the control plane replaces us.
@@ -177,21 +177,6 @@ func (n *Node) runReplica() {
 	}
 }
 
-func (n *Node) applyViaWorkloop(e txlog.Entry) error {
-	t := &task{kind: taskApply, entry: e, applyCh: make(chan error, 1)}
-	select {
-	case n.tasks <- t:
-	case <-n.stopCtx.Done():
-		return ErrStopped
-	}
-	select {
-	case err := <-t.applyCh:
-		return err
-	case <-n.stopCtx.Done():
-		return ErrStopped
-	}
-}
-
 // campaign attempts to acquire leadership conditioned on the replica's
 // observed tail. Only a fully caught-up replica can succeed (§4.1.2).
 func (n *Node) campaign(observedTail txlog.EntryID) bool {
@@ -208,17 +193,13 @@ func (n *Node) campaign(observedTail txlog.EntryID) bool {
 	// Fresh tracker: the durable watermark starts at the claim entry.
 	n.trk = tracker.New(claimID.Seq)
 	n.mu.Unlock()
-	// The workloop chains appends after the claim entry; install the
-	// positions through the workloop so no other goroutine touches its
-	// state. The running checksum continues from the log's value at the
-	// claim (the claim is committed, so ChecksumAt cannot fail except on
-	// a concurrent trim, in which case zero restarts verification).
+	// The sequencer chains appends after the claim entry; install the
+	// positions under an all-shard barrier so no workloop observes them
+	// mid-change. The running checksum continues from the log's value at
+	// the claim (the claim is committed, so ChecksumAt cannot fail except
+	// on a concurrent trim, in which case zero restarts verification).
 	sum, _ := n.cfg.Log.ChecksumAt(claimID)
-	t := &task{kind: taskSwap, newApplied: claimID, setIssued: true, newChecksum: sum, swapCh: make(chan struct{})}
-	select {
-	case n.tasks <- t:
-		<-t.swapCh
-	case <-n.stopCtx.Done():
+	if !n.installState(nil, claimID, true, sum) {
 		return false
 	}
 	n.setRole(election.RolePrimary, lease.Epoch())
@@ -254,15 +235,19 @@ func (n *Node) runPrimary() {
 				return
 			}
 			select {
-			case n.tasks <- &task{kind: taskRenew}:
+			case n.shards[0].tasks <- &task{kind: taskRenew, shard: 0}:
 			case <-n.stopCtx.Done():
 				return
 			}
 			sweepCounter++
 			if sweepCounter%4 == 0 {
-				select {
-				case n.tasks <- &task{kind: taskSweep}:
-				default:
+				// Every shard sweeps its own part range, so expiry DELs
+				// flow through the owning shard's group-commit buffer.
+				for _, sh := range n.shards {
+					select {
+					case sh.tasks <- &task{kind: taskSweep, shard: sh.idx}:
+					default:
+					}
 				}
 			}
 		}
@@ -319,16 +304,9 @@ func (n *Node) resync() error {
 		}
 		return err
 	}
-	// Install the rebuilt state and a fresh tracker via the workloop.
-	t := &task{kind: taskSwap, newEng: eng, newApplied: target, swapCh: make(chan struct{})}
-	select {
-	case n.tasks <- t:
-	case <-n.stopCtx.Done():
-		return ErrStopped
-	}
-	select {
-	case <-t.swapCh:
-	case <-n.stopCtx.Done():
+	// Install the rebuilt state under an all-shard barrier, then a fresh
+	// tracker.
+	if !n.installState(eng, target, false, 0) {
 		return ErrStopped
 	}
 	n.mu.Lock()
@@ -338,29 +316,29 @@ func (n *Node) resync() error {
 	return nil
 }
 
-// drainWorkloop round-trips a barrier task through the workloop, blocking
-// until everything queued (and in flight) ahead of it has been handled.
-// Returns false when the node stopped instead.
+// drainWorkloop round-trips a barrier task through every shard workloop,
+// blocking until everything queued (and in flight) ahead of it has been
+// handled on each. Returns false when the node stopped instead.
 func (n *Node) drainWorkloop() bool {
-	t := &task{kind: taskBarrier, swapCh: make(chan struct{})}
-	select {
-	case n.tasks <- t:
-	case <-n.stopCtx.Done():
-		return false
+	for _, sh := range n.shards {
+		t := &task{kind: taskBarrier, shard: sh.idx, swapCh: make(chan struct{})}
+		select {
+		case sh.tasks <- t:
+		case <-n.stopCtx.Done():
+			return false
+		}
+		select {
+		case <-t.swapCh:
+		case <-n.stopCtx.Done():
+			return false
+		}
 	}
-	select {
-	case <-t.swapCh:
-		return true
-	case <-n.stopCtx.Done():
-		return false
-	}
+	return true
 }
 
 func (n *Node) appliedPos() txlog.EntryID {
-	// applied is workloop-owned; reading from the role loop is safe
-	// because applies are driven synchronously by this same goroutine
-	// while in replica role, and across role transitions the workloop is
-	// quiescent for apply tasks.
+	// applied is owned by the role loop (the single apply driver), so
+	// reading it from here is always safe.
 	return n.applied
 }
 

@@ -21,13 +21,12 @@ const (
 	taskBatch
 	taskApply
 	taskRenew
-	taskSwap
 	taskSweep
-	taskControl
 	taskMigCtl
 	taskMigDump
 	taskSlotInfo
 	taskBarrier
+	taskPark
 )
 
 type task struct {
@@ -36,6 +35,10 @@ type task struct {
 	batch    [][][]byte
 	readonly bool // client opted into replica reads (READONLY)
 	reply    func(v resp.Value)
+
+	// shard is the execution shard the task was routed to, -1 on the
+	// barrier path (per-shard stage histograms are skipped there).
+	shard int
 
 	// Observability stamps (obs.Now monotonic nanos; 0 = not stamped):
 	// enq at submit, deq at workloop dequeue, execDone after engine
@@ -48,18 +51,14 @@ type task struct {
 	entry   txlog.Entry
 	applyCh chan error
 
-	// taskSwap: install restored engine state and/or log positions from
-	// the role loop without racing the workloop.
-	newEng      *engine.Engine
-	newApplied  txlog.EntryID
-	setIssued   bool
-	newChecksum uint64
-	swapCh      chan struct{}
+	// taskBarrier (drain): closed once every task queued ahead of the
+	// barrier has been fully handled.
+	swapCh chan struct{}
 
-	// taskControl
-	ctlType    txlog.EntryType
-	ctlPayload []byte
-	ctlCh      chan ctlResult
+	// taskPark: quiesce this shard for a barrier coordinator. The shard
+	// flushes its buffer, signals arrival, and blocks until release.
+	parkArrived chan<- struct{}
+	parkRelease <-chan struct{}
 
 	// taskMigCtl / taskMigDump / taskSlotInfo
 	mig    *MigrationStream
@@ -83,8 +82,9 @@ func (n *Node) DoReadOnly(ctx context.Context, argv [][]byte) (resp.Value, error
 }
 
 // DoBatch executes an atomic MULTI/EXEC group: all commands run
-// back-to-back in the workloop and their effects are logged as a single
-// record, so the group is atomic both locally and in the log (§2.1).
+// back-to-back in one workloop (or under an all-shard barrier when the
+// group spans shards) and their effects are logged as a single record, so
+// the group is atomic both locally and in the log (§2.1).
 func (n *Node) DoBatch(ctx context.Context, cmds [][][]byte) (resp.Value, error) {
 	return n.submit(ctx, &task{kind: taskBatch, batch: cmds})
 }
@@ -97,12 +97,20 @@ func (n *Node) submit(ctx context.Context, t *task) (resp.Value, error) {
 	} else {
 		t.reply = func(v resp.Value) { ch <- v }
 	}
-	select {
-	case n.tasks <- t:
-	case <-ctx.Done():
-		return resp.Value{}, ctx.Err()
-	case <-n.stopCtx.Done():
-		return resp.Value{}, ErrStopped
+	if sh, barrier := n.route(t); barrier {
+		t.shard = -1
+		// The coordinator runs in its own goroutine so this submit keeps
+		// honoring ctx cancellation while shards quiesce.
+		go n.runBarrier(t)
+	} else {
+		t.shard = sh.idx
+		select {
+		case sh.tasks <- t:
+		case <-ctx.Done():
+			return resp.Value{}, ctx.Err()
+		case <-n.stopCtx.Done():
+			return resp.Value{}, ErrStopped
+		}
 	}
 	select {
 	case v := <-ch:
@@ -114,44 +122,7 @@ func (n *Node) submit(ctx context.Context, t *task) (resp.Value, error) {
 	}
 }
 
-// workloop is the node's single execution thread. It is pipelined for
-// group commit: tasks already queued are drained greedily (mutations
-// execute and buffer while a quorum append is in flight), append
-// acknowledgements flush the accumulated batch, and the buffer never
-// survives into a blocking wait while no append is outstanding.
-func (n *Node) workloop() {
-	defer n.wg.Done()
-	for {
-		select {
-		case <-n.stopCtx.Done():
-			return
-		case t := <-n.tasks:
-			n.handleTask(t)
-		case <-n.appendAcked:
-			// The oldest in-flight append committed: flush the batch that
-			// accumulated behind its quorum round-trip.
-			n.flushPending()
-		}
-		// Greedy drain: execute everything already queued before blocking
-		// again, so mutations coalesce into the pending batch instead of
-		// paying one wakeup (and potentially one log entry) each.
-	drain:
-		for {
-			select {
-			case <-n.stopCtx.Done():
-				return
-			case t := <-n.tasks:
-				n.handleTask(t)
-			case <-n.appendAcked:
-				n.flushPending()
-			default:
-				break drain
-			}
-		}
-	}
-}
-
-func (n *Node) handleTask(t *task) {
+func (n *Node) handleTask(sh *nodeShard, t *task) {
 	if !n.gate() {
 		// Stopped while frozen: the crashed process is being torn down.
 		// Drop the task without replying — exactly what a dead process
@@ -160,46 +131,47 @@ func (n *Node) handleTask(t *task) {
 	}
 	switch t.kind {
 	case taskCmd:
-		n.handleCmd(t)
+		n.handleCmd(sh, t)
 	case taskBatch:
-		n.handleBatch(t)
+		n.handleBatch(sh, t)
 	case taskApply:
-		t.applyCh <- n.handleApply(t.entry)
+		t.applyCh <- sh.eng.Apply(t.entry.Payload)
 	case taskRenew:
-		n.handleRenew()
+		n.handleRenew(sh)
 	case taskSweep:
-		n.handleSweep()
-	case taskControl:
-		n.handleControl(t)
+		n.handleSweep(sh)
 	case taskMigCtl:
-		n.handleMigCtl(t)
+		n.handleMigCtl(sh, t)
 	case taskMigDump:
-		n.handleMigDump(t)
+		n.handleMigDump(sh, t)
 	case taskSlotInfo:
-		t.slotCh <- n.eng.DB().SlotKeys(t.slot, 0)
+		t.slotCh <- sh.eng.DB().SlotKeys(t.slot, 0)
 	case taskBarrier:
 		// Pure synchronization: reaching this point proves every task
 		// queued ahead of the barrier — including a flush whose retry
 		// loop was failing out gated replies — has been fully handled.
-		close(t.swapCh)
-	case taskSwap:
-		// Installing restored state discards any buffered, never-logged
-		// mutations: their clients must see errors, not silence (the node
-		// demoted before the resync that sent this swap).
-		n.abortPending(errDemoted)
-		if t.newEng != nil {
-			n.eng = t.newEng
-		}
-		n.applied = t.newApplied
-		n.appliedSeq.Store(t.newApplied.Seq)
-		if t.setIssued {
-			n.lastIssued = t.newApplied
-			n.runningChecksum = t.newChecksum
-			n.dataSinceSum = 0
-		} else {
-			n.lastIssued = txlog.ZeroID
+		// On a node that is no longer primary, buffered mutations can
+		// never become durable; fail their replies now, while the
+		// step-down is externally observable.
+		n.mu.Lock()
+		role := n.role
+		n.mu.Unlock()
+		if role != election.RolePrimary {
+			n.abortPending(sh, errDemoted)
 		}
 		close(t.swapCh)
+	case taskPark:
+		// A barrier coordinator is quiescing this shard. Flush first so
+		// the coordinator observes fully-issued state (on a demoted node
+		// this aborts the buffer instead), then block until release. The
+		// coordinator may touch this shard's engine and buffer while we
+		// are parked; the channel handshake orders those accesses.
+		n.flushPending(sh)
+		t.parkArrived <- struct{}{}
+		select {
+		case <-t.parkRelease:
+		case <-n.stopCtx.Done():
+		}
 	}
 }
 
@@ -210,7 +182,7 @@ var (
 	errLogDown    = resp.Err("CLUSTERDOWN transaction log unavailable")
 )
 
-func (n *Node) handleCmd(t *task) {
+func (n *Node) handleCmd(sh *nodeShard, t *task) {
 	n.stats.Commands.Add(1)
 	name := strings.ToUpper(string(t.argv[0]))
 	if n.obs != nil && t.enq != 0 {
@@ -218,7 +190,7 @@ func (n *Node) handleCmd(t *task) {
 		n.obsDequeued(t)
 	}
 	if name == "WAIT" {
-		n.handleWait(t)
+		n.handleWait(sh, t)
 		return
 	}
 	if name == "INFO" {
@@ -247,7 +219,7 @@ func (n *Node) handleCmd(t *task) {
 		if lease == nil || !lease.Valid() {
 			// A primary that cannot renew voluntarily stops servicing
 			// reads and writes at the end of its lease (§4.1.3).
-			n.abortPending(errDemoted)
+			n.abortPending(sh, errDemoted)
 			n.demote()
 			t.reply(errDemoted)
 			return
@@ -267,7 +239,7 @@ func (n *Node) handleCmd(t *task) {
 		}
 		// Replica read: mutations only become visible once committed to
 		// the log, so no blocking is required (§3.2).
-		res := n.eng.Exec(t.argv)
+		res := sh.eng.Exec(t.argv)
 		if t.deq != 0 {
 			n.obsExecuted(t)
 		}
@@ -279,7 +251,7 @@ func (n *Node) handleCmd(t *task) {
 	}
 
 	// Primary path.
-	res := n.eng.Exec(t.argv)
+	res := sh.eng.Exec(t.argv)
 	if t.deq != 0 {
 		n.obsExecuted(t)
 	}
@@ -288,16 +260,16 @@ func (n *Node) handleCmd(t *task) {
 		// mutation (key-level hazards, §3.2).
 		keys := readKeys(cmd, t.argv, name)
 		gateAll := (keys == nil && gatesOnFullKeyspace(name)) || n.cfg.GlobalReadGate
-		if n.gc.pending() && (gateAll || n.gc.touchesAny(keys)) {
+		if sh.gc.pending() && (gateAll || sh.gc.touchesAny(keys)) {
 			// The read observed a mutation still sitting in the
 			// group-commit buffer (no log seq yet): gate it on the batch
 			// itself; it is released once the batch entry commits.
 			n.stats.GatedReads.Add(1)
-			n.gateReadOnBatch(t, res.Reply)
+			n.gateReadOnBatch(sh, t, res.Reply)
 			return
 		}
 		if gateAll {
-			seq := n.lastIssued.Seq
+			seq := n.lastIssuedSeq()
 			n.stats.GatedReads.Add(1)
 			trk.RegisterWrite(seq, nil, func(aborted bool) {
 				if aborted {
@@ -317,10 +289,10 @@ func (n *Node) handleCmd(t *task) {
 		})
 		return
 	}
-	n.logMutation(t, res)
+	n.logMutation(sh, t, res)
 }
 
-func (n *Node) handleBatch(t *task) {
+func (n *Node) handleBatch(sh *nodeShard, t *task) {
 	n.stats.Commands.Add(1)
 	if n.obs != nil && t.enq != 0 {
 		t.name = "EXEC"
@@ -336,12 +308,12 @@ func (n *Node) handleBatch(t *task) {
 		return
 	}
 	if lease == nil || !lease.Valid() {
-		n.abortPending(errDemoted)
+		n.abortPending(sh, errDemoted)
 		n.demote()
 		t.reply(errDemoted)
 		return
 	}
-	res := n.eng.ExecBatch(t.batch)
+	res := sh.eng.ExecBatch(t.batch)
 	if t.deq != 0 {
 		n.obsExecuted(t)
 	}
@@ -349,11 +321,11 @@ func (n *Node) handleBatch(t *task) {
 		// Read-only transaction: gate on everything outstanding, since
 		// computing the union of read keys across the group costs more
 		// than the conservative barrier.
-		if n.gc.pending() {
-			n.gateReadOnBatch(t, res.Reply)
+		if sh.gc.pending() {
+			n.gateReadOnBatch(sh, t, res.Reply)
 			return
 		}
-		seq := n.lastIssued.Seq
+		seq := n.lastIssuedSeq()
 		trk.RegisterWrite(seq, nil, func(aborted bool) {
 			if aborted {
 				t.reply(errDemoted)
@@ -363,49 +335,23 @@ func (n *Node) handleBatch(t *task) {
 		})
 		return
 	}
-	n.logMutation(t, res)
+	n.logMutation(sh, t, res)
 }
 
-// logMutation routes the effects of an executed mutation into the
-// group-commit buffer and flushes when warranted: immediately when no
-// append is in flight (no latency added), on records/bytes caps, and
-// otherwise when the in-flight append acknowledges (flush-on-ack, driven
-// by the workloop's appendAcked wakeup).
-func (n *Node) logMutation(t *task, res engine.Result) {
+// logMutation routes the effects of an executed mutation into the shard's
+// group-commit buffer and flushes when warranted: immediately when the
+// append pipeline has room (no latency added), on records/bytes caps, and
+// otherwise when an in-flight append acknowledges (flush-on-ack, driven
+// by the shard's appendAcked wakeup).
+func (n *Node) logMutation(sh *nodeShard, t *task, res engine.Result) {
 	n.stats.Mutations.Add(1)
 	// Mirror into the migration stream at execution order — the same
 	// position the effects take in the batch payload.
-	n.forwardEffects(res.Keys, res.Effects)
-	n.bufferMutation(t, res)
-	if n.shouldFlush() {
-		n.flushPending()
+	n.forwardEffects(sh, res.Keys, res.Effects)
+	n.bufferMutation(sh, t, res)
+	if n.shouldFlush(sh) {
+		n.flushPending(sh)
 	}
-}
-
-// injectChecksum appends the primary's running log checksum so snapshot
-// verification can rehearse against it (§7.2.1). Only called with an
-// empty group-commit buffer (it runs right after a flush), so the
-// checksum always covers a log prefix.
-func (n *Node) injectChecksum() {
-	n.mu.Lock()
-	epoch := n.epoch
-	trk := n.trk
-	n.mu.Unlock()
-	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
-		Type:          txlog.EntryChecksum,
-		Epoch:         epoch,
-		EngineVersion: n.cfg.EngineVersion,
-		Payload:       txlog.EncodeChecksumPayload(n.runningChecksum),
-	}, &n.stats.AppendsRetried)
-	if err != nil {
-		// Fenced or retried out the lease: step down.
-		n.stats.AppendsFailed.Add(1)
-		n.demote()
-		return
-	}
-	n.lastIssued = p.ID()
-	n.dataSinceSum = 0
-	n.commitWatermarkAsync(p, trk)
 }
 
 // commitWatermarkAsync advances the tracker's durable watermark once a
@@ -429,8 +375,9 @@ func (n *Node) commitWatermarkAsync(p *txlog.Pending, trk trackerIface) {
 // handleWait implements WAIT: on MemoryDB every acknowledged write is
 // already durable across AZs, so WAIT degenerates to a barrier on the
 // client's outstanding writes; the reply is the number of replicating
-// AZs beyond the primary's.
-func (n *Node) handleWait(t *task) {
+// AZs beyond the primary's. At Shards>1 WAIT routes through the barrier
+// path instead (every shard's buffer must flush first).
+func (n *Node) handleWait(sh *nodeShard, t *task) {
 	n.mu.Lock()
 	role := n.role
 	trk := n.trk
@@ -439,12 +386,12 @@ func (n *Node) handleWait(t *task) {
 		t.reply(errNotPrimary)
 		return
 	}
-	if n.gc.pending() {
+	if sh.gc.pending() {
 		// Buffered writes have no seq yet; the barrier must cover them.
-		n.gateReadOnBatch(t, resp.Int64(2))
+		n.gateReadOnBatch(sh, t, resp.Int64(2))
 		return
 	}
-	seq := n.lastIssued.Seq
+	seq := n.lastIssuedSeq()
 	trk.RegisterWrite(seq, nil, func(aborted bool) {
 		if aborted {
 			t.reply(errDemoted)
@@ -455,8 +402,9 @@ func (n *Node) handleWait(t *task) {
 }
 
 // infoText renders the INFO reply: the per-node view the monitoring
-// service polls every few seconds (§5.1). Runs in the workloop, so the
-// log positions are consistent.
+// service polls every few seconds (§5.1). Reads only atomics and
+// mu-guarded fields, so any shard may serve it without quiescing the
+// others.
 func (n *Node) infoText() string {
 	n.mu.Lock()
 	role := n.role
@@ -466,11 +414,12 @@ func (n *Node) infoText() string {
 	st := n.stats.Snapshot()
 	logStats := n.cfg.Log.Stats()
 	degraded := n.cfg.Log.Degraded()
+	db := n.dbPtr.Load()
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Replication\r\n")
 	fmt.Fprintf(&b, "role:%s\r\n", role)
 	fmt.Fprintf(&b, "epoch:%d\r\n", epoch)
-	fmt.Fprintf(&b, "applied_seq:%d\r\n", n.applied.Seq)
+	fmt.Fprintf(&b, "applied_seq:%d\r\n", n.appliedSeq.Load())
 	fmt.Fprintf(&b, "log_committed_seq:%d\r\n", n.cfg.Log.CommittedTail().Seq)
 	fmt.Fprintf(&b, "upgrade_stalled:%v\r\n", stalled)
 	fmt.Fprintf(&b, "engine_version:%d\r\n", n.cfg.EngineVersion)
@@ -493,43 +442,37 @@ func (n *Node) infoText() string {
 	fmt.Fprintf(&b, "log_degraded:%v\r\n", degraded)
 	fmt.Fprintf(&b, "log_degraded_appends:%d\r\n", logStats.DegradedAppends)
 	fmt.Fprintf(&b, "torn_snapshots_detected:%d\r\n", st.TornSnapshotsDetected)
+	fmt.Fprintf(&b, "shard_count:%d\r\n", len(n.shards))
+	fmt.Fprintf(&b, "barrier_ops:%d\r\n", st.BarrierOps)
+	fmt.Fprintf(&b, "cross_slot_ops:%d\r\n", st.CrossSlotOps)
+	depths := n.QueueDepths()
+	total, maxd := 0, 0
+	for _, d := range depths {
+		total += d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	fmt.Fprintf(&b, "queue_depth_total:%d\r\n", total)
+	fmt.Fprintf(&b, "queue_depth_max:%d\r\n", maxd)
+	for i, d := range depths {
+		fmt.Fprintf(&b, "shard%d_queue_depth:%d\r\n", i, d)
+	}
 	fmt.Fprintf(&b, "# Keyspace\r\n")
-	fmt.Fprintf(&b, "keys:%d\r\n", n.eng.DB().Len())
-	fmt.Fprintf(&b, "used_bytes:%d\r\n", n.eng.DB().UsedBytes())
+	fmt.Fprintf(&b, "keys:%d\r\n", db.Len())
+	fmt.Fprintf(&b, "used_bytes:%d\r\n", db.UsedBytes())
 	b.WriteString(n.obsInfoSections())
 	return b.String()
 }
 
-// handleApply applies one replicated log entry on a replica.
-func (n *Node) handleApply(e txlog.Entry) error {
-	if e.Type != txlog.EntryData {
-		n.applied = e.ID
-		n.appliedSeq.Store(e.ID.Seq)
-		return nil
-	}
-	if e.EngineVersion > n.cfg.EngineVersion {
-		// Upgrade protection (§7.1): a replica running an older engine
-		// must not misinterpret records from a newer one; it stops
-		// consuming the log.
-		n.mu.Lock()
-		n.stalled = true
-		n.mu.Unlock()
-		return errUpgradeStall
-	}
-	if err := n.eng.Apply(e.Payload); err != nil {
-		return err
-	}
-	n.applied = e.ID
-	n.appliedSeq.Store(e.ID.Seq)
-	n.stats.EntriesApplied.Add(1)
-	return nil
-}
-
-// handleRenew appends a lease renewal (primary only). The append is
-// pipelined like any other: assignment happens synchronously (so the
-// chain stays intact) and the lease extends from issue time — safe
+// handleRenew appends a lease renewal (primary only; routed to shard 0).
+// The append is pipelined like any other: assignment happens synchronously
+// (so the chain stays intact) and the lease extends from issue time — safe
 // because the backoff replicas observe is strictly longer than the lease.
-func (n *Node) handleRenew() {
+// Only shard 0's buffer is flushed first: a lease entry carries no data,
+// so its order relative to OTHER shards' buffered mutations is
+// unconstrained — each shard's own flush keeps its per-key order.
+func (n *Node) handleRenew(sh *nodeShard) {
 	n.mu.Lock()
 	role := n.role
 	lease := n.lease
@@ -540,13 +483,13 @@ func (n *Node) handleRenew() {
 		return
 	}
 	if !lease.Valid() {
-		n.abortPending(errDemoted)
+		n.abortPending(sh, errDemoted)
 		n.demote()
 		return
 	}
 	// Flush buffered mutations first so the log order of entries matches
 	// workloop execution order.
-	if !n.flushPending() {
+	if !n.flushPending(sh) {
 		return
 	}
 	// Crash gate on the renewal path: a kill here lets the lease run out
@@ -558,17 +501,22 @@ func (n *Node) handleRenew() {
 	}
 	r := election.Renewal{NodeID: n.cfg.NodeID, Epoch: epoch, LeaseMs: n.cfg.Lease.Milliseconds()}
 	issued := n.clk.Now()
+	n.seqMu.Lock()
 	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
 		Type:    txlog.EntryLease,
 		Epoch:   epoch,
 		Payload: election.EncodeRenewal(r),
 	}, &n.stats.RenewalsRetried)
+	if err == nil {
+		n.lastIssued = p.ID()
+	}
+	n.seqMu.Unlock()
 	if err != nil {
 		n.stats.AppendsFailed.Add(1)
 		if errors.Is(err, txlog.ErrConditionFailed) || !lease.Valid() {
 			// Fenced by another writer, or the lease expired while the
 			// retry loop was absorbing an outage: step down now.
-			n.abortPending(errDemoted)
+			n.abortPending(sh, errDemoted)
 			n.demote()
 			return
 		}
@@ -577,25 +525,26 @@ func (n *Node) handleRenew() {
 		return
 	}
 	lease.Renewed(issued)
-	n.lastIssued = p.ID()
 	n.commitWatermarkAsync(p, trk)
 }
 
-// handleSweep runs one active-expiry cycle on the primary, replicating
-// deterministic DELs for reaped keys.
-func (n *Node) handleSweep() {
+// handleSweep runs one active-expiry cycle over this shard's owned store
+// parts on the primary, replicating deterministic DELs for reaped keys —
+// through the shard's own group-commit buffer, so per-key order between a
+// SET and its expiry DEL is preserved.
+func (n *Node) handleSweep(sh *nodeShard) {
 	n.mu.Lock()
 	role := n.role
 	n.mu.Unlock()
 	if role != election.RolePrimary {
 		return
 	}
-	res := n.eng.SweepExpired(32)
+	res := sh.eng.SweepExpiredParts(32, sh.partLo, sh.partHi)
 	if !res.Mutated() {
 		return
 	}
-	t := &task{reply: func(resp.Value) {}}
-	n.logMutation(t, res)
+	t := &task{shard: sh.idx, reply: func(resp.Value) {}}
+	n.logMutation(sh, t, res)
 }
 
 // demote moves the node to the demoted role; the role loop will

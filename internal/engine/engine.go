@@ -138,11 +138,20 @@ func (e *Engine) SetObs(m *obs.Metrics) { e.obs = m }
 
 // New returns an engine over a fresh keyspace.
 func New(clk clock.Clock) *Engine {
+	return NewShared(clk, store.NewDB())
+}
+
+// NewShared returns an engine over an existing keyspace. A sharded node
+// creates one engine per sub-shard workloop, all over the same DB: each
+// engine only ever executes commands whose keys fall in the parts its
+// workloop owns, so the shared DB needs no locking. The per-engine scratch
+// state (effects, dirty keys, rng) stays private to each workloop.
+func NewShared(clk clock.Clock, db *store.DB) *Engine {
 	if clk == nil {
 		clk = clock.NewReal()
 	}
 	return &Engine{
-		db:  store.NewDB(),
+		db:  db,
 		clk: clk,
 		rng: rand.New(rand.NewSource(0xda7aba5e)),
 	}
@@ -303,9 +312,17 @@ func dedup(keys []string) []string {
 // SweepExpired proactively expires up to limit keys, producing DEL effects
 // for each (the active expiry cycle).
 func (e *Engine) SweepExpired(limit int) Result {
+	return e.SweepExpiredParts(limit, 0, store.NumParts)
+}
+
+// SweepExpiredParts is SweepExpired restricted to store parts [lo, hi).
+// Sharded workloops sweep only the parts they own so the resulting DEL
+// effects flow through the same group-commit buffer as that shard's
+// writes, keeping the per-key replication order intact.
+func (e *Engine) SweepExpiredParts(limit, lo, hi int) Result {
 	e.effects = nil
 	e.dirtyKeys = nil
-	for _, k := range e.db.SweepExpired(e.Now(), limit) {
+	for _, k := range e.db.SweepExpiredParts(e.Now(), limit, lo, hi) {
 		e.propagateStrings("DEL", k)
 		e.touch(k)
 	}

@@ -3,6 +3,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -34,12 +35,18 @@ type Options struct {
 type Metrics struct {
 	stages [NumStages]Histogram
 
+	// shardStages holds per-execution-shard queue_wait/execute histograms
+	// for nodes running sharded workloops. The slice is installed once via
+	// EnsureShards and read lock-free on the per-command hot path.
+	shardStages atomic.Pointer[[]*ShardStages]
+
 	cmdMu sync.RWMutex
 	cmds  map[string]*Histogram
 
 	regMu   sync.Mutex
 	named   []NamedHistogram
 	counter []Counter
+	gauges  []Gauge
 
 	// Slow is the slowlog; always non-nil on instances from New.
 	Slow *Slowlog
@@ -67,6 +74,22 @@ type Counter struct {
 	Name  string
 	Label string
 	Fn    func() int64
+}
+
+// Gauge is an instantaneous value exported by callback (queue depths,
+// imbalance ratios). Exposition prefixes "memorydb_" with no suffix.
+type Gauge struct {
+	Name  string
+	Label string
+	Fn    func() int64
+}
+
+// ShardStages is the pair of per-shard write-path histograms a sharded
+// node records: time queued behind the shard's workloop and time executing
+// on its engine.
+type ShardStages struct {
+	QueueWait Histogram
+	Execute   Histogram
 }
 
 // New creates a Metrics registry.
@@ -181,6 +204,72 @@ func (m *Metrics) RegisterCounter(name, label string, fn func() int64) {
 	m.regMu.Unlock()
 }
 
+// RegisterGauge exposes an instantaneous value by callback.
+func (m *Metrics) RegisterGauge(name, label string, fn func() int64) {
+	if m == nil || fn == nil {
+		return
+	}
+	m.regMu.Lock()
+	m.gauges = append(m.gauges, Gauge{Name: name, Label: label, Fn: fn})
+	m.regMu.Unlock()
+}
+
+// EnsureShards grows the per-shard stage histogram set to at least n
+// entries. Call it at node construction, before the workloops start;
+// existing entries keep their recorded samples, so registries shared by
+// several nodes size to the widest node.
+func (m *Metrics) EnsureShards(n int) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	var cur []*ShardStages
+	if p := m.shardStages.Load(); p != nil {
+		cur = *p
+	}
+	if len(cur) >= n {
+		return
+	}
+	next := make([]*ShardStages, n)
+	copy(next, cur)
+	for i := len(cur); i < n; i++ {
+		next[i] = &ShardStages{}
+	}
+	m.shardStages.Store(&next)
+}
+
+// ShardStage returns the stage histogram pair for shard i, or nil if the
+// registry has not been sized to cover it. Lock-free and allocation-free.
+func (m *Metrics) ShardStage(i int) *ShardStages {
+	if m == nil || i < 0 {
+		return nil
+	}
+	p := m.shardStages.Load()
+	if p == nil || i >= len(*p) {
+		return nil
+	}
+	return (*p)[i]
+}
+
+// NumShardStages returns how many shard stage slots are allocated.
+func (m *Metrics) NumShardStages() int {
+	if m == nil {
+		return 0
+	}
+	p := m.shardStages.Load()
+	if p == nil {
+		return 0
+	}
+	return len(*p)
+}
+
+func (m *Metrics) gaugeSnapshot() []Gauge {
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
+	return append([]Gauge(nil), m.gauges...)
+}
+
 func (m *Metrics) namedSnapshot() []NamedHistogram {
 	m.regMu.Lock()
 	defer m.regMu.Unlock()
@@ -223,6 +312,12 @@ func (m *Metrics) ResetLatency() {
 	}
 	for i := range m.stages {
 		m.stages[i].Reset()
+	}
+	if p := m.shardStages.Load(); p != nil {
+		for _, ss := range *p {
+			ss.QueueWait.Reset()
+			ss.Execute.Reset()
+		}
 	}
 	m.cmdMu.RLock()
 	for _, h := range m.cmds {

@@ -74,6 +74,17 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 		writePromHistogram(w, "memorydb_stage_duration_seconds",
 			fmt.Sprintf("stage=%q", s.String()), &m.stages[s])
 	}
+	if n := m.NumShardStages(); n > 0 {
+		fmt.Fprintf(w, "# HELP memorydb_shard_stage_duration_seconds Per-execution-shard stage latency.\n")
+		fmt.Fprintf(w, "# TYPE memorydb_shard_stage_duration_seconds histogram\n")
+		for i := 0; i < n; i++ {
+			ss := m.ShardStage(i)
+			writePromHistogram(w, "memorydb_shard_stage_duration_seconds",
+				fmt.Sprintf("shard=\"%d\",stage=\"queue_wait\"", i), &ss.QueueWait)
+			writePromHistogram(w, "memorydb_shard_stage_duration_seconds",
+				fmt.Sprintf("shard=\"%d\",stage=\"execute\"", i), &ss.Execute)
+		}
+	}
 	fmt.Fprintf(w, "# HELP memorydb_command_duration_seconds End-to-end command latency by command.\n")
 	fmt.Fprintf(w, "# TYPE memorydb_command_duration_seconds histogram\n")
 	m.EachCommand(func(name string, h *Histogram) {
@@ -118,6 +129,28 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 				fmt.Fprintf(w, "%s{%s} %d\n", full, c.Label, c.Fn())
 			} else {
 				fmt.Fprintf(w, "%s %d\n", full, c.Fn())
+			}
+		}
+	}
+	// Gauges, grouped by name like counters but with no suffix.
+	gs := m.gaugeSnapshot()
+	byGauge := map[string][]Gauge{}
+	gnames := []string{}
+	for _, g := range gs {
+		if _, ok := byGauge[g.Name]; !ok {
+			gnames = append(gnames, g.Name)
+		}
+		byGauge[g.Name] = append(byGauge[g.Name], g)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		full := "memorydb_" + n
+		fmt.Fprintf(w, "# TYPE %s gauge\n", full)
+		for _, g := range byGauge[n] {
+			if g.Label != "" {
+				fmt.Fprintf(w, "%s{%s} %d\n", full, g.Label, g.Fn())
+			} else {
+				fmt.Fprintf(w, "%s %d\n", full, g.Fn())
 			}
 		}
 	}

@@ -74,10 +74,13 @@ func New(cfg Config) *Server {
 	if cfg.MuxWorkers <= 0 {
 		// Each worker blocks in Backend.Do until the command's reply is
 		// durable, so the pool size caps the mutations concurrently inside
-		// the node. It must exceed the node's append-pipeline depth
-		// (core.Config.MaxInflightAppends, default 8) or group commit never
-		// sees a mutation to buffer and every entry carries one record.
-		cfg.MuxWorkers = 64
+		// the node. It must exceed the node's total append-pipeline depth
+		// — execution shards (core.Config.Shards) × per-shard inflight
+		// appends (core.Config.MaxInflightAppends, default 8) — or group
+		// commit never sees a mutation to buffer and every entry carries
+		// one record. 128 covers 8 shards at the default depth with
+		// headroom; it was 64 when nodes had a single workloop.
+		cfg.MuxWorkers = 128
 	}
 	s := &Server{cfg: cfg, conns: make(map[net.Conn]struct{})}
 	s.ctx, s.stop = context.WithCancel(context.Background())

@@ -1,15 +1,37 @@
 // Package store implements the in-memory data structures of the execution
 // engine: strings, hashes, lists, sets, sorted sets (skiplist), streams and
 // HyperLogLogs, with per-key TTLs and a slot index used by cluster
-// resharding. The store is not internally synchronized: like Redis, a
-// single engine workloop owns it (package engine).
+// resharding. The keyspace is striped into NumParts slot-aligned parts so
+// that sharded engine workloops (package core) can each own a disjoint
+// subset of parts without locking: a part is only ever touched by the
+// workloop that owns its slot range (or by a coordinator that has quiesced
+// every workloop). Within a part the store is not internally synchronized,
+// like Redis. The aggregate counters (key count, footprint, dirty) are
+// atomics so monitoring can read them without stopping the workloops.
 package store
 
 import (
+	"sync/atomic"
 	"time"
 
 	"memorydb/internal/crc16"
 )
+
+// NumParts is the number of slot-aligned stripes the keyspace is divided
+// into. Each part covers a contiguous range of crc16 slots
+// (crc16.NumSlots/NumParts = 256 slots per part), and a sharded node
+// assigns whole parts to sub-engine workloops, so NumParts is also the
+// maximum useful shard count.
+const NumParts = 64
+
+// slotsPerPartShift is log2(crc16.NumSlots / NumParts).
+const slotsPerPartShift = 8
+
+// PartOfSlot returns the part index owning a crc16 slot.
+func PartOfSlot(slot uint16) int { return int(slot >> slotsPerPartShift) }
+
+// PartOfKey returns the part index owning a key.
+func PartOfKey(key string) int { return PartOfSlot(crc16.Slot(key)) }
 
 // Kind enumerates value types.
 type Kind uint8
@@ -86,51 +108,66 @@ func (o *Object) SizeOf() int64 {
 	return overhead
 }
 
-// DB is the keyspace: a flat map of keys to objects, expirations in unix
-// milliseconds, and a per-slot key index maintained for slot migration.
-type DB struct {
+// part is one slot-aligned stripe of the keyspace.
+type part struct {
 	data    map[string]*Object
 	expires map[string]int64 // unix ms; present only for volatile keys
-	slots   [crc16.NumSlots]map[string]struct{}
+}
 
-	usedBytes int64 // running footprint estimate
-	dirty     int64 // mutations since last snapshot
+// DB is the keyspace: keys to objects with expirations in unix
+// milliseconds, striped into NumParts slot-aligned parts, plus a per-slot
+// key index maintained for slot migration.
+type DB struct {
+	parts [NumParts]part
+	slots [crc16.NumSlots]map[string]struct{}
+
+	length    atomic.Int64 // live key count (including not-yet-reaped)
+	usedBytes atomic.Int64 // running footprint estimate
+	dirty     atomic.Int64 // mutations since last snapshot
 }
 
 // NewDB returns an empty keyspace.
 func NewDB() *DB {
-	return &DB{
-		data:    make(map[string]*Object),
-		expires: make(map[string]int64),
+	db := &DB{}
+	for i := range db.parts {
+		db.parts[i] = part{
+			data:    make(map[string]*Object),
+			expires: make(map[string]int64),
+		}
 	}
+	return db
 }
+
+func (db *DB) part(key string) *part { return &db.parts[PartOfKey(key)] }
 
 // Len returns the number of live keys (including not-yet-reaped expired
 // keys; callers that need exactness should sweep first).
-func (db *DB) Len() int { return len(db.data) }
+func (db *DB) Len() int { return int(db.length.Load()) }
 
 // UsedBytes returns the running memory footprint estimate.
-func (db *DB) UsedBytes() int64 { return db.usedBytes }
+func (db *DB) UsedBytes() int64 { return db.usedBytes.Load() }
 
 // Dirty returns the number of mutations applied since the last ResetDirty.
-func (db *DB) Dirty() int64 { return db.dirty }
+func (db *DB) Dirty() int64 { return db.dirty.Load() }
 
 // ResetDirty zeroes the dirty counter (called after a snapshot).
-func (db *DB) ResetDirty() { db.dirty = 0 }
+func (db *DB) ResetDirty() { db.dirty.Store(0) }
 
 // MarkDirty records n logical mutations.
-func (db *DB) MarkDirty(n int64) { db.dirty += n }
+func (db *DB) MarkDirty(n int64) { db.dirty.Add(n) }
 
 // Lookup returns the object at key if present and not expired at now.
-// Expired keys are lazily reaped (caller is the engine workloop, so this
-// mutation is safe). The reaped flag reports whether a lazy expiry
-// happened, which the engine must replicate as a deterministic delete.
+// Expired keys are lazily reaped (caller is the engine workloop owning the
+// key's part, so this mutation is safe). The reaped flag reports whether a
+// lazy expiry happened, which the engine must replicate as a deterministic
+// delete.
 func (db *DB) Lookup(key string, now time.Time) (obj *Object, reaped bool) {
-	o, ok := db.data[key]
+	p := db.part(key)
+	o, ok := p.data[key]
 	if !ok {
 		return nil, false
 	}
-	if exp, ok := db.expires[key]; ok && exp <= now.UnixMilli() {
+	if exp, ok := p.expires[key]; ok && exp <= now.UnixMilli() {
 		db.remove(key)
 		return nil, true
 	}
@@ -139,7 +176,7 @@ func (db *DB) Lookup(key string, now time.Time) (obj *Object, reaped bool) {
 
 // Peek returns the object at key without expiry processing.
 func (db *DB) Peek(key string) (*Object, bool) {
-	o, ok := db.data[key]
+	o, ok := db.part(key).data[key]
 	return o, ok
 }
 
@@ -147,66 +184,70 @@ func (db *DB) Peek(key string) (*Object, bool) {
 // (matching SET semantics; commands that preserve TTL must re-arm it).
 func (db *DB) Set(key string, obj *Object) {
 	db.remove(key)
-	db.data[key] = obj
-	db.usedBytes += int64(len(key)) + obj.SizeOf()
 	slot := crc16.Slot(key)
+	p := &db.parts[PartOfSlot(slot)]
+	p.data[key] = obj
+	db.length.Add(1)
+	db.usedBytes.Add(int64(len(key)) + obj.SizeOf())
 	if db.slots[slot] == nil {
 		db.slots[slot] = make(map[string]struct{})
 	}
 	db.slots[slot][key] = struct{}{}
-	db.dirty++
+	db.dirty.Add(1)
 }
 
 // SetKeepTTL stores obj at key preserving an existing expiration.
 func (db *DB) SetKeepTTL(key string, obj *Object) {
-	exp, hadTTL := db.expires[key]
+	p := db.part(key)
+	exp, hadTTL := p.expires[key]
 	db.Set(key, obj)
 	if hadTTL {
-		db.expires[key] = exp
+		p.expires[key] = exp
 	}
 }
 
 // Touch bumps the dirty counter after an in-place mutation of key's
 // object. Callers that changed the footprint pair it with AdjustUsed.
 func (db *DB) Touch(key string) {
-	db.dirty++
+	db.dirty.Add(1)
 }
 
 // AdjustUsed applies a footprint delta after an in-place mutation.
 func (db *DB) AdjustUsed(delta int64) {
-	db.usedBytes += delta
-	if db.usedBytes < 0 {
-		db.usedBytes = 0
+	if v := db.usedBytes.Add(delta); v < 0 {
+		db.usedBytes.Store(0)
 	}
 }
 
 // Delete removes key, returning whether it existed (expired keys count as
 // absent at now).
 func (db *DB) Delete(key string, now time.Time) bool {
-	if _, ok := db.data[key]; !ok {
+	p := db.part(key)
+	if _, ok := p.data[key]; !ok {
 		return false
 	}
-	if exp, ok := db.expires[key]; ok && exp <= now.UnixMilli() {
+	if exp, ok := p.expires[key]; ok && exp <= now.UnixMilli() {
 		db.remove(key)
 		return false
 	}
 	db.remove(key)
-	db.dirty++
+	db.dirty.Add(1)
 	return true
 }
 
 func (db *DB) remove(key string) {
-	o, ok := db.data[key]
+	slot := crc16.Slot(key)
+	p := &db.parts[PartOfSlot(slot)]
+	o, ok := p.data[key]
 	if !ok {
 		return
 	}
-	db.usedBytes -= int64(len(key)) + o.SizeOf()
-	if db.usedBytes < 0 {
-		db.usedBytes = 0
+	if v := db.usedBytes.Add(-(int64(len(key)) + o.SizeOf())); v < 0 {
+		db.usedBytes.Store(0)
 	}
-	delete(db.data, key)
-	delete(db.expires, key)
-	slot := crc16.Slot(key)
+	delete(p.data, key)
+	delete(p.expires, key)
+	db.length.Add(-1)
 	if s := db.slots[slot]; s != nil {
 		delete(s, key)
 	}
@@ -220,11 +261,11 @@ func (db *DB) Expire(key string, at int64, now time.Time) bool {
 	}
 	if at <= now.UnixMilli() {
 		db.remove(key)
-		db.dirty++
+		db.dirty.Add(1)
 		return true
 	}
-	db.expires[key] = at
-	db.dirty++
+	db.part(key).expires[key] = at
+	db.dirty.Add(1)
 	return true
 }
 
@@ -233,11 +274,12 @@ func (db *DB) Persist(key string, now time.Time) bool {
 	if o, _ := db.Lookup(key, now); o == nil {
 		return false
 	}
-	if _, ok := db.expires[key]; !ok {
+	p := db.part(key)
+	if _, ok := p.expires[key]; !ok {
 		return false
 	}
-	delete(db.expires, key)
-	db.dirty++
+	delete(p.expires, key)
+	db.dirty.Add(1)
 	return true
 }
 
@@ -247,7 +289,7 @@ func (db *DB) TTL(key string, now time.Time) (d time.Duration, hasTTL, ok bool) 
 	if o, _ := db.Lookup(key, now); o == nil {
 		return 0, false, false
 	}
-	exp, has := db.expires[key]
+	exp, has := db.part(key).expires[key]
 	if !has {
 		return 0, false, true
 	}
@@ -256,7 +298,7 @@ func (db *DB) TTL(key string, now time.Time) (d time.Duration, hasTTL, ok bool) 
 
 // ExpireAt returns the raw expiration (unix ms) for key, if any.
 func (db *DB) ExpireAt(key string) (int64, bool) {
-	e, ok := db.expires[key]
+	e, ok := db.part(key).expires[key]
 	return e, ok
 }
 
@@ -264,12 +306,15 @@ func (db *DB) ExpireAt(key string) (int64, bool) {
 func (db *DB) Keys(pattern string, now time.Time) []string {
 	var out []string
 	nowMs := now.UnixMilli()
-	for k := range db.data {
-		if exp, ok := db.expires[k]; ok && exp <= nowMs {
-			continue
-		}
-		if GlobMatch(pattern, k) {
-			out = append(out, k)
+	for i := range db.parts {
+		p := &db.parts[i]
+		for k := range p.data {
+			if exp, ok := p.expires[k]; ok && exp <= nowMs {
+				continue
+			}
+			if GlobMatch(pattern, k) {
+				out = append(out, k)
+			}
 		}
 	}
 	return out
@@ -295,14 +340,24 @@ func (db *DB) SlotCount(slot uint16) int { return len(db.slots[slot]) }
 // returns them. The engine replicates each as a delete so that replicas and
 // the transaction log observe deterministic expiry.
 func (db *DB) SweepExpired(now time.Time, limit int) []string {
+	return db.SweepExpiredParts(now, limit, 0, NumParts)
+}
+
+// SweepExpiredParts is SweepExpired restricted to parts [lo, hi). Sharded
+// workloops sweep only the parts they own, so an expired delete is always
+// emitted by — and group-committed behind — the same buffer as the writes
+// that created the key, preserving replica apply order per key.
+func (db *DB) SweepExpiredParts(now time.Time, limit, lo, hi int) []string {
 	nowMs := now.UnixMilli()
 	var out []string
-	for k, exp := range db.expires {
-		if exp <= nowMs {
-			db.remove(k)
-			out = append(out, k)
-			if len(out) >= limit {
-				break
+	for i := lo; i < hi && i < NumParts; i++ {
+		for k, exp := range db.parts[i].expires {
+			if exp <= nowMs {
+				db.remove(k)
+				out = append(out, k)
+				if len(out) >= limit {
+					return out
+				}
 			}
 		}
 	}
@@ -310,42 +365,54 @@ func (db *DB) SweepExpired(now time.Time, limit int) []string {
 }
 
 // ForEach visits every live key/object pair at now. Iteration order is the
-// map order (unspecified). The callback must not mutate the keyspace.
+// part order, then map order within a part (unspecified). The callback must
+// not mutate the keyspace.
 func (db *DB) ForEach(now time.Time, fn func(key string, obj *Object, expireAt int64) bool) {
 	nowMs := now.UnixMilli()
-	for k, o := range db.data {
-		exp, has := db.expires[k]
-		if has && exp <= nowMs {
-			continue
-		}
-		if !has {
-			exp = 0
-		}
-		if !fn(k, o, exp) {
-			return
+	for i := range db.parts {
+		p := &db.parts[i]
+		for k, o := range p.data {
+			exp, has := p.expires[k]
+			if has && exp <= nowMs {
+				continue
+			}
+			if !has {
+				exp = 0
+			}
+			if !fn(k, o, exp) {
+				return
+			}
 		}
 	}
 }
 
 // Flush drops the entire keyspace.
 func (db *DB) Flush() {
-	db.data = make(map[string]*Object)
-	db.expires = make(map[string]int64)
+	for i := range db.parts {
+		db.parts[i] = part{
+			data:    make(map[string]*Object),
+			expires: make(map[string]int64),
+		}
+	}
 	for i := range db.slots {
 		db.slots[i] = nil
 	}
-	db.usedBytes = 0
-	db.dirty++
+	db.length.Store(0)
+	db.usedBytes.Store(0)
+	db.dirty.Add(1)
 }
 
 // RandomKey returns an arbitrary live key at now, or "" if empty.
 func (db *DB) RandomKey(now time.Time) (string, bool) {
 	nowMs := now.UnixMilli()
-	for k := range db.data {
-		if exp, ok := db.expires[k]; ok && exp <= nowMs {
-			continue
+	for i := range db.parts {
+		p := &db.parts[i]
+		for k := range p.data {
+			if exp, ok := p.expires[k]; ok && exp <= nowMs {
+				continue
+			}
+			return k, true
 		}
-		return k, true
 	}
 	return "", false
 }

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Benchstat-style before/after comparison for the sharded execution path:
+# runs BenchmarkFigure4b (write-only max throughput, r7g.16xlarge) for the
+# single-workloop arm and the sharded arm, and prints the throughput
+# ratio. On runners with >= 4 vCPUs the sharded arm must reach at least
+# 1.8x the single-workloop arm (the PR's acceptance bar); on smaller
+# runners the ratio is informational — commit-pipelining still helps, but
+# the bar is calibrated for real parallelism.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=$(go test -run xxx -bench 'Figure4b/r7g.16xlarge/(MemoryDB|MemoryDB-sharded)$' -benchtime 2x . 2>&1)
+echo "$OUT"
+
+# The -N GOMAXPROCS suffix is omitted on single-proc runners.
+BASE=$(echo "$OUT" | awk '$1 ~ /\/MemoryDB(-[0-9]+)?$/ {for (i=1;i<NF;i++) if ($(i+1)=="ops/s") print $i}')
+SHARDED=$(echo "$OUT" | awk '$1 ~ /\/MemoryDB-sharded(-[0-9]+)?$/ {for (i=1;i<NF;i++) if ($(i+1)=="ops/s") print $i}')
+if [ -z "$BASE" ] || [ -z "$SHARDED" ]; then
+    echo "bench_shards: could not parse ops/s from benchmark output" >&2
+    exit 1
+fi
+
+NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+case "$NCPU" in ''|*[!0-9]*) NCPU=1;; esac
+
+awk -v base="$BASE" -v sharded="$SHARDED" -v ncpu="$NCPU" 'BEGIN {
+    ratio = sharded / base
+    printf "Figure4b r7g.16xlarge: single-workloop %.0f ops/s, sharded %.0f ops/s, ratio %.2fx\n", base, sharded, ratio
+    if (ncpu >= 4 && ratio < 1.8) {
+        printf "bench_shards: FAIL — sharded/single ratio %.2fx < 1.8x on a %d-vCPU runner\n", ratio, ncpu
+        exit 1
+    }
+    if (ncpu < 4) {
+        printf "bench_shards: %d vCPU runner — 1.8x bar not enforced (needs >= 4 vCPUs)\n", ncpu
+    }
+}'

@@ -10,16 +10,32 @@ go test ./...
 go test -race ./internal/core/ ./internal/tracker/ ./internal/txlog/
 # Fixed-seed chaos gate: the fault schedules (AZ outages, rolling
 # maintenance, flaky-AZ storm, randomized fault storm) must reproduce at
-# two pinned seeds so fault-path regressions are deterministic.
-MEMORYDB_CHAOS_SEED=1 go test -race -run Chaos ./internal/cluster/
-MEMORYDB_CHAOS_SEED=2 go test -race -run Chaos ./internal/cluster/
+# two pinned seeds so fault-path regressions are deterministic. Pinned to
+# one execution shard — the legacy single-workloop configuration — so the
+# schedules don't drift with the runner's GOMAXPROCS; the `shards` gate
+# below repeats them at eight.
+MEMORYDB_SHARDS=1 MEMORYDB_CHAOS_SEED=1 go test -race -run Chaos ./internal/cluster/
+MEMORYDB_SHARDS=1 MEMORYDB_CHAOS_SEED=2 go test -race -run Chaos ./internal/cluster/
 # Fixed-seed crash gate: the deterministic crash-fault schedules (kill /
 # restart / zombie resurrection at registered fault sites, torn-snapshot
 # fallback, committed-but-unacknowledged writes) must hold linearizability
 # and lose zero acknowledged writes at two pinned seeds under the race
 # detector.
-MEMORYDB_CRASH_SEED=1 go test -race -run CrashRestart ./internal/cluster/
-MEMORYDB_CRASH_SEED=2 go test -race -run CrashRestart ./internal/cluster/
+MEMORYDB_SHARDS=1 MEMORYDB_CRASH_SEED=1 go test -race -run CrashRestart ./internal/cluster/
+MEMORYDB_SHARDS=1 MEMORYDB_CRASH_SEED=2 go test -race -run CrashRestart ./internal/cluster/
+# Sharded-execution gate (same as `make shards`): the core suite plus the
+# chaos and crash schedules must also hold at eight execution shards —
+# cross-shard barriers, the shared sequencer, and per-shard group commit
+# all under the race detector — and the Figure 4b single-vs-sharded
+# comparison must show the sharded arm ahead (1.8x enforced on >= 4-vCPU
+# runners).
+MEMORYDB_SHARDS=1 go test -race ./internal/core/
+MEMORYDB_SHARDS=8 go test -race ./internal/core/
+MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=1 go test -race -run Chaos ./internal/cluster/
+MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=2 go test -race -run Chaos ./internal/cluster/
+MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=1 go test -race -run CrashRestart ./internal/cluster/
+MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=2 go test -race -run CrashRestart ./internal/cluster/
+sh scripts/bench_shards.sh
 # Metrics-overhead guard: with sampling off the instrumented hot path
 # must record zero allocations per command (internal/obs) and cost no
 # more than 5% of write throughput against a NoObs node (internal/core).
