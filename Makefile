@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench crash obs shards
+.PHONY: check vet build test race bench crash obs shards soak
 
-check: vet build test race crash obs shards
+check: vet build test race crash obs shards soak
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,13 @@ shards:
 	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=1 $(GO) test -race -run CrashRestart ./internal/cluster/
 	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=2 $(GO) test -race -run CrashRestart ./internal/cluster/
 	sh scripts/bench_shards.sh
+
+# Bounded-log soak gate: sustained write load with the snapshot scheduler
+# and trim coordinator at their normal cadence must keep live log bytes
+# under twice the segment threshold after every maintenance pass — the
+# log may never grow without bound.
+soak:
+	MEMORYDB_SOAK=1 $(GO) test -run TestSoakBoundedLog -count=1 ./internal/cluster/
 
 # Regenerate the paper figures (long; not part of the tier-1 gate).
 bench:

@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -58,6 +59,10 @@ func main() {
 		"fraction of commands to trace (0 disables sampling)")
 	shards := flag.Int("shards", envInt("MEMORYDB_SHARDS", 0),
 		"execution shards per node (0 = GOMAXPROCS)")
+	segmentBytes := flag.Int("segment-bytes", envInt("MEMORYDB_SEGMENT_BYTES", 0),
+		"rotate transaction-log segments at this payload size (0 = 1MiB default)")
+	trimInterval := flag.Duration("trim-interval", envDuration("MEMORYDB_TRIM_INTERVAL", 0),
+		"run the snapshot scheduler and log trim coordinator at this cadence (0 = disabled)")
 	flag.Parse()
 
 	// One shared metrics registry spans the front-end (read_parse,
@@ -74,6 +79,7 @@ func main() {
 		svc := txlog.NewService(txlog.Config{
 			Clock:         clock.NewReal(),
 			CommitLatency: fixedOr(*commitLat),
+			SegmentBytes:  *segmentBytes,
 		})
 		logHandle, err := svc.CreateLog("shard-0")
 		if err != nil {
@@ -103,6 +109,34 @@ func main() {
 		defer node.Stop()
 		for node.Role() != election.RolePrimary {
 			time.Sleep(5 * time.Millisecond)
+		}
+		// Bounded durable log: at -trim-interval cadence, produce off-box
+		// snapshots (distance-triggered) and let the trim coordinator drop
+		// every sealed segment the newest verified snapshot covers.
+		if *trimInterval > 0 {
+			sched := &snapshot.Scheduler{
+				Policy: snapshot.DefaultPolicy(),
+				Offbox: &snapshot.Offbox{Manager: snaps, EngineVersion: 1, Obs: metrics},
+			}
+			sched.AddShard(snapshot.Shard{ShardID: "shard-0", Log: logHandle})
+			trimmer := &snapshot.Trimmer{Manager: snaps, Interval: *trimInterval}
+			trimmer.AddShard(snapshot.Shard{ShardID: "shard-0", Log: logHandle})
+			done := make(chan struct{})
+			defer close(done)
+			go func() {
+				tick := time.NewTicker(*trimInterval)
+				defer tick.Stop()
+				for {
+					select {
+					case <-done:
+						return
+					case <-tick.C:
+						sched.Tick(context.Background())
+						trimmer.Tick()
+					}
+				}
+			}()
+			fmt.Printf("log trim coordinator running every %v\n", *trimInterval)
 		}
 		backend = server.NodeBackend{Node: node}
 	case "redis":

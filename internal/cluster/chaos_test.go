@@ -363,6 +363,80 @@ func TestChaosRollingAZOutages(t *testing.T) {
 	}
 }
 
+// TestChaosAsymmetricPartition: the nastiest partition shape — the
+// primary still reaches its clients but loses its path to the transaction
+// log (the durability quorum). It keeps accepting connections while unable
+// to commit; the healthy replica campaigns through the log and takes over.
+// The nemesis repeatedly partitions whichever node is currently primary
+// for longer than the backoff window, then heals it. Every acknowledged
+// write must come from a node that actually reached quorum, so the
+// recorded history stays linearizable; the fenced ex-primaries must show
+// up as demotions.
+func TestChaosAsymmetricPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	seed := chaosSeed(t)
+	_, c := chaosCluster(t, seed)
+
+	done := make(chan struct{})
+	var windows atomic.Int64
+	var sched sync.WaitGroup
+	sched.Add(1)
+	go func() {
+		defer sched.Done()
+		rng := rand.New(rand.NewSource(seed ^ 0x517a))
+		for {
+			// Pick a shard's current primary and cut it off from the log
+			// for longer than the 140ms backoff, so the replica can win.
+			shards := c.Shards()
+			sh := shards[rng.Intn(len(shards))]
+			p, ok := sh.Primary()
+			if !ok {
+				select {
+				case <-done:
+					return
+				case <-time.After(10 * time.Millisecond):
+				}
+				continue
+			}
+			flag := c.NodePartition(p.ID())
+			flag.Set(true)
+			select {
+			case <-done:
+				flag.Set(false)
+				return
+			case <-time.After(time.Duration(200+rng.Intn(100)) * time.Millisecond):
+			}
+			flag.Set(false)
+			windows.Add(1)
+			select {
+			case <-done:
+				return
+			case <-time.After(time.Duration(100+rng.Intn(100)) * time.Millisecond):
+			}
+		}
+	}()
+
+	history, errs := runLinWorkload(t, c, seed, 3, 60, 16, 15*time.Millisecond)
+	close(done)
+	sched.Wait()
+
+	if w := windows.Load(); w < 2 {
+		t.Fatalf("only %d partition windows completed — schedule too short to mean anything", w)
+	}
+	// Unlike AZ outages, asymmetric partitions MUST cause leadership churn:
+	// each partitioned primary is fenced out and demotes.
+	if d := sumDemotions(c); d == 0 {
+		t.Fatal("no demotions — the partition never actually deposed a primary")
+	}
+	if ok, badKey := lin.Check(lin.RegisterModel{}, history); !ok {
+		t.Fatalf("asymmetric-partition history not linearizable (key %s, %d ops)", badKey, len(history))
+	}
+	t.Logf("asymmetric partitions: %d windows, %d ops, %d ambiguous, %d demotions",
+		windows.Load(), len(history), errs, sumDemotions(c))
+}
+
 // TestChaosFlakyAZStorm: every AZ replica drops acks with seeded
 // probability 0.25, so ~16%% of appends transiently miss quorum and must
 // be absorbed by the nodes' retry loops. Individual client errors are

@@ -17,6 +17,7 @@ import (
 	"memorydb/internal/crc16"
 	"memorydb/internal/election"
 	"memorydb/internal/faultpoint"
+	"memorydb/internal/netsim"
 	"memorydb/internal/resp"
 	"memorydb/internal/snapshot"
 	"memorydb/internal/txlog"
@@ -88,6 +89,12 @@ type Cluster struct {
 	// Keyed by identity, not incarnation: Restart hands the replacement
 	// process the same registry.
 	faults map[string]*faultpoint.Registry
+	// partitions maps nodeID → its log-partition flag. Keyed by identity
+	// like faults, so a restarted node comes back on the same (possibly
+	// still partitioned) network path. The flag cuts only the node↔txlog
+	// link — clients still reach the node — which is exactly the
+	// asymmetric partition the chaos nemesis needs.
+	partitions map[string]*netsim.Flag
 }
 
 // Shard is one replication group: a transaction log plus its nodes.
@@ -240,6 +247,30 @@ func (c *Cluster) NodeFaults(nodeID string) *faultpoint.Registry {
 	return c.nodeFaults(nodeID)
 }
 
+// nodePartition returns (creating on first use) nodeID's log-partition
+// flag. Same identity-keyed lifetime as nodeFaults.
+func (c *Cluster) nodePartition(nodeID string) *netsim.Flag {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.partitions == nil {
+		c.partitions = make(map[string]*netsim.Flag)
+	}
+	f, ok := c.partitions[nodeID]
+	if !ok {
+		f = &netsim.Flag{}
+		c.partitions[nodeID] = f
+	}
+	return f
+}
+
+// NodePartition exposes nodeID's log-partition flag: raise it to cut the
+// node off from the transaction log service (appends and reads fail;
+// clients still reach the node), clear it to heal. Nemeses use it to
+// build asymmetric partitions.
+func (c *Cluster) NodePartition(nodeID string) *netsim.Flag {
+	return c.nodePartition(nodeID)
+}
+
 // addNodeAs provisions a node with a fixed identity — the restart path
 // reuses the killed node's ID and AZ, exactly like a replacement process
 // on the same host.
@@ -265,6 +296,7 @@ func (c *Cluster) addNodeAs(sh *Shard, nodeID, az string) (*core.Node, error) {
 		Shards:          c.cfg.NodeShards,
 		RetrySeed:       c.cfg.RetrySeed,
 		Faults:          faults,
+		Partition:       c.nodePartition(nodeID),
 	})
 	if err != nil {
 		return nil, err

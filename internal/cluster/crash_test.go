@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"memorydb/internal/clock"
+	"memorydb/internal/election"
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/lin"
 	"memorydb/internal/netsim"
@@ -48,13 +50,19 @@ func crashSeed(t *testing.T) int64 {
 }
 
 // crashCluster provisions a 1-shard, 3-node cluster with per-node fault
-// registries enabled, plus its snapshot manager.
-func crashCluster(t *testing.T, seed int64) (*Cluster, *snapshot.Manager) {
+// registries enabled, plus its snapshot manager and the log service's own
+// fault registry (the txlog.* sites — seal, trim, corrupt-record — live on
+// the shared service, not on any node). Segments are kept small so every
+// schedule rotates, seals and can trim.
+func crashCluster(t *testing.T, seed int64) (*Cluster, *snapshot.Manager, *faultpoint.Registry) {
 	t.Helper()
+	svcFaults := faultpoint.New(seed ^ 0x109)
 	svc := txlog.NewService(txlog.Config{
-		Clock:         clock.NewReal(),
-		CommitLatency: netsim.NewUniform(100*time.Microsecond, time.Millisecond, seed),
-		Seed:          seed,
+		Clock:          clock.NewReal(),
+		CommitLatency:  netsim.NewUniform(100*time.Microsecond, time.Millisecond, seed),
+		Seed:           seed,
+		SegmentEntries: 16,
+		Faults:         svcFaults,
 	})
 	snaps := snapshot.NewManager(s3.New(), "snaps")
 	c, err := New(Config{
@@ -72,7 +80,7 @@ func crashCluster(t *testing.T, seed int64) (*Cluster, *snapshot.Manager) {
 	if _, err := c.Shards()[0].WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	return c, snaps
+	return c, snaps, svcFaults
 }
 
 // nodeDo issues a raw command directly at one node (bypassing routing),
@@ -119,7 +127,7 @@ func TestCrashRestartRecovery(t *testing.T) {
 		t.Skip("crash harness skipped in -short mode")
 	}
 	seed := crashSeed(t)
-	c, snaps := crashCluster(t, seed)
+	c, snaps, svcFaults := crashCluster(t, seed)
 	sh := c.Shards()[0]
 	initialIDs := make([]string, 0, 3)
 	for _, n := range sh.Nodes() {
@@ -129,7 +137,7 @@ func TestCrashRestartRecovery(t *testing.T) {
 	// Workload: lin-recorded, acked-write-tracked SET/GET clients.
 	rec := lin.NewRecorder()
 	var ackMu sync.Mutex
-	acked := make(map[string]bool)            // keys with ≥1 acknowledged SET
+	acked := make(map[string]bool)             // keys with ≥1 acknowledged SET
 	issued := make(map[string]map[string]bool) // key → every value ever sent
 	stop := make(chan struct{})
 	var writers sync.WaitGroup
@@ -269,6 +277,17 @@ func TestCrashRestartRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Trim leg: with a verified snapshot in the store, the coordinator may
+	// drop every sealed segment it covers — exercising txlog.trim.* and
+	// forcing any tailer still below the base through the re-bootstrap
+	// path rather than a demotion.
+	trimmer := &snapshot.Trimmer{Manager: snaps}
+	trimmer.AddShard(snapshot.Shard{ShardID: sh.ID, Log: sh.Log})
+	trimmer.Tick()
+	if trimmed, _ := trimmer.Stats(); trimmed == 0 {
+		t.Error("trim leg dropped no segments — segment threshold too large for the workload?")
+	}
+
 	close(stop)
 	writers.Wait()
 
@@ -300,13 +319,15 @@ func TestCrashRestartRecovery(t *testing.T) {
 
 	// (3) Every registered fault site was hit at least once under this
 	// seed: core sites across the per-node registries, snapshot sites on
-	// the off-box registry.
+	// the off-box registry, txlog sites (seal/trim/corrupt-record) on the
+	// shared log service's registry.
 	for _, site := range faultpoint.AllSites() {
 		var hits int64
 		for _, id := range initialIDs {
 			hits += c.NodeFaults(id).Hits(site)
 		}
 		hits += obFaults.Hits(site)
+		hits += svcFaults.Hits(site)
 		if hits == 0 {
 			t.Errorf("fault site %s never exercised", site)
 		}
@@ -347,6 +368,14 @@ func TestCrashRestartRecovery(t *testing.T) {
 	if ok, badKey := lin.Check(lin.RegisterModel{}, history); !ok {
 		t.Fatalf("crash-restart history not linearizable (key %s, %d ops)", badKey, len(history))
 	}
+
+	// (6) The trim coordinator never violated its safety invariant: no
+	// node ever found the log trimmed past the newest usable snapshot.
+	for _, n := range sh.Nodes() {
+		if gaps := n.Stats().LogGapRetries.Load(); gaps != 0 {
+			t.Errorf("node %s hit %d trimmed-gap retries — trim coordinator unsafe", n.ID(), gaps)
+		}
+	}
 	t.Logf("crash harness: %d ops, %d acked keys intact, %d torn snapshots skipped",
 		len(history), len(keys), snaps.TornDetected())
 }
@@ -361,7 +390,7 @@ func TestCrashRestartDurableUnacknowledged(t *testing.T) {
 		t.Skip("crash harness skipped in -short mode")
 	}
 	seed := crashSeed(t)
-	c, _ := crashCluster(t, seed)
+	c, _, _ := crashCluster(t, seed)
 	sh := c.Shards()[0]
 	p, err := sh.WaitForPrimary(c.Clock(), 3*time.Second)
 	if err != nil {
@@ -406,7 +435,7 @@ func TestCrashRestartZombieFencing(t *testing.T) {
 		t.Skip("crash harness skipped in -short mode")
 	}
 	seed := crashSeed(t)
-	c, _ := crashCluster(t, seed)
+	c, _, _ := crashCluster(t, seed)
 	sh := c.Shards()[0]
 	client := c.Client()
 	ctx := context.Background()
@@ -478,7 +507,7 @@ func TestCrashRestartTornSnapshotFallback(t *testing.T) {
 		t.Skip("crash harness skipped in -short mode")
 	}
 	seed := crashSeed(t)
-	c, snaps := crashCluster(t, seed)
+	c, snaps, _ := crashCluster(t, seed)
 	sh := c.Shards()[0]
 	client := c.Client()
 	ctx := context.Background()
@@ -562,7 +591,7 @@ func TestCrashRestartSchedulerQuarantine(t *testing.T) {
 		t.Skip("crash harness skipped in -short mode")
 	}
 	seed := crashSeed(t)
-	c, snaps := crashCluster(t, seed)
+	c, snaps, _ := crashCluster(t, seed)
 	sh := c.Shards()[0]
 	client := c.Client()
 	ctx := context.Background()
@@ -599,5 +628,361 @@ func TestCrashRestartSchedulerQuarantine(t *testing.T) {
 	// (empty) snapshot store and replays the log — never the bad bytes.
 	if _, _, skipped, ok, err := snaps.LatestUsable(sh.ID); err != nil || ok || skipped != 0 {
 		t.Fatalf("corrupt snapshot not quarantined: skipped=%d ok=%v err=%v", skipped, ok, err)
+	}
+}
+
+// TestCrashRestartMidSealTrimStorm turns the segment lifecycle itself into
+// the fault surface: while paced writers run and primaries are killed and
+// restarted, every seal and trim attempt has a seeded chance of erroring
+// or stalling (txlog.seal.pre / txlog.trim.pre). Deferred lifecycle steps
+// must retry to completion once the faults clear, acknowledged writes must
+// survive, and the trim coordinator must never create a gap a tailer can
+// fall into.
+func TestCrashRestartMidSealTrimStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness skipped in -short mode")
+	}
+	seed := crashSeed(t)
+	c, snaps, svcFaults := crashCluster(t, seed)
+	sh := c.Shards()[0]
+	ctx := context.Background()
+	client := c.Client()
+
+	// Every seal/trim attempt errors or stalls with probability 0.3 for
+	// the duration of the storm.
+	svcFaults.SetPlan(faultpoint.SiteLogSealPre, 0.3, 2*time.Millisecond, faultpoint.Error, faultpoint.Delay)
+	svcFaults.SetPlan(faultpoint.SiteLogTrimPre, 0.3, 2*time.Millisecond, faultpoint.Error, faultpoint.Delay)
+
+	// Unique-key writers: an acknowledged key maps to exactly one value,
+	// so the post-storm audit is exact.
+	var ackMu sync.Mutex
+	acked := make(map[string]string)
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(id int) {
+			defer writers.Done()
+			cl := c.Client()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				time.Sleep(3 * time.Millisecond)
+				k := fmt.Sprintf("storm-%d-%d", id, i)
+				v := fmt.Sprintf("v%d", i)
+				cctx, cancel := context.WithTimeout(ctx, 400*time.Millisecond)
+				rv, err := cl.Do(cctx, "SET", k, v)
+				cancel()
+				if err == nil && !rv.IsError() {
+					ackMu.Lock()
+					acked[k] = v
+					ackMu.Unlock()
+				}
+			}
+		}(w)
+	}
+
+	// Storm: snapshot + trim every round so the coordinator runs against
+	// the faulty lifecycle, with two primary kill/restart cycles in the
+	// middle of it.
+	ob := &snapshot.Offbox{Manager: snaps, EngineVersion: 1}
+	trimmer := &snapshot.Trimmer{Manager: snaps}
+	trimmer.AddShard(snapshot.Shard{ShardID: sh.ID, Log: sh.Log})
+	for round := 0; round < 6; round++ {
+		time.Sleep(120 * time.Millisecond)
+		if _, err := ob.Run(ctx, sh.ID, sh.Log); err != nil {
+			t.Fatalf("round %d offbox run: %v", round, err)
+		}
+		trimmer.Tick()
+		if round == 1 || round == 3 {
+			p, err := sh.WaitForPrimary(c.Clock(), 5*time.Second)
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if err := c.Kill(p.ID()); err != nil {
+				t.Fatal(err)
+			}
+			np, err := sh.WaitForPrimary(c.Clock(), 5*time.Second)
+			if err != nil {
+				t.Fatalf("round %d: no failover after killing %s: %v", round, p.ID(), err)
+			}
+			if np.ID() == p.ID() {
+				t.Fatalf("round %d: frozen node %s still routed as primary", round, p.ID())
+			}
+			if _, err := c.Restart(p.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	close(stop)
+	writers.Wait()
+	svcFaults.SetPlan(faultpoint.SiteLogSealPre, 0, 0)
+	svcFaults.SetPlan(faultpoint.SiteLogTrimPre, 0, 0)
+	if _, err := sh.WaitForPrimary(c.Clock(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	set := func(k, v string) {
+		t.Helper()
+		cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		if rv, err := client.Do(cctx, "SET", k, v); err != nil || rv.IsError() {
+			t.Fatalf("SET %s: %v %v", k, rv, err)
+		}
+	}
+
+	// Deterministic deferred-seal leg: the next seal attempt errors, the
+	// rotation that follows must still end with the segment sealed by a
+	// later retry.
+	svcFaults.Arm(faultpoint.SiteLogSealPre, faultpoint.Error, 0)
+	for i := 0; i < 20; i++ {
+		set(fmt.Sprintf("sealpoke-%d", i), "x")
+	}
+
+	// Deterministic deferred-trim leg: an armed error aborts the whole
+	// Trim call with no state change.
+	base := sh.Log.TrimBase()
+	svcFaults.Arm(faultpoint.SiteLogTrimPre, faultpoint.Error, 0)
+	if n := sh.Log.Trim(sh.Log.CommittedTail()); n != 0 {
+		t.Fatalf("trim with armed error dropped %d segments", n)
+	}
+	if got := sh.Log.TrimBase(); got != base {
+		t.Fatalf("deferred trim moved the base: %v -> %v", base, got)
+	}
+
+	// Once the faults clear, one clean snapshot+trim pass catches up.
+	if _, err := ob.Run(ctx, sh.ID, sh.Log); err != nil {
+		t.Fatalf("final offbox run: %v", err)
+	}
+	trimmer.Tick()
+
+	st := sh.Log.SegmentStats()
+	if st.Sealed == 0 || st.Trimmed == 0 {
+		t.Fatalf("lifecycle never completed under faults: sealed=%d trimmed=%d", st.Sealed, st.Trimmed)
+	}
+	if st.SealsDeferred == 0 || st.TrimsDeferred == 0 {
+		t.Fatalf("fault plan never deferred a lifecycle step: sealsDeferred=%d trimsDeferred=%d",
+			st.SealsDeferred, st.TrimsDeferred)
+	}
+
+	// Zero acknowledged writes lost through the deferred-lifecycle storm.
+	ackMu.Lock()
+	keys := make(map[string]string, len(acked))
+	for k, v := range acked {
+		keys[k] = v
+	}
+	ackMu.Unlock()
+	if len(keys) == 0 {
+		t.Fatal("no writes were acknowledged during the storm")
+	}
+	for k, want := range keys {
+		cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		v, err := client.Do(cctx, "GET", k)
+		cancel()
+		if err != nil || v.Text() != want {
+			t.Fatalf("acknowledged key %s = %q (%v), want %q", k, v.Text(), err, want)
+		}
+	}
+	// Trim safety held throughout: no tailer ever found the log trimmed
+	// past the newest usable snapshot.
+	for _, n := range sh.Nodes() {
+		if gaps := n.Stats().LogGapRetries.Load(); gaps != 0 {
+			t.Errorf("node %s hit %d trimmed-gap retries — trim coordinator unsafe", n.ID(), gaps)
+		}
+	}
+	t.Logf("seal/trim storm: %d acked keys intact, stats %+v", len(keys), st)
+}
+
+// TestCrashRestartTailerRebootstrapAfterTrim pins the lagging-tailer path:
+// a replica frozen below the trim point must, on waking, re-bootstrap from
+// the snapshot (counted in reader_rebootstraps) and catch up — never
+// demote, never serve a gap.
+func TestCrashRestartTailerRebootstrapAfterTrim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness skipped in -short mode")
+	}
+	seed := crashSeed(t)
+	c, snaps, _ := crashCluster(t, seed)
+	sh := c.Shards()[0]
+	client := c.Client()
+	ctx := context.Background()
+
+	reps := sh.Replicas()
+	if len(reps) == 0 {
+		t.Fatal("no replica to freeze")
+	}
+	lag := reps[0]
+	if err := c.Kill(lag.ID()); err != nil {
+		t.Fatal(err)
+	}
+	frozenAt := lag.AppliedSeq()
+
+	// Advance the log several whole segments past the frozen tailer, then
+	// snapshot and trim everything the snapshot covers.
+	for i := 0; i < 80; i++ {
+		cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		if v, err := client.Do(cctx, "SET", fmt.Sprintf("lag-%d", i), fmt.Sprintf("v%d", i)); err != nil || v.IsError() {
+			t.Fatalf("SET lag-%d: %v %v", i, v, err)
+		}
+		cancel()
+	}
+	tail := sh.Log.CommittedTail()
+	if _, err := (&snapshot.Offbox{Manager: snaps, EngineVersion: 1}).Run(ctx, sh.ID, sh.Log); err != nil {
+		t.Fatal(err)
+	}
+	trimmer := &snapshot.Trimmer{Manager: snaps}
+	trimmer.AddShard(snapshot.Shard{ShardID: sh.ID, Log: sh.Log})
+	trimmer.Tick()
+	if trimmed, _ := trimmer.Stats(); trimmed == 0 {
+		t.Fatal("setup: nothing trimmed")
+	}
+	if base := sh.Log.TrimBase().Seq; base <= frozenAt {
+		t.Fatalf("setup: trim base %d did not pass the frozen tailer at %d", base, frozenAt)
+	}
+
+	// Wake the replica. Its reader is below the trim base, so the next
+	// poll fails with ErrTrimmed — the fatal that must turn into a
+	// snapshot re-bootstrap, not a demotion loop.
+	if err := c.Resurrect(lag.ID()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) && lag.Stats().ReaderRebootstraps.Load() == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := lag.Stats().ReaderRebootstraps.Load(); got == 0 {
+		t.Fatal("woken replica never re-bootstrapped from snapshot")
+	}
+	for time.Now().Before(deadline) && lag.AppliedSeq() < tail.Seq {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := lag.AppliedSeq(); got < tail.Seq {
+		t.Fatalf("replica stuck at %d, want >= %d", got, tail.Seq)
+	}
+	// The re-bootstrapped replica serves the full dataset locally.
+	v, err := lag.DoReadOnly(ctx, [][]byte{[]byte("GET"), []byte("lag-79")})
+	if err != nil || v.Text() != "v79" {
+		t.Fatalf("replica GET lag-79 = %q (%v), want v79", v.Text(), err)
+	}
+	if role := lag.Role(); role != election.RoleReplica {
+		t.Fatalf("woken replica role = %v, want replica", role)
+	}
+	if gaps := lag.Stats().LogGapRetries.Load(); gaps != 0 {
+		t.Fatalf("replica hit %d trimmed-gap retries — trim raced past the newest snapshot", gaps)
+	}
+}
+
+// TestCrashRestartCorruptSegmentRecovery covers both halves of the
+// bit-rot contract. Damage BELOW the newest snapshot: detected at first
+// read, segment quarantined, and a killed-and-restarted primary recovers
+// everything from the snapshot plus the intact suffix. Damage ABOVE every
+// snapshot: unrecoverable by construction, so the replay path must fail
+// loudly with ErrCorruptSegment rather than serve damaged bytes.
+func TestCrashRestartCorruptSegmentRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash harness skipped in -short mode")
+	}
+	seed := crashSeed(t)
+	c, snaps, _ := crashCluster(t, seed)
+	sh := c.Shards()[0]
+	client := c.Client()
+	ctx := context.Background()
+
+	set := func(k, v string) {
+		t.Helper()
+		cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		if rv, err := client.Do(cctx, "SET", k, v); err != nil || rv.IsError() {
+			t.Fatalf("SET %s: %v %v", k, rv, err)
+		}
+	}
+	get := func(k string) string {
+		t.Helper()
+		cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		defer cancel()
+		v, err := client.Do(cctx, "GET", k)
+		if err != nil || v.IsError() {
+			t.Fatalf("GET %s: %v %v", k, v, err)
+		}
+		return v.Text()
+	}
+
+	for i := 0; i < 60; i++ {
+		set(fmt.Sprintf("cor-%d", i), fmt.Sprintf("v%d", i))
+	}
+	ob := &snapshot.Offbox{Manager: snaps, EngineVersion: 1}
+	meta, err := ob.Run(ctx, sh.ID, sh.Log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot a record in a sealed segment well below the snapshot position.
+	var dmg uint64
+	for seq := meta.LogPos.Seq - 40; seq < meta.LogPos.Seq; seq++ {
+		if sh.Log.DamageRecord(seq) {
+			dmg = seq
+			break
+		}
+	}
+	if dmg == 0 {
+		t.Fatal("setup: found no record to damage below the snapshot")
+	}
+	// First read detects the rot and quarantines the segment.
+	if _, ok := sh.Log.Get(txlog.EntryID{Seq: dmg}); ok {
+		t.Fatalf("damaged record %d was served verbatim", dmg)
+	}
+	if q := sh.Log.SegmentStats().Quarantined; q < 1 {
+		t.Fatalf("Quarantined = %d after reading damaged record, want >= 1", q)
+	}
+
+	// The quarantined range is entirely covered by the snapshot, so a
+	// killed-and-restarted primary must recover the full dataset without
+	// ever needing the damaged segment.
+	p, err := sh.WaitForPrimary(c.Clock(), 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Kill(p.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Restart(p.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.WaitForPrimary(c.Clock(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{0, 17, 41, 59} {
+		if got, want := get(fmt.Sprintf("cor-%d", i)), fmt.Sprintf("v%d", i); got != want {
+			t.Fatalf("after corrupt-segment recovery GET cor-%d = %q, want %q", i, got, want)
+		}
+	}
+	for _, n := range sh.Nodes() {
+		if gaps := n.Stats().LogGapRetries.Load(); gaps != 0 {
+			t.Errorf("node %s hit %d trimmed-gap retries", n.ID(), gaps)
+		}
+	}
+
+	// Loud half: rot a record ABOVE the newest snapshot. No snapshot
+	// covers it, so the next replay over that range must fail with
+	// ErrCorruptSegment — never silently skip or serve the bytes.
+	for i := 0; i < 10; i++ {
+		set(fmt.Sprintf("cor2-%d", i), "x")
+	}
+	tail := sh.Log.CommittedTail().Seq
+	var dmg2 uint64
+	for seq := tail; seq > meta.LogPos.Seq; seq-- {
+		if sh.Log.DamageRecord(seq) {
+			dmg2 = seq
+			break
+		}
+	}
+	if dmg2 == 0 {
+		t.Fatal("setup: found no record to damage above the snapshot")
+	}
+	if _, err := ob.Run(ctx, sh.ID, sh.Log); !errors.Is(err, txlog.ErrCorruptSegment) {
+		t.Fatalf("replay over damaged suffix returned %v, want ErrCorruptSegment", err)
 	}
 }

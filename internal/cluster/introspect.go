@@ -179,6 +179,10 @@ func (c *Cluster) clusterInfoText() string {
 			fmt.Fprintf(&b, "az%d_ack_p50_usec:%d\r\n", i, int64(q.P50/time.Microsecond))
 			fmt.Fprintf(&b, "az%d_ack_p99_usec:%d\r\n", i, int64(q.P99/time.Microsecond))
 			fmt.Fprintf(&b, "az%d_ack_max_usec:%d\r\n", i, int64(q.Max/time.Microsecond))
+			held, missing, resynced := az.Segments()
+			fmt.Fprintf(&b, "az%d_segments_held:%d\r\n", i, held)
+			fmt.Fprintf(&b, "az%d_segments_missing:%d\r\n", i, missing)
+			fmt.Fprintf(&b, "az%d_segments_resynced:%d\r\n", i, resynced)
 		}
 	}
 	return b.String()

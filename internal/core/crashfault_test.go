@@ -6,11 +6,13 @@ import (
 	"testing"
 	"time"
 
+	"memorydb/internal/clock"
 	"memorydb/internal/election"
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/netsim"
 	"memorydb/internal/s3"
 	"memorydb/internal/snapshot"
+	"memorydb/internal/txlog"
 )
 
 // TestResyncTrimmedGapFails: when the log has been trimmed past the
@@ -18,7 +20,14 @@ import (
 // ErrLogTrimmedGap — never replay across the gap, which would silently
 // drop the committed entries that lived in it.
 func TestResyncTrimmedGapFails(t *testing.T) {
-	svc := testService(t, netsim.Zero{})
+	// Own service with a tiny segment threshold: Trim only drops whole
+	// sealed segments, so the default threshold would never produce the
+	// gap this test needs.
+	svc := txlog.NewService(txlog.Config{
+		Clock:          clock.NewReal(),
+		CommitLatency:  netsim.Zero{},
+		SegmentEntries: 4,
+	})
 	log, _ := svc.CreateLog("shard-trim")
 	snaps := snapshot.NewManager(s3.New(), "snaps")
 	p := testNode(t, "node-a", log, snaps)
@@ -36,10 +45,13 @@ func TestResyncTrimmedGapFails(t *testing.T) {
 		mustDo(t, p, "SET", "post", "v")
 	}
 	// Trim past the snapshot position: the suffix the snapshot needs is
-	// gone.
+	// gone. (Whole-segment trim lands on the last sealed boundary at or
+	// below the tail — with 4-entry segments that is well past the
+	// snapshot.)
 	log.Trim(log.CommittedTail())
-	if log.CommittedTail().Seq <= meta.LogPos.Seq {
-		t.Fatal("test setup: trim did not pass the snapshot position")
+	if log.TrimBase().Seq <= meta.LogPos.Seq {
+		t.Fatalf("test setup: trim base %v did not pass the snapshot position %v",
+			log.TrimBase(), meta.LogPos)
 	}
 
 	fresh, err := NewNode(Config{

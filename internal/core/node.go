@@ -325,6 +325,16 @@ type Stats struct {
 	// usable one. Nonzero means recovery fell back to an older S3 version
 	// or pure log replay instead of failing.
 	TornSnapshotsDetected atomic.Int64
+	// ReaderRebootstraps counts replica tailers that hit the log's trim
+	// base (or a quarantined segment) and re-bootstrapped from the latest
+	// usable snapshot in place — without a demotion. Normal background
+	// noise on a trimming cluster, unlike LogGapRetries.
+	ReaderRebootstraps atomic.Int64
+	// LogGapRetries counts re-bootstraps that found the log trimmed past
+	// the newest usable snapshot (ErrLogTrimmedGap) and had to wait for a
+	// fresh snapshot. Nonzero means the trim coordinator violated its
+	// safety invariant — always alarm-worthy.
+	LogGapRetries atomic.Int64
 	// BarrierOps counts commands that took the barrier path (cross-slot,
 	// whole-keyspace, WAIT at Shards>1); CrossSlotOps counts the subset
 	// whose keys spanned more than one execution shard.
@@ -349,6 +359,8 @@ type StatsView struct {
 	DegradedMillis   int64
 
 	TornSnapshotsDetected int64
+	ReaderRebootstraps    int64
+	LogGapRetries         int64
 	BarrierOps            int64
 	CrossSlotOps          int64
 }
@@ -371,6 +383,8 @@ func (s *Stats) Snapshot() StatsView {
 		DegradedMillis:   s.DegradedMillis.Load(),
 
 		TornSnapshotsDetected: s.TornSnapshotsDetected.Load(),
+		ReaderRebootstraps:    s.ReaderRebootstraps.Load(),
+		LogGapRetries:         s.LogGapRetries.Load(),
 		BarrierOps:            s.BarrierOps.Load(),
 		CrossSlotOps:          s.CrossSlotOps.Load(),
 	}

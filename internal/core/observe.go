@@ -85,8 +85,27 @@ func (n *Node) registerCounters() {
 	reg("renewals_retried", &n.stats.RenewalsRetried)
 	reg("degraded_millis", &n.stats.DegradedMillis)
 	reg("torn_snapshots_detected", &n.stats.TornSnapshotsDetected)
+	reg("reader_rebootstraps", &n.stats.ReaderRebootstraps)
+	reg("log_gap_retries", &n.stats.LogGapRetries)
 	reg("barrier_ops", &n.stats.BarrierOps)
 	reg("cross_slot_ops", &n.stats.CrossSlotOps)
+	// Segmented-log health: live footprint gauges plus lifecycle counters,
+	// sampled straight from the shared log's segment chain.
+	n.obs.RegisterGauge("log_segments_live", label, func() int64 {
+		return int64(n.cfg.Log.SegmentStats().LiveSegments)
+	})
+	n.obs.RegisterGauge("log_bytes_live", label, func() int64 {
+		return n.cfg.Log.SegmentStats().LiveBytes
+	})
+	n.obs.RegisterCounter("log_segments_sealed", label, func() int64 {
+		return n.cfg.Log.SegmentStats().Sealed
+	})
+	n.obs.RegisterCounter("log_segments_trimmed", label, func() int64 {
+		return n.cfg.Log.SegmentStats().Trimmed
+	})
+	n.obs.RegisterCounter("log_segments_quarantined", label, func() int64 {
+		return n.cfg.Log.SegmentStats().Quarantined
+	})
 	n.obs.RegisterGauge("shard_count", label, func() int64 {
 		return int64(len(n.shards))
 	})

@@ -121,8 +121,28 @@ func (n *Node) runReplica() {
 					// churn (and a pointless full restore).
 					break
 				}
-				// The log was trimmed past our position: fall back to a
-				// full restore from snapshot.
+				if errors.Is(err, txlog.ErrTrimmed) || errors.Is(err, txlog.ErrCorruptSegment) {
+					// The trim coordinator dropped segments behind us (a
+					// lagging tailer on a healthy, bounded log), or the
+					// segment under the cursor was quarantined. Either way
+					// the log can no longer serve our position — but a
+					// snapshot can: re-bootstrap in place from the latest
+					// usable snapshot plus the retained suffix, staying a
+					// replica throughout. No demotion, no quarantine sleep.
+					if !n.rebootstrapTailer() {
+						return
+					}
+					reader = n.cfg.Log.NewReader(n.appliedPos())
+					// The restore may have taken a while; treat it as having
+					// just observed the primary so the fresh tailer does not
+					// instantly campaign against a live lease it simply
+					// hasn't read yet.
+					obs.ObserveRenewal()
+					bootstrap = false
+					break
+				}
+				// Any other fatal read error: fall back to a full restore
+				// through the demotion path.
 				n.setRole(election.RoleDemoted, 0)
 				return
 			}
@@ -173,6 +193,33 @@ func (n *Node) runReplica() {
 				bootstrap = false
 			}
 			n.clk.Sleep(n.cfg.ReplicaPoll)
+		}
+	}
+}
+
+// rebootstrapTailer rebuilds the replica's state from the latest usable
+// snapshot plus the retained log suffix after its tailer fell behind the
+// trim base (or hit a quarantined segment). It retries through transient
+// failures and — the one loud case — through ErrLogTrimmedGap, which means
+// the trim coordinator discarded entries no snapshot covers; each gap
+// retry is counted so tests and alarms can assert it never happens.
+// Returns false when the node stopped instead.
+func (n *Node) rebootstrapTailer() bool {
+	n.stats.ReaderRebootstraps.Add(1)
+	for {
+		err := n.resync()
+		if err == nil {
+			return true
+		}
+		if n.stopCtx.Err() != nil {
+			return false
+		}
+		if errors.Is(err, ErrLogTrimmedGap) {
+			n.stats.LogGapRetries.Add(1)
+		}
+		n.clk.Sleep(n.cfg.ReplicaPoll * 10)
+		if !n.gate() {
+			return false
 		}
 	}
 }

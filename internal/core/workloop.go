@@ -442,6 +442,14 @@ func (n *Node) infoText() string {
 	fmt.Fprintf(&b, "log_degraded:%v\r\n", degraded)
 	fmt.Fprintf(&b, "log_degraded_appends:%d\r\n", logStats.DegradedAppends)
 	fmt.Fprintf(&b, "torn_snapshots_detected:%d\r\n", st.TornSnapshotsDetected)
+	fmt.Fprintf(&b, "reader_rebootstraps:%d\r\n", st.ReaderRebootstraps)
+	fmt.Fprintf(&b, "log_gap_retries:%d\r\n", st.LogGapRetries)
+	segStats := n.cfg.Log.SegmentStats()
+	fmt.Fprintf(&b, "log_segments_live:%d\r\n", segStats.LiveSegments)
+	fmt.Fprintf(&b, "log_bytes_live:%d\r\n", segStats.LiveBytes)
+	fmt.Fprintf(&b, "log_segments_sealed_total:%d\r\n", segStats.Sealed)
+	fmt.Fprintf(&b, "log_segments_trimmed_total:%d\r\n", segStats.Trimmed)
+	fmt.Fprintf(&b, "log_segments_quarantined_total:%d\r\n", segStats.Quarantined)
 	fmt.Fprintf(&b, "shard_count:%d\r\n", len(n.shards))
 	fmt.Fprintf(&b, "barrier_ops:%d\r\n", st.BarrierOps)
 	fmt.Fprintf(&b, "cross_slot_ops:%d\r\n", st.CrossSlotOps)

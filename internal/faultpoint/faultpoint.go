@@ -116,6 +116,22 @@ const (
 	SiteSnapUpload = "snapshot.upload"
 	// SiteS3Put fires at the S3 PUT issued by the off-box run.
 	SiteS3Put = "s3.put"
+	// SiteLogSealPre fires before a closed log segment's footer is
+	// computed; Error/Crash defers the seal (retried on a later commit),
+	// Delay stalls the sealer.
+	SiteLogSealPre = "txlog.seal.pre"
+	// SiteLogSealPost fires after a segment sealed durably.
+	SiteLogSealPost = "txlog.seal.post"
+	// SiteLogTrimPre fires at the head of a Trim call; Error/Crash aborts
+	// the trim with no state change (the coordinator retries next tick).
+	SiteLogTrimPre = "txlog.trim.pre"
+	// SiteLogTrimPost fires after a Trim call completed (whether or not
+	// any segment was dropped).
+	SiteLogTrimPost = "txlog.trim.post"
+	// SiteLogCorruptRecord fires on every data append; Corrupt silently
+	// flips a byte of the stored payload while keeping the record's CRC —
+	// the bit-rot case read-time verification must catch.
+	SiteLogCorruptRecord = "txlog.corrupt_record"
 )
 
 // AllSites returns the canonical instrumented sites, in a stable order.
@@ -125,6 +141,9 @@ func AllSites() []string {
 		SiteFlushPre, SiteFlushPost,
 		SiteTrackerRelease, SiteRenew,
 		SiteSnapBuild, SiteSnapUpload, SiteS3Put,
+		SiteLogSealPre, SiteLogSealPost,
+		SiteLogTrimPre, SiteLogTrimPost,
+		SiteLogCorruptRecord,
 	}
 }
 

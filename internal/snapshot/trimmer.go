@@ -1,0 +1,121 @@
+package snapshot
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"memorydb/internal/clock"
+)
+
+// Trimmer is the snapshot-coordinated log-trim coordinator (paper §4.2.3:
+// the log is bounded because everything below the latest snapshot is
+// redundant). It watches each shard's snapshot store and trims the
+// transaction log only up to positions that a *durable, verified* snapshot
+// strictly covers — and the log itself only drops whole sealed segments at
+// or below that position. The two gates compose into the trim-safety
+// invariant: any replica or restore path that needs entry N either finds a
+// snapshot at position >= N, or the log still holds N. A reader that still
+// hits ErrTrimmed after re-bootstrapping from the latest snapshot has
+// found a coordinator bug, which core surfaces as the loud
+// ErrLogTrimmedGap — never a normal condition.
+//
+// Trimmer deliberately re-verifies via Manager.LatestUsable rather than
+// trusting LatestPos: a snapshot that exists but fails its checksum or
+// replay rehearsal must not authorize discarding the log suffix that could
+// rebuild it.
+type Trimmer struct {
+	Manager  *Manager
+	Interval time.Duration
+	Clock    clock.Clock
+
+	mu     sync.Mutex
+	shards []Shard
+	// lastPos memoizes the snapshot position each shard was last trimmed
+	// against, so an unchanged snapshot store costs one List, not a full
+	// verification pass.
+	lastPos map[string]uint64
+	// counters for tests/metrics
+	trimmed int64 // segments dropped across all shards
+	passes  int64 // verification passes actually run
+}
+
+// AddShard registers a shard for trim coordination.
+func (t *Trimmer) AddShard(sh Shard) {
+	t.mu.Lock()
+	t.shards = append(t.shards, sh)
+	t.mu.Unlock()
+}
+
+// Stats returns (segments trimmed, verification passes run).
+func (t *Trimmer) Stats() (trimmed, passes int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.trimmed, t.passes
+}
+
+// Tick performs one trim pass over all shards. Run calls this on an
+// interval; tests may call it directly after forcing a snapshot.
+func (t *Trimmer) Tick() {
+	t.mu.Lock()
+	shards := append([]Shard(nil), t.shards...)
+	t.mu.Unlock()
+	for _, sh := range shards {
+		t.tickShard(sh)
+	}
+}
+
+func (t *Trimmer) tickShard(sh Shard) {
+	// Cheap freshness probe first: if the newest snapshot position hasn't
+	// moved past what we already trimmed against, skip the expensive
+	// verified-read entirely.
+	pos, ok, err := t.Manager.LatestPos(sh.ShardID)
+	if err != nil || !ok {
+		return
+	}
+	t.mu.Lock()
+	if t.lastPos == nil {
+		t.lastPos = make(map[string]uint64)
+	}
+	seen := t.lastPos[sh.ShardID]
+	t.mu.Unlock()
+	if pos.Seq <= seen {
+		return
+	}
+
+	// The verified gate: LatestUsable re-checks body checksums and walks
+	// back to the newest snapshot that actually loads. Only that position
+	// may authorize a trim.
+	_, meta, _, usable, err := t.Manager.LatestUsable(sh.ShardID)
+	t.mu.Lock()
+	t.passes++
+	t.mu.Unlock()
+	if err != nil || !usable {
+		return
+	}
+	n := sh.Log.Trim(meta.LogPos)
+	t.mu.Lock()
+	t.trimmed += int64(n)
+	t.lastPos[sh.ShardID] = meta.LogPos.Seq
+	t.mu.Unlock()
+}
+
+// Run ticks until ctx is cancelled.
+func (t *Trimmer) Run(ctx context.Context) {
+	clk := t.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	interval := t.Interval
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-clk.After(interval):
+			t.Tick()
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/engine"
+	"memorydb/internal/s3"
+	"memorydb/internal/txlog"
+)
+
+// buildSegmentedShard is buildLoggedShard with a small segment threshold so
+// trims have sealed segments to drop.
+func buildSegmentedShard(t *testing.T, n, segEntries int) (*txlog.Log, *engine.Engine) {
+	t.Helper()
+	svc := txlog.NewService(txlog.Config{SegmentEntries: segEntries})
+	log, _ := svc.CreateLog("s1")
+	e := engine.New(clock.NewReal())
+	after := txlog.ZeroID
+	ctx := context.Background()
+	for i := 0; i < n; i++ {
+		res := e.Exec([][]byte{[]byte("SET"), []byte("k" + string(rune('a'+i%26))), []byte{byte('0' + i%10)}})
+		id, err := log.Append(ctx, after, txlog.Entry{Type: txlog.EntryData, Payload: engine.EncodeRecord(res.Effects)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = id
+	}
+	return log, e
+}
+
+func TestTrimmerTrimsBehindVerifiedSnapshot(t *testing.T) {
+	log, _ := buildSegmentedShard(t, 40, 8)
+	mgr := NewManager(s3.New(), "snaps")
+	ob := &Offbox{Manager: mgr, EngineVersion: 2}
+	ctx := context.Background()
+	meta, err := ob.Run(ctx, "s1", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &Trimmer{Manager: mgr}
+	tr.AddShard(Shard{ShardID: "s1", Log: log})
+	tr.Tick()
+	trimmed, passes := tr.Stats()
+	if trimmed == 0 || passes != 1 {
+		t.Fatalf("stats = trimmed %d, passes %d; want trims after a covering snapshot", trimmed, passes)
+	}
+	base := log.TrimBase()
+	if base.Seq == 0 || base.Seq > meta.LogPos.Seq {
+		t.Fatalf("trim base %v outside (0, snapshot pos %v]", base, meta.LogPos)
+	}
+	// Trim-safety invariant: the snapshot position's checksum must remain
+	// addressable (resync and verification both anchor on it), and the
+	// retained suffix must still read end to end.
+	if _, err := log.ChecksumAt(base); err != nil {
+		t.Fatalf("ChecksumAt(trim base): %v", err)
+	}
+	r := log.NewReader(base)
+	for {
+		_, ok, err := r.TryNext()
+		if err != nil {
+			t.Fatalf("reading retained suffix: %v", err)
+		}
+		if !ok {
+			break
+		}
+	}
+	if r.Position() != log.CommittedTail() {
+		t.Fatalf("suffix read stopped at %v, tail %v", r.Position(), log.CommittedTail())
+	}
+
+	// Unchanged snapshot store: the memoized position skips the verified
+	// pass entirely.
+	tr.Tick()
+	if _, passes = tr.Stats(); passes != 1 {
+		t.Fatalf("tick without a newer snapshot ran %d verification passes", passes)
+	}
+}
+
+func TestTrimmerRefusesUnverifiedSnapshot(t *testing.T) {
+	log, _ := buildSegmentedShard(t, 24, 8)
+	mgr := NewManager(s3.New(), "snaps")
+	ob := &Offbox{Manager: mgr, EngineVersion: 2}
+	ctx := context.Background()
+	good, err := ob.Run(ctx, "s1", log)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow the log, then plant a corrupt "snapshot" at the new tail — the
+	// newest version by position, but one that can never serve a restore.
+	e2 := engine.New(clock.NewReal())
+	after := log.CommittedTail()
+	for i := 0; i < 16; i++ {
+		res := e2.Exec([][]byte{[]byte("SET"), []byte("x"), []byte("y")})
+		id, err := log.Append(ctx, after, txlog.Entry{Type: txlog.EntryData, Payload: engine.EncodeRecord(res.Effects)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		after = id
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, e2.DB(), Meta{ShardID: "s1", LogPos: log.CommittedTail()}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0xff
+	if err := mgr.SaveRaw("s1", log.CommittedTail(), data); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := &Trimmer{Manager: mgr}
+	tr.AddShard(Shard{ShardID: "s1", Log: log})
+	tr.Tick()
+	// The corrupt snapshot must not authorize trimming past the last good
+	// one: everything above good.LogPos stays readable.
+	if base := log.TrimBase(); base.Seq > good.LogPos.Seq {
+		t.Fatalf("trimmer advanced base to %v past last verified snapshot %v", base, good.LogPos)
+	}
+	if _, ok := log.Get(txlog.EntryID{Seq: good.LogPos.Seq + 1}); !ok {
+		t.Fatal("entries above the last verified snapshot were trimmed")
+	}
+}

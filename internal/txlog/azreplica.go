@@ -38,6 +38,13 @@ type AZReplica struct {
 	acksDropped int64
 	acksServed  int64
 
+	// Segment-granular zone state: every sealed segment is copied to each
+	// zone; a down zone misses seals and resyncs whole segments once
+	// healthy (on the next seal, or eagerly via ResyncSegments).
+	segsHeld     int64
+	segsMissing  int64
+	segsResynced int64
+
 	// ackLatency records every served acknowledgement's latency draw.
 	// Always on: a flaky or slow AZ is identified by comparing the three
 	// zones' distributions (and drop counts) in CLUSTER INFO / metrics.
@@ -80,6 +87,49 @@ func (a *AZReplica) Acks() (served, dropped int64) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	return a.acksServed, a.acksDropped
+}
+
+// noteSeal records one sealed segment against this zone. An up zone
+// first catches up on every segment it missed while down (the
+// segment-granular background copy a real log service would stream),
+// then stores the new one; a down zone falls one segment further behind.
+func (a *AZReplica) noteSeal() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.down.On() {
+		a.segsMissing++
+		return
+	}
+	if a.segsMissing > 0 {
+		a.segsHeld += a.segsMissing
+		a.segsResynced += a.segsMissing
+		a.segsMissing = 0
+	}
+	a.segsHeld++
+}
+
+// ResyncSegments eagerly copies every missed segment to a healthy zone
+// (a healed zone's catch-up pass). Returns how many were copied; 0 when
+// the zone is still down or already current.
+func (a *AZReplica) ResyncSegments() int64 {
+	if a.down.On() {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.segsMissing
+	a.segsHeld += n
+	a.segsResynced += n
+	a.segsMissing = 0
+	return n
+}
+
+// Segments returns the zone's segment-granular state: sealed segments
+// held, currently missing (zone lagging), and resynced over its lifetime.
+func (a *AZReplica) Segments() (held, missing, resynced int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.segsHeld, a.segsMissing, a.segsResynced
 }
 
 // ack draws one append acknowledgement: ok=false means the zone did not

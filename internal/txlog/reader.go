@@ -4,6 +4,10 @@ import "context"
 
 // Reader is a tailing cursor over a log's committed entries. Replicas hold
 // one reader each and stream the replication records into their engine.
+// Every read re-verifies the record's append-time CRC before returning
+// it: a reader can never hand out a torn or bit-rotted payload — a
+// mismatch quarantines the segment and the read fails with
+// ErrCorruptSegment, cursor unchanged.
 type Reader struct {
 	log *Log
 	pos uint64 // Seq of the last entry returned
@@ -27,7 +31,10 @@ func (r *Reader) CaughtUp() bool {
 // TryNext returns the next committed entry without blocking. During a
 // service outage (or a below-quorum zone set) it fails with the transient
 // ErrUnavailable: the cursor is unchanged, so the caller reconnects by
-// simply retrying later — no gaps, no duplicates.
+// simply retrying later — no gaps, no duplicates. A cursor behind the
+// trim point fails with ErrTrimmed and a cursor entering a quarantined
+// segment with ErrCorruptSegment — both fatal: the caller re-bootstraps
+// from a snapshot instead of retrying.
 func (r *Reader) TryNext() (Entry, bool, error) {
 	l := r.log
 	if err := l.svc.readErr(); err != nil {
@@ -35,21 +42,30 @@ func (r *Reader) TryNext() (Entry, bool, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if r.pos < l.baseSeq {
+	if r.pos < l.trimBase() {
 		return Entry{}, false, ErrTrimmed
 	}
 	if r.pos >= l.committed {
 		return Entry{}, false, nil
 	}
-	e := l.entries[r.pos-l.baseSeq]
-	r.pos = e.ID.Seq
+	seq := r.pos + 1
+	s := l.segFor(seq)
+	if s == nil {
+		return Entry{}, false, ErrTrimmed
+	}
+	if !l.verifyRecordLocked(s, seq) {
+		return Entry{}, false, ErrCorruptSegment
+	}
+	e := *s.entry(seq)
+	r.pos = seq
 	e.Epoch = e.EpochValue()
 	return e, true, nil
 }
 
 // Next blocks until a committed entry past the cursor is available, the
 // context is cancelled, or the log is destroyed. Like TryNext it surfaces
-// a service outage as ErrUnavailable with the cursor unchanged.
+// a service outage as ErrUnavailable with the cursor unchanged, and trim
+// or quarantine as the fatal ErrTrimmed / ErrCorruptSegment.
 func (r *Reader) Next(ctx context.Context) (Entry, error) {
 	for {
 		l := r.log
@@ -57,7 +73,7 @@ func (r *Reader) Next(ctx context.Context) (Entry, error) {
 			return Entry{}, err
 		}
 		l.mu.Lock()
-		if r.pos < l.baseSeq {
+		if r.pos < l.trimBase() {
 			l.mu.Unlock()
 			return Entry{}, ErrTrimmed
 		}
@@ -66,8 +82,18 @@ func (r *Reader) Next(ctx context.Context) (Entry, error) {
 			return Entry{}, ErrNoSuchLog
 		}
 		if r.pos < l.committed {
-			e := l.entries[r.pos-l.baseSeq]
-			r.pos = e.ID.Seq
+			seq := r.pos + 1
+			s := l.segFor(seq)
+			if s == nil {
+				l.mu.Unlock()
+				return Entry{}, ErrTrimmed
+			}
+			if !l.verifyRecordLocked(s, seq) {
+				l.mu.Unlock()
+				return Entry{}, ErrCorruptSegment
+			}
+			e := *s.entry(seq)
+			r.pos = seq
 			l.mu.Unlock()
 			e.Epoch = e.EpochValue()
 			return e, nil

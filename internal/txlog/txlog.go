@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"memorydb/internal/clock"
+	"memorydb/internal/faultpoint"
 	"memorydb/internal/netsim"
 )
 
@@ -138,6 +139,13 @@ var (
 	ErrNoSuchLog = errors.New("txlog: no such log")
 	// ErrTrimmed reports a read from a position older than the trim point.
 	ErrTrimmed = errors.New("txlog: position trimmed")
+	// ErrCorruptSegment reports a read from a quarantined segment: a
+	// record in it failed CRC verification, so nothing in the segment can
+	// be trusted. Fatal, like ErrTrimmed — the reader must re-bootstrap
+	// from a snapshot whose position covers the quarantined range; if no
+	// snapshot covers it, recovery fails loudly rather than replaying
+	// corrupt data.
+	ErrCorruptSegment = errors.New("txlog: segment quarantined (corrupt record)")
 )
 
 // IsTransient reports whether err is a retryable service condition (the
@@ -170,6 +178,18 @@ type Config struct {
 	Quorum int
 	// Seed makes flaky-AZ fault draws deterministic. Zero is a valid seed.
 	Seed int64
+	// SegmentEntries / SegmentBytes are the active-segment rotation
+	// thresholds: crossing either closes the segment (it seals once fully
+	// committed). Defaults: 1024 entries, 1 MiB of payload.
+	SegmentEntries int
+	SegmentBytes   int
+	// Faults is the registry for the txlog.* fault sites (seal, trim,
+	// corrupt_record). Defaults to a fresh registry under Seed.
+	Faults *faultpoint.Registry
+	// AlarmFn, when set, is invoked for quarantine events (a segment
+	// failed CRC verification). It may be called with the log lock held
+	// and must not call back into the log.
+	AlarmFn func(msg string)
 }
 
 func (c Config) withDefaults() Config {
@@ -187,6 +207,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Quorum == 0 {
 		c.Quorum = c.AZCount/2 + 1
+	}
+	if c.SegmentEntries == 0 {
+		c.SegmentEntries = 1024
+	}
+	if c.SegmentBytes == 0 {
+		c.SegmentBytes = 1 << 20
+	}
+	if c.Faults == nil {
+		c.Faults = faultpoint.New(c.Seed)
 	}
 	return c
 }
@@ -235,6 +264,16 @@ func (s *Service) HealthyAZs() int {
 
 // Quorum returns the acknowledgement quorum appends must reach.
 func (s *Service) Quorum() int { return s.cfg.Quorum }
+
+// noteSeal records one sealed segment against every zone replica: an up
+// zone stores its copy (first catching up on any segments it missed
+// while down — the segment-granular background resync), a down zone
+// falls one whole segment further behind.
+func (s *Service) noteSeal() {
+	for _, az := range s.azs {
+		az.noteSeal()
+	}
+}
 
 // Degraded reports whether the service is running below full replication
 // (at least one zone down) while still meeting quorum.
@@ -305,28 +344,55 @@ func (s *Service) DeleteLog(shardID string) error {
 	return nil
 }
 
-// Log is one shard's transaction log.
+// Log is one shard's transaction log: a chain of segments, the last of
+// which is active and accepts appends (see segment.go for the segment
+// lifecycle).
 type Log struct {
 	svc     *Service
 	shardID string
 
 	mu        sync.Mutex
-	baseSeq   uint64   // entries[i] has Seq baseSeq+1+i
-	entries   []Entry  // committed + assigned entries (committed prefix visible)
-	cums      []uint64 // cums[i] = running checksum after committing entries[i]
-	assigned  uint64   // highest assigned Seq
-	committed uint64   // highest committed Seq (visible watermark)
+	segs      []*segment // non-empty; ordered, contiguous; last = active
+	assigned  uint64     // highest assigned Seq
+	committed uint64     // highest committed Seq (visible watermark)
 	// commitWake is closed and replaced each time the watermark advances.
 	commitWake chan struct{}
 
 	// Running checksum over committed data-entry payloads, chained CRC64.
-	checksum      uint64
-	baseChecksum  uint64 // checksum at the trim point
-	currentEpoch  uint64
-	azCopies      int64 // total (entry × AZ) durable copies, for tests/metrics
-	stats         Stats
+	checksum     uint64
+	baseChecksum uint64 // checksum at the trim point
+	currentEpoch uint64
+	azCopies     int64 // total (entry × AZ) durable copies, for tests/metrics
+	stats        Stats
+
+	// Segment lifecycle totals (surfaced via SegmentStats).
+	sealedTotal      int64
+	trimmedTotal     int64
+	entriesTrimmed   int64
+	quarantinedTotal int64
+	sealsDeferred    int64
+	trimsDeferred    int64
+	tornTruncated    int64
+
 	appendsFailed netsim.Flag
 	closed        bool
+}
+
+// trimBase returns the trim point: the Seq at or before which reads fail
+// with ErrTrimmed. Caller holds mu.
+func (l *Log) trimBase() uint64 { return l.segs[0].base }
+
+// active returns the append target segment. Caller holds mu.
+func (l *Log) active() *segment { return l.segs[len(l.segs)-1] }
+
+// segFor locates the segment containing seq via binary search over the
+// per-segment min/max index. Caller holds mu.
+func (l *Log) segFor(seq uint64) *segment {
+	i := sort.Search(len(l.segs), func(i int) bool { return l.segs[i].maxSeq() >= seq })
+	if i < len(l.segs) && l.segs[i].contains(seq) {
+		return l.segs[i]
+	}
+	return nil
 }
 
 // Stats are cumulative per-log append counters, the observability surface
@@ -381,7 +447,12 @@ func (s Stats) MeanRecordsPerEntry() float64 {
 }
 
 func newLog(s *Service, shardID string) *Log {
-	return &Log{svc: s, shardID: shardID, commitWake: make(chan struct{})}
+	return &Log{
+		svc:        s,
+		shardID:    shardID,
+		segs:       []*segment{{}},
+		commitWake: make(chan struct{}),
+	}
 }
 
 // ShardID returns the owning shard's ID.
@@ -467,8 +538,21 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 	l.assigned++
 	e.ID = EntryID{Seq: l.assigned}
 	e.acks = uint8(acks)
-	l.entries = append(l.entries, e)
-	l.cums = append(l.cums, 0)
+	// The record CRC is fixed now, over what the writer sent; a Corrupt
+	// decision at txlog.corrupt_record then silently damages the stored
+	// copy (bit rot the CRC no longer matches) — read-time verification
+	// must catch it.
+	crc := recordCRC(&e)
+	if e.Type == EntryData {
+		if d := l.svc.cfg.Faults.Hit(faultpoint.SiteLogCorruptRecord); d.Kind == faultpoint.Corrupt && len(e.Payload) > 0 {
+			e.Payload = l.svc.cfg.Faults.FlipByte(e.Payload)
+		}
+	}
+	act := l.active()
+	act.entries = append(act.entries, e)
+	act.cums = append(act.cums, 0)
+	act.crcs = append(act.crcs, crc)
+	act.bytes += int64(len(e.Payload))
 	l.stats.Appends++
 	if acks < l.svc.cfg.AZCount {
 		l.stats.DegradedAppends++
@@ -482,6 +566,12 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 		if int64(records) > l.stats.MaxRecordsPerEntry {
 			l.stats.MaxRecordsPerEntry = int64(records)
 		}
+	}
+	// Rotate when the active segment crosses a threshold: it closes here
+	// and seals (footer over the record-CRC index) once fully committed.
+	if len(act.entries) >= l.svc.cfg.SegmentEntries || act.bytes >= int64(l.svc.cfg.SegmentBytes) {
+		act.closed = true
+		l.segs = append(l.segs, &segment{base: act.maxSeq()})
 	}
 	p := &Pending{id: e.ID, acks: acks, azTotal: l.svc.cfg.AZCount, done: make(chan struct{})}
 	clk := l.svc.cfg.Clock
@@ -504,11 +594,13 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 	return p, nil
 }
 
-// waitCommitted blocks until the committed watermark reaches seq.
+// waitCommitted blocks until the committed watermark reaches seq. It
+// also returns if the entry no longer exists (RecoverChain truncated a
+// torn tail past it) or the log was destroyed.
 func (l *Log) waitCommitted(seq uint64) {
 	for {
 		l.mu.Lock()
-		if l.committed >= seq || l.closed {
+		if l.committed >= seq || l.assigned < seq || l.closed {
 			l.mu.Unlock()
 			return
 		}
@@ -532,14 +624,16 @@ func (l *Log) commitEntry(id EntryID) {
 	l.mu.Lock()
 	// Commits apply in ID order: mark this entry committable and advance
 	// the watermark over any in-order committable prefix.
-	idx := int(id.Seq - l.baseSeq - 1)
-	if idx >= 0 && idx < len(l.entries) {
-		l.entries[idx].committedMark()
+	if s := l.segFor(id.Seq); s != nil {
+		s.entry(id.Seq).committedMark()
 	}
 	advanced := false
-	for int(l.committed-l.baseSeq) < len(l.entries) {
-		i := l.committed - l.baseSeq
-		next := &l.entries[i]
+	for {
+		s := l.segFor(l.committed + 1)
+		if s == nil {
+			break
+		}
+		next := s.entry(l.committed + 1)
 		if !next.isCommitted() {
 			break
 		}
@@ -553,13 +647,75 @@ func (l *Log) commitEntry(id EntryID) {
 		if next.Type == EntryData {
 			l.checksum = crc64.Update(l.checksum, crcTable, next.Payload)
 		}
-		l.cums[i] = l.checksum
+		s.cums[l.committed-s.base-1] = l.checksum
 	}
+	sealDue := l.sealDueLocked() != nil
 	if advanced {
 		close(l.commitWake)
 		l.commitWake = make(chan struct{})
 	}
 	l.mu.Unlock()
+	if sealDue {
+		l.finalizeSeals()
+	}
+}
+
+// sealDueLocked returns a closed, fully committed, not-yet-sealed
+// segment with no sealer already working on it. Caller holds mu.
+func (l *Log) sealDueLocked() *segment {
+	for _, s := range l.segs {
+		if s.closed && !s.sealed && !s.sealing && s.maxSeq() <= l.committed {
+			return s
+		}
+	}
+	return nil
+}
+
+// finalizeSeals seals every due segment. It runs on commit goroutines
+// after the log lock is released, so an injected sealer stall
+// (txlog.seal.pre Delay) never blocks writers. Error/Crash at
+// txlog.seal.pre models the sealer dying before the footer write: the
+// segment stays closed-but-unsealed (and untrimmable) until a later
+// commit retries; Corrupt writes a bad footer the restart verification
+// pass must catch. txlog.seal.post fires once the segment is immutable.
+func (l *Log) finalizeSeals() {
+	faults := l.svc.cfg.Faults
+	clk := l.svc.cfg.Clock
+	for {
+		l.mu.Lock()
+		target := l.sealDueLocked()
+		if target != nil {
+			target.sealing = true
+		}
+		l.mu.Unlock()
+		if target == nil {
+			return
+		}
+		d := faults.Hit(faultpoint.SiteLogSealPre)
+		if d.Kind == faultpoint.Delay {
+			clk.Sleep(d.Delay)
+		}
+		l.mu.Lock()
+		target.sealing = false
+		if d.Kind == faultpoint.Error || d.Kind == faultpoint.Crash {
+			l.sealsDeferred++
+			l.mu.Unlock()
+			return
+		}
+		target.footer = target.computeFooter()
+		if d.Kind == faultpoint.Corrupt {
+			target.footer ^= 0x5a5a5a5a
+		}
+		target.sealed = true
+		l.sealedTotal++
+		l.mu.Unlock()
+		// Every zone replica stores (or, if down, misses) the sealed
+		// segment — the segment-granular per-AZ state.
+		l.svc.noteSeal()
+		if d := faults.Hit(faultpoint.SiteLogSealPost); d.Kind == faultpoint.Delay {
+			clk.Sleep(d.Delay)
+		}
+	}
 }
 
 // committedMark / isCommitted piggyback on Epoch's high bit to avoid a
@@ -636,54 +792,226 @@ func (l *Log) AZCopies() int64 {
 	return l.azCopies
 }
 
-// Get returns the committed entry with the given ID.
+// quarantineLocked condemns a segment after a record in it failed
+// verification: every read from it now fails with ErrCorruptSegment. A
+// poisoned active segment is closed and a clean one installed so appends
+// continue (sequence numbering runs across the hole). Caller holds mu.
+func (l *Log) quarantineLocked(s *segment, reason string) {
+	if s.quarantined {
+		return
+	}
+	s.quarantined = true
+	l.quarantinedTotal++
+	if s == l.active() && !s.closed {
+		s.closed = true
+		l.segs = append(l.segs, &segment{base: s.maxSeq()})
+	}
+	if fn := l.svc.cfg.AlarmFn; fn != nil {
+		fn(fmt.Sprintf("txlog %s: quarantined segment [%d,%d]: %s",
+			l.shardID, s.minSeq(), s.maxSeq(), reason))
+	}
+}
+
+// verifyRecordLocked re-checks the stored record at seq against its
+// append-time CRC; a mismatch quarantines the whole segment. Caller
+// holds mu; returns false when the record cannot be served.
+func (l *Log) verifyRecordLocked(s *segment, seq uint64) bool {
+	if s.quarantined {
+		return false
+	}
+	if recordCRC(s.entry(seq)) == s.crc(seq) {
+		return true
+	}
+	l.quarantineLocked(s, fmt.Sprintf("record %d failed CRC verification", seq))
+	return false
+}
+
+// Get returns the committed entry with the given ID. Reads verify the
+// record CRC: a mismatch quarantines the segment and the read fails.
 func (l *Log) Get(id EntryID) (Entry, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if id.Seq <= l.baseSeq || id.Seq > l.committed {
+	if id.Seq <= l.trimBase() || id.Seq > l.committed {
 		return Entry{}, false
 	}
-	e := l.entries[id.Seq-l.baseSeq-1]
+	s := l.segFor(id.Seq)
+	if s == nil || !l.verifyRecordLocked(s, id.Seq) {
+		return Entry{}, false
+	}
+	e := *s.entry(id.Seq)
 	e.Epoch = e.EpochValue()
 	return e, true
 }
 
+// TrimBase returns the current trim point: the position reads at or
+// before which fail with ErrTrimmed (a whole-segment boundary).
+func (l *Log) TrimBase() EntryID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return EntryID{Seq: l.trimBase()}
+}
+
 // ChecksumAt returns the running checksum as of committed entry id (the
 // checksum over all committed data payloads with Seq <= id.Seq). Fails for
-// trimmed or uncommitted positions.
+// trimmed, quarantined, or uncommitted positions.
 func (l *Log) ChecksumAt(id EntryID) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if id.Seq < l.baseSeq {
+	if id.Seq < l.trimBase() {
 		return 0, ErrTrimmed
 	}
-	if id.Seq == l.baseSeq {
+	if id.Seq == l.trimBase() {
 		return l.baseChecksum, nil
 	}
 	if id.Seq > l.committed {
 		return 0, fmt.Errorf("txlog: %v not committed", id)
 	}
-	return l.cums[id.Seq-l.baseSeq-1], nil
+	s := l.segFor(id.Seq)
+	if s == nil {
+		return 0, ErrTrimmed
+	}
+	if s.quarantined {
+		return 0, ErrCorruptSegment
+	}
+	return s.cum(id.Seq), nil
 }
 
-// Trim discards entries at or before upTo, recording the checksum at the
-// trim point so verification of later prefixes still works. Reads from
-// trimmed positions fail with ErrTrimmed; recovery must start from a
-// snapshot at or after the trim point.
-func (l *Log) Trim(upTo EntryID) {
+// Trim discards whole sealed segments entirely covered by upTo — the
+// snapshot-coordinated trim point. Partial segments are never split, so
+// the effective trim point rounds down to a segment boundary and
+// ChecksumAt stays answerable at every retained position (and, via the
+// recorded base checksum, at the boundary itself). Reads from trimmed
+// positions fail with ErrTrimmed; recovery must start from a snapshot at
+// or after the trim point — the coordinator (snapshot.Trimmer) only ever
+// passes positions covered by a durable, verified snapshot. Returns how
+// many segments were dropped; an Error/Crash decision at txlog.trim.pre
+// aborts the call with no state change (the coordinator retries).
+func (l *Log) Trim(upTo EntryID) int {
+	faults := l.svc.cfg.Faults
+	switch d := faults.Hit(faultpoint.SiteLogTrimPre); d.Kind {
+	case faultpoint.Error, faultpoint.Crash:
+		l.mu.Lock()
+		l.trimsDeferred++
+		l.mu.Unlock()
+		return 0
+	case faultpoint.Delay:
+		l.svc.cfg.Clock.Sleep(d.Delay)
+	}
+	n := 0
+	l.mu.Lock()
+	for len(l.segs) > 1 {
+		s := l.segs[0]
+		if !s.sealed || s.maxSeq() > upTo.Seq || s.maxSeq() > l.committed {
+			break
+		}
+		l.baseChecksum = s.cums[len(s.cums)-1]
+		l.entriesTrimmed += int64(len(s.entries))
+		l.trimmedTotal++
+		l.segs = l.segs[1:]
+		n++
+	}
+	if n > 0 {
+		// Re-slice so the dropped segments' backing array is released.
+		l.segs = append([]*segment(nil), l.segs...)
+	}
+	l.mu.Unlock()
+	faults.Hit(faultpoint.SiteLogTrimPost)
+	return n
+}
+
+// RecoverChain models the log service's restart integrity pass: verify
+// chain contiguity and every sealed segment's footer + record CRCs
+// (quarantining mismatches, with counter and alarm), re-verify the
+// committed records of unsealed segments, and truncate the torn tail —
+// assigned-but-uncommitted entries a dying service never finished
+// replicating. Harnesses call it on a quiesced log (no appends in
+// flight). Returns the number of segments quarantined and entries
+// truncated by this pass.
+func (l *Log) RecoverChain() (quarantined, truncated int) {
+	l.mu.Lock()
+	for i, s := range l.segs {
+		if i > 0 && s.base != l.segs[i-1].maxSeq() && !s.quarantined {
+			l.quarantineLocked(s, "segment chain discontinuity")
+			quarantined++
+			continue
+		}
+		if s.quarantined {
+			continue
+		}
+		if s.sealed {
+			if !s.verify() {
+				l.quarantineLocked(s, "sealed segment failed footer/CRC verification")
+				quarantined++
+			}
+			continue
+		}
+		for seq := s.minSeq(); seq <= s.maxSeq() && seq <= l.committed; seq++ {
+			if recordCRC(s.entry(seq)) != s.crc(seq) {
+				l.quarantineLocked(s, fmt.Sprintf("record %d failed CRC verification", seq))
+				quarantined++
+				break
+			}
+		}
+	}
+	if l.assigned > l.committed {
+		for len(l.segs) > 0 {
+			s := l.segs[len(l.segs)-1]
+			if s.base >= l.committed {
+				// Entire segment is uncommitted tail: drop it.
+				truncated += len(s.entries)
+				l.segs = l.segs[:len(l.segs)-1]
+				continue
+			}
+			if s.maxSeq() > l.committed {
+				keep := int(l.committed - s.base)
+				truncated += len(s.entries) - keep
+				s.entries = s.entries[:keep]
+				s.crcs = s.crcs[:keep]
+				s.cums = s.cums[:keep]
+				var b int64
+				for i := range s.entries {
+					b += int64(len(s.entries[i].Payload))
+				}
+				s.bytes = b
+			}
+			break
+		}
+		if len(l.segs) == 0 {
+			l.segs = []*segment{{base: l.committed}}
+		}
+		l.assigned = l.committed
+		l.tornTruncated += int64(truncated)
+		// Wake any torn-entry waiters so they observe the truncation.
+		close(l.commitWake)
+		l.commitWake = make(chan struct{})
+	}
+	// Guarantee an appendable active segment.
+	if act := l.active(); act.sealed || act.closed || act.quarantined {
+		l.segs = append(l.segs, &segment{base: act.maxSeq()})
+	}
+	l.mu.Unlock()
+	return quarantined, truncated
+}
+
+// DamageRecord flips one byte of the stored payload of the entry at seq —
+// the at-rest bit-rot injection recovery tests use (the append-time
+// variant is the txlog.corrupt_record fault site). Returns false when
+// the position is trimmed/unknown or carries no payload.
+func (l *Log) DamageRecord(seq uint64) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if upTo.Seq <= l.baseSeq {
-		return
+	s := l.segFor(seq)
+	if s == nil {
+		return false
 	}
-	if upTo.Seq > l.committed {
-		upTo.Seq = l.committed
+	e := s.entry(seq)
+	if len(e.Payload) == 0 {
+		return false
 	}
-	drop := int(upTo.Seq - l.baseSeq)
-	l.baseChecksum = l.cums[drop-1]
-	l.entries = append([]Entry(nil), l.entries[drop:]...)
-	l.cums = append([]uint64(nil), l.cums[drop:]...)
-	l.baseSeq = upTo.Seq
+	cp := append([]byte(nil), e.Payload...)
+	cp[0] ^= 0xff
+	e.Payload = cp
+	return true
 }
 
 func (l *Log) closeAll() {

@@ -219,7 +219,13 @@ func TestChecksumEntryPayloadRoundTrip(t *testing.T) {
 }
 
 func TestTrim(t *testing.T) {
-	l := newTestLog(t, netsim.Zero{})
+	// Five entries per segment, so ids[4] (seq 5) is a segment boundary:
+	// entries 1-5 seal into one segment, 6-10 into a second.
+	svc := NewService(Config{Clock: clock.NewReal(), SegmentEntries: 5})
+	l, err := svc.CreateLog("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
 	after := ZeroID
 	var ids []EntryID
 	for i := 0; i < 10; i++ {
@@ -227,7 +233,16 @@ func TestTrim(t *testing.T) {
 		ids = append(ids, after)
 	}
 	sumAt5, _ := l.ChecksumAt(ids[4])
-	l.Trim(ids[4])
+	// Trimming mid-segment is a no-op: only whole sealed segments go.
+	if n := l.Trim(ids[2]); n != 0 {
+		t.Fatalf("mid-segment trim dropped %d segments, want 0", n)
+	}
+	if n := l.Trim(ids[4]); n != 1 {
+		t.Fatalf("boundary trim dropped %d segments, want 1", n)
+	}
+	if base := l.TrimBase(); base != ids[4] {
+		t.Fatalf("trim base = %v, want %v", base, ids[4])
+	}
 	// Reads before the trim point fail.
 	r := l.NewReader(ZeroID)
 	if _, _, err := r.TryNext(); !errors.Is(err, ErrTrimmed) {

@@ -40,3 +40,8 @@ sh scripts/bench_shards.sh
 # must record zero allocations per command (internal/obs) and cost no
 # more than 5% of write throughput against a NoObs node (internal/core).
 MEMORYDB_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 ./internal/obs/ ./internal/core/
+# Bounded-log soak gate: with the snapshot scheduler and trim coordinator
+# running at their normal cadence, sustained write load must never push
+# the live transaction log past twice the segment threshold — trimming
+# has to keep up, not just happen once.
+MEMORYDB_SOAK=1 go test -run TestSoakBoundedLog -count=1 ./internal/cluster/
