@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench crash obs shards soak
+.PHONY: check vet build test race bench crash obs shards reads soak
 
-check: vet build test race crash obs shards soak
+check: vet build test race crash obs shards reads soak
 
 vet:
 	$(GO) vet ./...
@@ -48,6 +48,21 @@ shards:
 	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=1 $(GO) test -race -run CrashRestart ./internal/cluster/
 	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=2 $(GO) test -race -run CrashRestart ./internal/cluster/
 	sh scripts/bench_shards.sh
+
+# Consistent replica-read gate: the replica-read fault schedules
+# (failover storm, bounded-staleness partition, log-trim rebootstrap)
+# must hold linearizability — no stale value ever served as
+# linearizable, bounded-stale serves within their declared bound — at
+# two pinned seeds, at one and eight execution shards, under the race
+# detector; then the replica-read throughput figure must show reads
+# scaling with the replica count while the primary's write throughput
+# holds (scripts/bench_reads.sh, bars enforced on >= 4-vCPU runners).
+reads:
+	MEMORYDB_SHARDS=1 MEMORYDB_CHAOS_SEED=1 $(GO) test -race -run ReplicaReads ./internal/cluster/
+	MEMORYDB_SHARDS=1 MEMORYDB_CHAOS_SEED=2 $(GO) test -race -run ReplicaReads ./internal/cluster/
+	MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=1 $(GO) test -race -run ReplicaReads ./internal/cluster/
+	MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=2 $(GO) test -race -run ReplicaReads ./internal/cluster/
+	sh scripts/bench_reads.sh
 
 # Bounded-log soak gate: sustained write load with the snapshot scheduler
 # and trim coordinator at their normal cadence must keep live log bytes

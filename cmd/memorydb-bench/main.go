@@ -10,6 +10,7 @@
 //	7   MemoryDB off-box snapshotting (flat series)
 //	bw  single-shard pipelined write bandwidth (~100 MB/s claim)
 //	gc  group-commit ablation (batched vs per-mutation log appends)
+//	reads consistent replica reads: read/write throughput vs replica count
 //	all everything above
 package main
 
@@ -26,7 +27,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw gc all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw gc reads all")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per data point")
 	clients := flag.Int("clients", 256, "concurrent client connections")
 	prefill := flag.Int("prefill", 5000, "keys pre-filled before measuring")
@@ -72,6 +73,9 @@ func main() {
 		case "gc":
 			fmt.Println("== Group commit ablation: write-only throughput, batched vs per-mutation appends ==")
 			return bench.FigureGroupCommit(ctx, opts, os.Stdout)
+		case "reads":
+			fmt.Println("== Consistent replica reads: throughput vs replica count ==")
+			return bench.FigureReplicaReads(ctx, opts, os.Stdout)
 		default:
 			return nil, fmt.Errorf("unknown figure %q", name)
 		}
@@ -105,7 +109,7 @@ func main() {
 
 	var names []string
 	if *fig == "all" {
-		names = []string{"4a", "4b", "5a", "5b", "5c", "6", "7", "bw", "gc"}
+		names = []string{"4a", "4b", "5a", "5b", "5c", "6", "7", "bw", "gc", "reads"}
 	} else {
 		names = []string{*fig}
 	}

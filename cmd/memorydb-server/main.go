@@ -63,6 +63,8 @@ func main() {
 		"rotate transaction-log segments at this payload size (0 = 1MiB default)")
 	trimInterval := flag.Duration("trim-interval", envDuration("MEMORYDB_TRIM_INTERVAL", 0),
 		"run the snapshot scheduler and log trim coordinator at this cadence (0 = disabled)")
+	replicaReadTimeout := flag.Duration("replica-read-timeout", envDuration("MEMORYDB_REPLICA_READ_TIMEOUT", 0),
+		"max time a linearizable replica read waits for its freshness proof before degrading (0 = 50ms default)")
 	flag.Parse()
 
 	// One shared metrics registry spans the front-end (read_parse,
@@ -94,13 +96,14 @@ func main() {
 			log.Fatalf("MEMORYDB_FAULTPOINTS: %v", err)
 		}
 		node, err := core.NewNode(core.Config{
-			NodeID:    "node-0",
-			ShardID:   "shard-0",
-			Log:       logHandle,
-			Snapshots: snaps,
-			Faults:    faults,
-			Obs:       metrics,
-			Shards:    *shards,
+			NodeID:             "node-0",
+			ShardID:            "shard-0",
+			Log:                logHandle,
+			Snapshots:          snaps,
+			Faults:             faults,
+			Obs:                metrics,
+			Shards:             *shards,
+			ReplicaReadTimeout: *replicaReadTimeout,
 		})
 		if err != nil {
 			log.Fatalf("create node: %v", err)

@@ -14,19 +14,32 @@ import (
 
 // Client routes commands to the owning shard, exactly as a cluster-aware
 // Redis client does: it computes the key slot locally and follows MOVED
-// redirects when the mapping changes (paper §2.1).
+// redirects when the mapping changes (paper §2.1). A readonly client
+// additionally follows REDIRECT bounces: a replica that cannot prove
+// freshness degrades the read, and the client retries it on the primary
+// instead of accepting stale data.
 type Client struct {
 	c *Cluster
 	// readonly routes reads to replicas when true (the READONLY opt-in).
 	readonly bool
+	// opts is the read-consistency ladder replica reads run under
+	// (linearizable by default; bounded-stale/eventual by opt-in).
+	opts core.ReadOpts
 }
 
 // Client returns a routing client for the cluster.
 func (c *Cluster) Client() *Client { return &Client{c: c} }
 
-// ReadOnlyClient returns a client that opts into replica reads
-// (sequentially consistent, §3.2).
+// ReadOnlyClient returns a client that opts into replica reads at the
+// default (linearizable) consistency: replica reads are served only
+// with a freshness proof and otherwise retried on the primary.
 func (c *Cluster) ReadOnlyClient() *Client { return &Client{c: c, readonly: true} }
+
+// ReadClient returns a replica-reading client with an explicit
+// consistency level (bounded-staleness or eventual opt-ins).
+func (c *Cluster) ReadClient(opts core.ReadOpts) *Client {
+	return &Client{c: c, readonly: true, opts: opts}
+}
 
 // Do executes one command, following up to 3 MOVED redirects.
 func (cl *Client) Do(ctx context.Context, args ...string) (resp.Value, error) {
@@ -39,33 +52,52 @@ func (cl *Client) Do(ctx context.Context, args ...string) (resp.Value, error) {
 
 // DoArgv executes one command given raw argv.
 func (cl *Client) DoArgv(ctx context.Context, argv [][]byte) (resp.Value, error) {
+	v, _, err := cl.DoArgvOutcome(ctx, argv)
+	return v, err
+}
+
+// DoArgvOutcome executes one command and additionally reports which
+// rung of the read-consistency ladder served it (ReadOutcomePrimary for
+// anything that executed on a primary — including REDIRECT retries).
+// Linearizability harnesses use the outcome to decide which checker a
+// read participates in.
+func (cl *Client) DoArgvOutcome(ctx context.Context, argv [][]byte) (resp.Value, core.ReadOutcome, error) {
 	sh, err := cl.route(argv)
 	if err != nil {
-		return resp.Value{}, err
+		return resp.Value{}, core.ReadOutcomePrimary, err
 	}
+	onPrimary := false
 	for attempt := 0; ; attempt++ {
-		node, err := cl.pick(sh, argv)
+		node, err := cl.pick(sh, argv, onPrimary)
 		if err != nil {
-			return resp.Value{}, err
+			return resp.Value{}, core.ReadOutcomePrimary, err
 		}
 		var v resp.Value
+		outcome := core.ReadOutcomePrimary
 		if cl.readonly {
-			v, err = node.DoReadOnly(ctx, argv)
+			v, outcome, err = node.DoRead(ctx, argv, cl.opts)
 		} else {
 			v, err = node.Do(ctx, argv)
 		}
 		if err != nil {
-			return resp.Value{}, err
+			return resp.Value{}, outcome, err
 		}
-		if v.IsError() && strings.HasPrefix(v.Text(), "MOVED ") && attempt < 3 {
-			// Refresh the route from the redirect and retry.
-			sh2, ok := cl.shardFromMoved(v.Text())
-			if ok {
-				sh = sh2
+		if v.IsError() && attempt < 3 {
+			if strings.HasPrefix(v.Text(), "MOVED ") {
+				// Refresh the route from the redirect and retry.
+				if sh2, ok := cl.shardFromMoved(v.Text()); ok {
+					sh = sh2
+					continue
+				}
+			}
+			if strings.HasPrefix(v.Text(), "REDIRECT") {
+				// The replica could not prove freshness: retry on the
+				// primary, which serves the read linearizably.
+				onPrimary = true
 				continue
 			}
 		}
-		return v, nil
+		return v, outcome, nil
 	}
 }
 
@@ -86,6 +118,23 @@ func (cl *Client) MultiExec(ctx context.Context, cmds [][]string) (resp.Value, e
 	sh, err := cl.route(batch[0])
 	if err != nil {
 		return resp.Value{}, err
+	}
+	if cl.readonly {
+		// READONLY pipeline: an all-read batch may be served by a
+		// replica under the same freshness ladder as single reads
+		// (write batches fall through to the primary inside
+		// DoBatchRead). A REDIRECT bounce retries on the primary.
+		node, err := cl.pick(sh, batch[0], false)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		v, _, err := node.DoBatchRead(ctx, batch, cl.opts)
+		if err != nil {
+			return resp.Value{}, err
+		}
+		if !core.IsRedirect(v) {
+			return v, nil
+		}
 	}
 	p, err := sh.WaitForPrimary(cl.c.Clock(), waitPrimaryTimeout)
 	if err != nil {
@@ -119,9 +168,10 @@ func (cl *Client) route(argv [][]byte) (*Shard, error) {
 	return shards[0], nil
 }
 
-// pick selects the node to talk to within the shard.
-func (cl *Client) pick(sh *Shard, argv [][]byte) (*core.Node, error) {
-	if cl.readonly {
+// pick selects the node to talk to within the shard. forcePrimary skips
+// replica spreading after a REDIRECT bounce.
+func (cl *Client) pick(sh *Shard, argv [][]byte, forcePrimary bool) (*core.Node, error) {
+	if cl.readonly && !forcePrimary {
 		if cmd, ok := engine.LookupCommand(string(argv[0])); ok && !cmd.Writes() {
 			if reps := sh.Replicas(); len(reps) > 0 {
 				// Cheap spread: pick by first key byte so a single hot

@@ -34,8 +34,11 @@ type Config struct {
 	AZs              []string
 	// Node timing knobs, applied to every provisioned node.
 	Lease, Backoff, RenewEvery, ReplicaPoll time.Duration
-	EngineVersion                           uint32
-	ChecksumEvery                           int
+	// ReplicaReadTimeout bounds how long a linearizable replica read
+	// parks for its freshness proof before degrading (0 = core default).
+	ReplicaReadTimeout time.Duration
+	EngineVersion      uint32
+	ChecksumEvery      int
 	// MaxBatchRecords is forwarded to every node's group-commit buffer
 	// (0 = the core default; 1 disables batching).
 	MaxBatchRecords int
@@ -280,23 +283,24 @@ func (c *Cluster) addNodeAs(sh *Shard, nodeID, az string) (*core.Node, error) {
 		faults = c.nodeFaults(nodeID)
 	}
 	n, err := core.NewNode(core.Config{
-		NodeID:          nodeID,
-		ShardID:         sh.ID,
-		AZ:              az,
-		Log:             sh.Log,
-		Clock:           c.cfg.Clock,
-		EngineVersion:   c.cfg.EngineVersion,
-		Lease:           c.cfg.Lease,
-		Backoff:         c.cfg.Backoff,
-		RenewEvery:      c.cfg.RenewEvery,
-		ReplicaPoll:     c.cfg.ReplicaPoll,
-		Snapshots:       c.cfg.Snapshots,
-		ChecksumEvery:   c.cfg.ChecksumEvery,
-		MaxBatchRecords: c.cfg.MaxBatchRecords,
-		Shards:          c.cfg.NodeShards,
-		RetrySeed:       c.cfg.RetrySeed,
-		Faults:          faults,
-		Partition:       c.nodePartition(nodeID),
+		NodeID:             nodeID,
+		ShardID:            sh.ID,
+		AZ:                 az,
+		Log:                sh.Log,
+		Clock:              c.cfg.Clock,
+		EngineVersion:      c.cfg.EngineVersion,
+		Lease:              c.cfg.Lease,
+		Backoff:            c.cfg.Backoff,
+		RenewEvery:         c.cfg.RenewEvery,
+		ReplicaPoll:        c.cfg.ReplicaPoll,
+		ReplicaReadTimeout: c.cfg.ReplicaReadTimeout,
+		Snapshots:          c.cfg.Snapshots,
+		ChecksumEvery:      c.cfg.ChecksumEvery,
+		MaxBatchRecords:    c.cfg.MaxBatchRecords,
+		Shards:             c.cfg.NodeShards,
+		RetrySeed:          c.cfg.RetrySeed,
+		Faults:             faults,
+		Partition:          c.nodePartition(nodeID),
 	})
 	if err != nil {
 		return nil, err

@@ -128,13 +128,25 @@ func (n *Node) runBarrier(t *task) {
 			t.reply(errStalledVal)
 			return
 		}
-		// Only whole-keyspace reads legitimately barrier on a replica,
-		// and only with READONLY set.
-		if t.kind != taskCmd || cmd == nil || cmd.Writes() || !t.readonly {
+		// Only reads legitimately barrier on a replica — whole-keyspace
+		// commands or all-read batches — and only with READONLY set AND
+		// the read verified (or explicitly eventual) by the DoRead ladder:
+		// a bare readonly task must never be served here as if it were
+		// linearizable.
+		if !t.readonly || !t.readVerified {
 			t.reply(errNotPrimary)
 			return
 		}
-		res := n.gEng.Exec(t.argv)
+		var res engine.Result
+		switch {
+		case t.kind == taskCmd && cmd != nil && !cmd.Writes():
+			res = n.gEng.Exec(t.argv)
+		case t.kind == taskBatch && batchIsReadOnly(t.batch):
+			res = n.gEng.ExecBatch(t.batch)
+		default:
+			t.reply(errNotPrimary)
+			return
+		}
 		if t.deq != 0 {
 			n.obsExecuted(t)
 		}
@@ -187,6 +199,7 @@ func (n *Node) issueBarrierEntry(t *task, res engine.Result, trk trackerIface) {
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
 		Records:       1,
+		Watermark:     trk.Committed(),
 		Payload:       payload,
 	}, &n.stats.AppendsRetried)
 	if err != nil {
@@ -261,6 +274,12 @@ func (n *Node) installState(newEng *engine.Engine, newApplied txlog.EntryID, set
 	}
 	n.applied = newApplied
 	n.appliedSeq.Store(newApplied.Seq)
+	// The installed state covers everything through newApplied: release
+	// every replica read parked at or below it. On promotion this is what
+	// hands parked reads to the new primary's fully-caught-up state; on
+	// resync the swap is atomic under the all-shard barrier, so a released
+	// read can never observe a half-rebuilt store.
+	n.readGate.Advance(newApplied.Seq)
 	n.seqMu.Lock()
 	if setIssued {
 		n.lastIssued = newApplied
@@ -278,6 +297,7 @@ func (n *Node) applyEntry(e txlog.Entry) error {
 	if e.Type != txlog.EntryData {
 		n.applied = e.ID
 		n.appliedSeq.Store(e.ID.Seq)
+		n.readGate.Advance(e.ID.Seq)
 		return nil
 	}
 	if e.EngineVersion > n.cfg.EngineVersion {
@@ -328,6 +348,7 @@ func (n *Node) applyEntry(e txlog.Entry) error {
 	}
 	n.applied = e.ID
 	n.appliedSeq.Store(e.ID.Seq)
+	n.readGate.Advance(e.ID.Seq)
 	n.stats.EntriesApplied.Add(1)
 	return nil
 }

@@ -191,7 +191,10 @@ func (n *Node) flushPending(sh *nodeShard) bool {
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
 		Records:       uint32(gc.records),
-		Payload:       payload,
+		// Piggyback the committed (client-acked) watermark so tailing
+		// replicas continuously learn the primary's ack frontier.
+		Watermark: trk.Committed(),
+		Payload:   payload,
 	}, &n.stats.AppendsRetried)
 	if err != nil {
 		n.seqMu.Unlock()
@@ -308,6 +311,7 @@ func (n *Node) injectChecksumLocked() *txlog.Pending {
 		Type:          txlog.EntryChecksum,
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
+		Watermark:     n.committedWatermark(),
 		Payload:       txlog.EncodeChecksumPayload(n.runningChecksum),
 	}, &n.stats.AppendsRetried)
 	if err != nil {

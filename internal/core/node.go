@@ -105,6 +105,13 @@ type Config struct {
 	// ReplicaPoll is the idle polling interval of the replica log tailer.
 	// Defaults to 1ms.
 	ReplicaPoll time.Duration
+	// ReplicaReadTimeout bounds how long a linearizable replica read may
+	// park waiting for the replica's applied position to cover the
+	// committed tail captured at read arrival. On expiry the read
+	// degrades (bounded-stale serve if the client opted in, else a
+	// REDIRECT to the primary) instead of hanging on a feed that may
+	// never advance. Defaults to 50ms.
+	ReplicaReadTimeout time.Duration
 	// RetryBase and RetryMax shape the capped exponential backoff (full
 	// jitter) used when a transaction-log call fails transiently. Retrying
 	// is bounded by the leadership lease: a primary that cannot reach the
@@ -162,6 +169,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ReplicaPoll == 0 {
 		c.ReplicaPoll = time.Millisecond
+	}
+	if c.ReplicaReadTimeout == 0 {
+		c.ReplicaReadTimeout = 50 * time.Millisecond
 	}
 	if c.ChecksumEvery == 0 {
 		c.ChecksumEvery = 64
@@ -263,6 +273,12 @@ type Node struct {
 	applied txlog.EntryID
 	// appliedSeq mirrors applied.Seq for lock-free monitoring reads.
 	appliedSeq atomic.Uint64
+	// readGate parks linearizable replica reads until the applied
+	// position covers their captured committed tail, and tracks the
+	// replica-local freshness proof bounded-staleness serving needs.
+	// Advanced by applyEntry and installState; lives across role changes
+	// (a promoted primary's install releases every parked read).
+	readGate *ReadGate
 
 	// retryPol shapes transient-failure retries against the log service.
 	retryPol retry.Policy
@@ -340,6 +356,18 @@ type Stats struct {
 	// whose keys spanned more than one execution shard.
 	BarrierOps   atomic.Int64
 	CrossSlotOps atomic.Int64
+	// Consistent replica read ladder outcomes: ReplicaReadsServed counts
+	// reads served linearizably on this replica after the freshness
+	// proof; ReplicaReadsStale counts reads served under an explicit
+	// client-declared staleness bound after the proof failed or timed
+	// out; ReplicaReadsRedirected counts reads bounced to the primary
+	// (the final rung — never a silent stale serve). WatermarksFenced
+	// counts piggybacked primary watermarks rejected by epoch fencing
+	// (a deposed primary's view must not feed staleness accounting).
+	ReplicaReadsServed     atomic.Int64
+	ReplicaReadsStale      atomic.Int64
+	ReplicaReadsRedirected atomic.Int64
+	WatermarksFenced       atomic.Int64
 }
 
 // StatsView is a plain copy of the counters at one instant.
@@ -363,6 +391,11 @@ type StatsView struct {
 	LogGapRetries         int64
 	BarrierOps            int64
 	CrossSlotOps          int64
+
+	ReplicaReadsServed     int64
+	ReplicaReadsStale      int64
+	ReplicaReadsRedirected int64
+	WatermarksFenced       int64
 }
 
 // Snapshot returns a copy of the counters.
@@ -387,6 +420,11 @@ func (s *Stats) Snapshot() StatsView {
 		LogGapRetries:         s.LogGapRetries.Load(),
 		BarrierOps:            s.BarrierOps.Load(),
 		CrossSlotOps:          s.CrossSlotOps.Load(),
+
+		ReplicaReadsServed:     s.ReplicaReadsServed.Load(),
+		ReplicaReadsStale:      s.ReplicaReadsStale.Load(),
+		ReplicaReadsRedirected: s.ReplicaReadsRedirected.Load(),
+		WatermarksFenced:       s.WatermarksFenced.Load(),
 	}
 }
 
@@ -405,6 +443,7 @@ func NewNode(cfg Config) (*Node, error) {
 		clk:         cfg.Clock,
 		role:        election.RoleReplica,
 		trk:         tracker.New(0),
+		readGate:    NewReadGate(0),
 		roleChanged: make(chan struct{}, 4),
 		retryPol: retry.Policy{
 			Base:  cfg.RetryBase,
@@ -534,6 +573,7 @@ func (n *Node) Stop() {
 	trk := n.trk
 	n.mu.Unlock()
 	trk.Abort()
+	n.readGate.Stop()
 	n.wg.Wait()
 }
 

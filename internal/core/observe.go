@@ -89,6 +89,10 @@ func (n *Node) registerCounters() {
 	reg("log_gap_retries", &n.stats.LogGapRetries)
 	reg("barrier_ops", &n.stats.BarrierOps)
 	reg("cross_slot_ops", &n.stats.CrossSlotOps)
+	reg("replica_reads_served", &n.stats.ReplicaReadsServed)
+	reg("replica_reads_stale", &n.stats.ReplicaReadsStale)
+	reg("replica_reads_redirected", &n.stats.ReplicaReadsRedirected)
+	reg("replica_read_watermarks_fenced", &n.stats.WatermarksFenced)
 	// Segmented-log health: live footprint gauges plus lifecycle counters,
 	// sampled straight from the shared log's segment chain.
 	n.obs.RegisterGauge("log_segments_live", label, func() int64 {

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReadGateParkAdvance(t *testing.T) {
+	g := NewReadGate(10)
+
+	// A read at or below the applied position fires immediately.
+	fired := make(chan bool, 1)
+	g.Park(10, func(aborted bool) { fired <- aborted })
+	select {
+	case aborted := <-fired:
+		if aborted {
+			t.Fatal("covered park delivered aborted")
+		}
+	default:
+		t.Fatal("park at applied position did not fire immediately")
+	}
+
+	// A read above it parks until Advance covers it.
+	g.Park(15, func(aborted bool) { fired <- aborted })
+	if g.Parked() != 1 {
+		t.Fatalf("Parked = %d, want 1", g.Parked())
+	}
+	g.Advance(14)
+	select {
+	case <-fired:
+		t.Fatal("park released before applied covered it")
+	default:
+	}
+	g.Advance(15)
+	select {
+	case aborted := <-fired:
+		if aborted {
+			t.Fatal("covered park delivered aborted")
+		}
+	default:
+		t.Fatal("park not released by covering Advance")
+	}
+	if got := g.Applied(); got != 15 {
+		t.Fatalf("Applied = %d, want 15", got)
+	}
+}
+
+func TestReadGateStopAbortsParkedAndFutureReads(t *testing.T) {
+	g := NewReadGate(0)
+	fired := make(chan bool, 2)
+	g.Park(5, func(aborted bool) { fired <- aborted })
+	g.Stop()
+	if aborted := <-fired; !aborted {
+		t.Fatal("Stop released a parked read as verified")
+	}
+	// Future parks abort immediately: no read may wait on a dead feed.
+	g.Park(1, func(aborted bool) { fired <- aborted })
+	select {
+	case aborted := <-fired:
+		if !aborted {
+			t.Fatal("post-Stop park delivered verified")
+		}
+	default:
+		t.Fatal("post-Stop park did not fire immediately")
+	}
+}
+
+func TestReadGateFreshnessAccounting(t *testing.T) {
+	g := NewReadGate(0)
+	base := time.Now()
+
+	// Before any caught-up proof, staleness is effectively unbounded.
+	if s := g.Staleness(base); s < time.Hour {
+		t.Fatalf("pre-proof staleness = %v, want unbounded", s)
+	}
+	g.NoteFresh(base)
+	if s := g.Staleness(base.Add(10 * time.Millisecond)); s != 10*time.Millisecond {
+		t.Fatalf("staleness = %v, want 10ms", s)
+	}
+	// freshAt is max-monotone: a late-arriving older proof cannot make
+	// the replica look fresher or staler than the newest proof.
+	g.NoteFresh(base.Add(-time.Second))
+	if s := g.Staleness(base.Add(10 * time.Millisecond)); s != 10*time.Millisecond {
+		t.Fatalf("staleness after stale NoteFresh = %v, want 10ms", s)
+	}
+	g.NoteFresh(base.Add(8 * time.Millisecond))
+	if s := g.Staleness(base.Add(10 * time.Millisecond)); s != 2*time.Millisecond {
+		t.Fatalf("staleness after newer NoteFresh = %v, want 2ms", s)
+	}
+}
+
+func TestReadGateWatermarkEpochFencing(t *testing.T) {
+	g := NewReadGate(0)
+	if !g.NoteWatermark(2, 10) {
+		t.Fatal("first watermark rejected")
+	}
+	// A deposed primary's epoch is fenced: dropped, counted, and it
+	// cannot move the watermark.
+	if g.NoteWatermark(1, 99) {
+		t.Fatal("stale-epoch watermark accepted")
+	}
+	if epoch, wm := g.Watermark(); epoch != 2 || wm != 10 {
+		t.Fatalf("after fenced note: epoch=%d wm=%d, want 2/10", epoch, wm)
+	}
+	if g.Fenced() != 1 {
+		t.Fatalf("Fenced = %d, want 1", g.Fenced())
+	}
+	// Same-epoch watermarks are max-tracked (entries may piggyback a
+	// watermark observed before a concurrent commit advanced it).
+	if !g.NoteWatermark(2, 5) {
+		t.Fatal("same-epoch watermark rejected")
+	}
+	if _, wm := g.Watermark(); wm != 10 {
+		t.Fatalf("watermark regressed to %d", wm)
+	}
+	// A leadership entry advances the epoch with no watermark claim.
+	if !g.NoteWatermark(3, 0) {
+		t.Fatal("new-epoch note rejected")
+	}
+	if epoch, wm := g.Watermark(); epoch != 3 || wm != 10 {
+		t.Fatalf("after epoch advance: epoch=%d wm=%d, want 3/10", epoch, wm)
+	}
+}

@@ -147,9 +147,27 @@ func (n *Node) runReplica() {
 				return
 			}
 			if !ok {
+				// Clean caught-up break: the reader drained the log to
+				// its committed tail with the service answering — a
+				// replica-LOCAL freshness proof (never the primary's
+				// clock) that bounded-staleness serving measures from.
+				// Under a partition or outage this point is never
+				// reached, so the proof freezes and staleness grows.
+				if !n.partitioned() {
+					n.readGate.NoteFresh(n.clk.Now())
+				}
 				break
 			}
 			progressed = true
+			// Fold in the piggybacked primary watermark. Entries arrive
+			// in log order, so an in-log epoch regression is impossible
+			// (conditional appends fence stale writers); the epoch check
+			// is defense-in-depth against a replayed feed, and anything
+			// it rejects is counted — a deposed primary's view must not
+			// advance staleness accounting.
+			if !n.readGate.NoteWatermark(e.EpochValue(), e.Watermark) {
+				n.stats.WatermarksFenced.Add(1)
+			}
 			switch e.Type {
 			case txlog.EntryLease, txlog.EntryLeadership:
 				obs.ObserveRenewal()

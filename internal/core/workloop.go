@@ -34,7 +34,15 @@ type task struct {
 	argv     [][]byte
 	batch    [][][]byte
 	readonly bool // client opted into replica reads (READONLY)
-	reply    func(v resp.Value)
+	// readVerified marks a readonly task the DoRead ladder has cleared
+	// for replica serving: either its freshness proof succeeded (the
+	// applied position covers the committed tail captured at arrival),
+	// the client's declared staleness bound holds, or the client opted
+	// into eventual consistency. Replica execution paths serve ONLY
+	// verified readonly tasks; anything else is redirected, so stale
+	// data is never silently returned as consistent.
+	readVerified bool
+	reply        func(v resp.Value)
 
 	// shard is the execution shard the task was routed to, -1 on the
 	// barrier path (per-shard stage histograms are skipped there).
@@ -75,10 +83,13 @@ func (n *Node) Do(ctx context.Context, argv [][]byte) (resp.Value, error) {
 }
 
 // DoReadOnly executes a command with replica reads permitted (the client
-// issued READONLY). On a replica only read commands are served, yielding
-// sequential consistency (§3.2).
+// issued READONLY). Replica reads default to the linearizable ladder:
+// the read is served locally only after the replica proves its applied
+// position covers the committed tail captured at arrival, and degrades
+// to a REDIRECT otherwise (see DoRead for the staleness opt-ins).
 func (n *Node) DoReadOnly(ctx context.Context, argv [][]byte) (resp.Value, error) {
-	return n.submit(ctx, &task{kind: taskCmd, argv: argv, readonly: true})
+	v, _, err := n.DoRead(ctx, argv, ReadOpts{})
+	return v, err
 }
 
 // DoBatch executes an atomic MULTI/EXEC group: all commands run
@@ -233,12 +244,24 @@ func (n *Node) handleCmd(sh *nodeShard, t *task) {
 			t.reply(errNotPrimary)
 			return
 		}
-		if !t.readonly && !isAlwaysLocal(name) {
-			t.reply(errNotPrimary)
-			return
+		if !isAlwaysLocal(name) {
+			if !t.readonly {
+				t.reply(errNotPrimary)
+				return
+			}
+			if !t.readVerified {
+				// A readonly read that reached the replica without
+				// passing the DoRead freshness ladder (e.g. the node
+				// became a replica between verification and execution)
+				// must not be served as consistent: bounce it.
+				n.stats.ReplicaReadsRedirected.Add(1)
+				t.reply(errRedirect)
+				return
+			}
 		}
-		// Replica read: mutations only become visible once committed to
-		// the log, so no blocking is required (§3.2).
+		// Verified replica read: the freshness proof (or explicit
+		// staleness opt-in) happened before enqueue; mutations only
+		// become visible once committed to the log (§3.2).
 		res := sh.eng.Exec(t.argv)
 		if t.deq != 0 {
 			n.obsExecuted(t)
@@ -302,7 +325,31 @@ func (n *Node) handleBatch(sh *nodeShard, t *task) {
 	role := n.role
 	lease := n.lease
 	trk := n.trk
+	stalled := n.stalled
 	n.mu.Unlock()
+	if role == election.RoleReplica && t.readonly {
+		// READONLY pipeline on a replica: serve only all-read batches
+		// that the DoRead ladder verified, mirroring handleCmd.
+		if stalled {
+			t.reply(errStalledVal)
+			return
+		}
+		if !t.readVerified {
+			n.stats.ReplicaReadsRedirected.Add(1)
+			t.reply(errRedirect)
+			return
+		}
+		if !batchIsReadOnly(t.batch) {
+			t.reply(errNotPrimary)
+			return
+		}
+		res := sh.eng.ExecBatch(t.batch)
+		if t.deq != 0 {
+			n.obsExecuted(t)
+		}
+		t.reply(res.Reply)
+		return
+	}
 	if role != election.RolePrimary {
 		t.reply(errNotPrimary)
 		return
@@ -444,6 +491,10 @@ func (n *Node) infoText() string {
 	fmt.Fprintf(&b, "torn_snapshots_detected:%d\r\n", st.TornSnapshotsDetected)
 	fmt.Fprintf(&b, "reader_rebootstraps:%d\r\n", st.ReaderRebootstraps)
 	fmt.Fprintf(&b, "log_gap_retries:%d\r\n", st.LogGapRetries)
+	fmt.Fprintf(&b, "replica_reads_served:%d\r\n", st.ReplicaReadsServed)
+	fmt.Fprintf(&b, "replica_reads_stale:%d\r\n", st.ReplicaReadsStale)
+	fmt.Fprintf(&b, "replica_reads_redirected:%d\r\n", st.ReplicaReadsRedirected)
+	fmt.Fprintf(&b, "replica_read_watermarks_fenced:%d\r\n", st.WatermarksFenced)
 	segStats := n.cfg.Log.SegmentStats()
 	fmt.Fprintf(&b, "log_segments_live:%d\r\n", segStats.LiveSegments)
 	fmt.Fprintf(&b, "log_bytes_live:%d\r\n", segStats.LiveBytes)
@@ -511,9 +562,10 @@ func (n *Node) handleRenew(sh *nodeShard) {
 	issued := n.clk.Now()
 	n.seqMu.Lock()
 	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
-		Type:    txlog.EntryLease,
-		Epoch:   epoch,
-		Payload: election.EncodeRenewal(r),
+		Type:      txlog.EntryLease,
+		Epoch:     epoch,
+		Watermark: trk.Committed(),
+		Payload:   election.EncodeRenewal(r),
 	}, &n.stats.RenewalsRetried)
 	if err == nil {
 		n.lastIssued = p.ID()
@@ -584,6 +636,22 @@ func (n *Node) demote() {
 type trackerIface interface {
 	RegisterWrite(seq uint64, keys []string, deliver func(aborted bool))
 	Commit(seq uint64)
+	Committed() uint64
+}
+
+// batchIsReadOnly reports whether every command in an atomic batch is a
+// known read command — the only batches a replica may serve.
+func batchIsReadOnly(batch [][][]byte) bool {
+	for _, argv := range batch {
+		if len(argv) == 0 {
+			return false
+		}
+		cmd, known := engine.LookupCommand(strings.ToUpper(string(argv[0])))
+		if !known || cmd.Writes() {
+			return false
+		}
+	}
+	return true
 }
 
 // readKeys returns the keys a read command observed.

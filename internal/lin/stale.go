@@ -1,0 +1,106 @@
+package lin
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BoundedRead is one replica read served from the bounded-staleness rung
+// of the read ladder: the replica could not prove linearizable freshness
+// but had proven itself caught up within the client's declared bound.
+// Such reads do not participate in the linearizability check — they are
+// allowed to miss recent writes — but the miss must be bounded: the
+// checker convicts any bounded read that failed to observe a write
+// acknowledged more than Bound before the read was invoked.
+type BoundedRead struct {
+	ClientID int
+	Key      string
+	Value    string // observed value
+	Call     int64  // invocation time (ns, same clock as Operation.Call)
+	Bound    int64  // declared staleness bound (ns)
+}
+
+// CheckBoundedStaleness validates bounded-staleness reads against the
+// write history.
+//
+// Requirements on the history (which the chaos workloads guarantee):
+// each key is written by a single sequential writer, and every write to
+// a key carries a distinct value. Writes to a key therefore form a
+// monotone generation sequence g = 0, 1, 2, ... in issue (Call) order.
+//
+// The rule: a bounded read of generation g at invocation time C with
+// bound B is a violation iff some later generation g' > g was
+// acknowledged to its writer at or before C - B. Soundness: the replica
+// served the read at local time S >= C with a freshness proof F >= S - B
+// >= C - B, and its state includes every write committed before F; a
+// write is committed no later than it is acknowledged, so a write acked
+// by C - B must be visible. Writes whose outcome is unknown (Err) never
+// convict — they may not have committed at all.
+//
+// Reads of a never-written value are violations outright (the register
+// starts at ""; reading "" maps to generation -1).
+func CheckBoundedStaleness(writes []Operation, reads []BoundedRead) (ok bool, detail string) {
+	byKey := make(map[string][]Operation)
+	for _, w := range writes {
+		if w.Input.Kind != "set" {
+			continue
+		}
+		byKey[w.Key] = append(byKey[w.Key], w)
+	}
+	for k := range byKey {
+		ws := byKey[k]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Call < ws[j].Call })
+		byKey[k] = ws
+	}
+	// For each key, earliestLaterAck[g] = min ack time over acknowledged
+	// writes with generation >= g (1<<62-1 when none). A read of
+	// generation g is convicted against earliestLaterAck[g+1].
+	type keyIndex struct {
+		genOf    map[string]int
+		minAckGE []int64
+	}
+	idx := make(map[string]keyIndex, len(byKey))
+	const inf = int64(1<<62 - 1)
+	for k, ws := range byKey {
+		genOf := make(map[string]int, len(ws))
+		for g, w := range ws {
+			genOf[w.Input.Value] = g
+		}
+		minAckGE := make([]int64, len(ws)+1)
+		minAckGE[len(ws)] = inf
+		for g := len(ws) - 1; g >= 0; g-- {
+			minAckGE[g] = minAckGE[g+1]
+			if !ws[g].Output.Err && ws[g].Return < minAckGE[g] {
+				minAckGE[g] = ws[g].Return
+			}
+		}
+		idx[k] = keyIndex{genOf: genOf, minAckGE: minAckGE}
+	}
+	for _, r := range reads {
+		ki, haveWrites := idx[r.Key]
+		gen := -1
+		if r.Value != "" {
+			if !haveWrites {
+				return false, fmt.Sprintf("key %q: bounded read observed %q but key was never written", r.Key, r.Value)
+			}
+			g, found := ki.genOf[r.Value]
+			if !found {
+				return false, fmt.Sprintf("key %q: bounded read observed never-written value %q", r.Key, r.Value)
+			}
+			gen = g
+		}
+		if !haveWrites {
+			continue // read "" on an unwritten key: trivially fresh
+		}
+		next := gen + 1
+		if next > len(ki.minAckGE)-1 {
+			continue // read the newest generation: cannot be stale
+		}
+		if ack := ki.minAckGE[next]; ack <= r.Call-r.Bound {
+			return false, fmt.Sprintf(
+				"key %q: bounded read (client %d, call %dns, bound %dns) observed generation %d but generation >=%d was acked at %dns, %dns before the allowed horizon",
+				r.Key, r.ClientID, r.Call, r.Bound, gen, next, ack, r.Call-r.Bound-ack)
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,123 @@
+package lin
+
+import "testing"
+
+func msec(n int64) int64 { return n * 1_000_000 }
+
+func setOp(key, val string, call, ret int64, errd bool) Operation {
+	return Operation{
+		Key:   key,
+		Input: Input{Kind: "set", Value: val},
+		Output: Output{
+			Err: errd,
+		},
+		Call:   call,
+		Return: ret,
+	}
+}
+
+func TestBoundedStalenessFreshReadOK(t *testing.T) {
+	writes := []Operation{
+		setOp("k", "v0", msec(0), msec(1), false),
+		setOp("k", "v1", msec(10), msec(11), false),
+	}
+	reads := []BoundedRead{
+		{Key: "k", Value: "v1", Call: msec(12), Bound: msec(5)},
+	}
+	if ok, detail := CheckBoundedStaleness(writes, reads); !ok {
+		t.Fatalf("fresh read flagged: %s", detail)
+	}
+}
+
+func TestBoundedStalenessWithinBoundOK(t *testing.T) {
+	// v1 acked at t=11ms; reading v0 at t=14ms with a 5ms bound is fine:
+	// the allowed horizon is 9ms, before v1's ack.
+	writes := []Operation{
+		setOp("k", "v0", msec(0), msec(1), false),
+		setOp("k", "v1", msec(10), msec(11), false),
+	}
+	reads := []BoundedRead{
+		{Key: "k", Value: "v0", Call: msec(14), Bound: msec(5)},
+	}
+	if ok, detail := CheckBoundedStaleness(writes, reads); !ok {
+		t.Fatalf("in-bound read flagged: %s", detail)
+	}
+}
+
+func TestBoundedStalenessViolation(t *testing.T) {
+	// v1 acked at t=11ms; reading v0 at t=20ms with a 5ms bound means a
+	// write acked 4ms before the horizon was missed.
+	writes := []Operation{
+		setOp("k", "v0", msec(0), msec(1), false),
+		setOp("k", "v1", msec(10), msec(11), false),
+	}
+	reads := []BoundedRead{
+		{Key: "k", Value: "v0", Call: msec(20), Bound: msec(5)},
+	}
+	if ok, _ := CheckBoundedStaleness(writes, reads); ok {
+		t.Fatal("stale read beyond bound not flagged")
+	}
+}
+
+func TestBoundedStalenessErroredWriteNeverConvicts(t *testing.T) {
+	// v1's outcome is unknown: it may never have committed, so missing it
+	// is not evidence of staleness.
+	writes := []Operation{
+		setOp("k", "v0", msec(0), msec(1), false),
+		setOp("k", "v1", msec(10), msec(11), true),
+	}
+	reads := []BoundedRead{
+		{Key: "k", Value: "v0", Call: msec(100), Bound: msec(5)},
+	}
+	if ok, detail := CheckBoundedStaleness(writes, reads); !ok {
+		t.Fatalf("errored write convicted a read: %s", detail)
+	}
+}
+
+func TestBoundedStalenessLaterGenerationConvicts(t *testing.T) {
+	// Even if the immediate successor's outcome is unknown, an
+	// acknowledged later generation still convicts.
+	writes := []Operation{
+		setOp("k", "v0", msec(0), msec(1), false),
+		setOp("k", "v1", msec(10), msec(11), true),
+		setOp("k", "v2", msec(20), msec(21), false),
+	}
+	reads := []BoundedRead{
+		{Key: "k", Value: "v0", Call: msec(40), Bound: msec(5)},
+	}
+	if ok, _ := CheckBoundedStaleness(writes, reads); ok {
+		t.Fatal("read missing an acked later generation not flagged")
+	}
+}
+
+func TestBoundedStalenessNeverWrittenValue(t *testing.T) {
+	writes := []Operation{
+		setOp("k", "v0", msec(0), msec(1), false),
+	}
+	reads := []BoundedRead{
+		{Key: "k", Value: "ghost", Call: msec(5), Bound: msec(5)},
+	}
+	if ok, _ := CheckBoundedStaleness(writes, reads); ok {
+		t.Fatal("never-written value not flagged")
+	}
+}
+
+func TestBoundedStalenessInitialValue(t *testing.T) {
+	// Reading "" (generation -1) is convicted once generation 0 is acked
+	// beyond the bound, and allowed before that.
+	writes := []Operation{
+		setOp("k", "v0", msec(10), msec(11), false),
+	}
+	early := []BoundedRead{{Key: "k", Value: "", Call: msec(12), Bound: msec(5)}}
+	if ok, detail := CheckBoundedStaleness(writes, early); !ok {
+		t.Fatalf("in-bound initial read flagged: %s", detail)
+	}
+	late := []BoundedRead{{Key: "k", Value: "", Call: msec(30), Bound: msec(5)}}
+	if ok, _ := CheckBoundedStaleness(writes, late); ok {
+		t.Fatal("stale initial read not flagged")
+	}
+	unwritten := []BoundedRead{{Key: "other", Value: "", Call: msec(30), Bound: msec(5)}}
+	if ok, detail := CheckBoundedStaleness(writes, unwritten); !ok {
+		t.Fatalf("read of unwritten key flagged: %s", detail)
+	}
+}

@@ -42,6 +42,10 @@ const (
 	// StageTrackerRelease: quorum ack to the tracker delivering the
 	// gated reply.
 	StageTrackerRelease
+	// StageReplicaReadWait: a linearizable replica read parked in the
+	// ReadGate between capturing the committed tail and the replica's
+	// applied position covering it (zero on the primary path).
+	StageReplicaReadWait
 	// StageReplyWrite: server serializing+flushing the reply.
 	StageReplyWrite
 	// StageE2E: node submit to reply delivery (queue+execute+commit).
@@ -58,6 +62,7 @@ var stageNames = [NumStages]string{
 	"append",
 	"quorum_wait",
 	"tracker_release",
+	"replica_read_wait",
 	"reply_write",
 	"e2e",
 }

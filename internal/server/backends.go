@@ -9,21 +9,40 @@ import (
 	"memorydb/internal/resp"
 )
 
+// readOpts maps a connection's ReadMode onto the node's read ladder.
+func readOpts(mode ReadMode) core.ReadOpts {
+	switch {
+	case mode.Eventual:
+		return core.ReadOpts{Consistency: core.ReadEventual}
+	case mode.Stale > 0:
+		return core.ReadOpts{Consistency: core.ReadBoundedStale, StalenessBound: mode.Stale}
+	default:
+		return core.ReadOpts{Consistency: core.ReadLinearizable}
+	}
+}
+
 // NodeBackend serves one MemoryDB node.
 type NodeBackend struct {
 	Node *core.Node
 }
 
 // Do implements Backend.
-func (b NodeBackend) Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error) {
-	if readonly {
-		return b.Node.DoReadOnly(ctx, argv)
+func (b NodeBackend) Do(ctx context.Context, argv [][]byte, mode ReadMode) (resp.Value, error) {
+	if mode.ReadOnly {
+		v, _, err := b.Node.DoRead(ctx, argv, readOpts(mode))
+		return v, err
 	}
 	return b.Node.Do(ctx, argv)
 }
 
-// DoBatch implements Backend.
-func (b NodeBackend) DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error) {
+// DoBatch implements Backend. The connection's read mode is threaded
+// through so a READONLY pipeline's all-read batches take the replica
+// read ladder instead of silently requiring the primary.
+func (b NodeBackend) DoBatch(ctx context.Context, cmds [][][]byte, mode ReadMode) (resp.Value, error) {
+	if mode.ReadOnly {
+		v, _, err := b.Node.DoBatchRead(ctx, cmds, readOpts(mode))
+		return v, err
+	}
 	return b.Node.DoBatch(ctx, cmds)
 }
 
@@ -46,16 +65,16 @@ func (b ClusterBackend) ClusterCommand(ctx context.Context, argv [][]byte) resp.
 }
 
 // Do implements Backend.
-func (b ClusterBackend) Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error) {
+func (b ClusterBackend) Do(ctx context.Context, argv [][]byte, mode ReadMode) (resp.Value, error) {
 	cl := b.Cluster.Client()
-	if readonly {
-		cl = b.Cluster.ReadOnlyClient()
+	if mode.ReadOnly {
+		cl = b.Cluster.ReadClient(readOpts(mode))
 	}
 	return cl.DoArgv(ctx, argv)
 }
 
 // DoBatch implements Backend.
-func (b ClusterBackend) DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error) {
+func (b ClusterBackend) DoBatch(ctx context.Context, cmds [][][]byte, mode ReadMode) (resp.Value, error) {
 	strCmds := make([][]string, len(cmds))
 	for i, c := range cmds {
 		ss := make([]string, len(c))
@@ -64,7 +83,11 @@ func (b ClusterBackend) DoBatch(ctx context.Context, cmds [][][]byte, readonly b
 		}
 		strCmds[i] = ss
 	}
-	return b.Cluster.Client().MultiExec(ctx, strCmds)
+	cl := b.Cluster.Client()
+	if mode.ReadOnly {
+		cl = b.Cluster.ReadClient(readOpts(mode))
+	}
+	return cl.MultiExec(ctx, strCmds)
 }
 
 // BaselineBackend serves an OSS-mode node.
@@ -72,13 +95,27 @@ type BaselineBackend struct {
 	Node *baseline.Node
 }
 
+// errReadOnlyOSS rejects READONLY-mode traffic in OSS mode. This is an
+// intentional divergence surfaced loudly: the baseline node has no
+// durable log, no replicas and no replica read protocol, so a READONLY
+// opt-in cannot take effect — and pretending it did (by serving from
+// the only node there is) would let clients believe they exercised the
+// replica read path when they did not.
+var errReadOnlyOSS = resp.Err("ERR READONLY not supported in OSS mode")
+
 // Do implements Backend.
-func (b BaselineBackend) Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error) {
+func (b BaselineBackend) Do(ctx context.Context, argv [][]byte, mode ReadMode) (resp.Value, error) {
+	if mode.ReadOnly {
+		return errReadOnlyOSS, nil
+	}
 	return b.Node.Do(ctx, argv)
 }
 
 // DoBatch implements Backend.
-func (b BaselineBackend) DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error) {
+func (b BaselineBackend) DoBatch(ctx context.Context, cmds [][][]byte, mode ReadMode) (resp.Value, error) {
+	if mode.ReadOnly {
+		return errReadOnlyOSS, nil
+	}
 	replies := make([]resp.Value, 0, len(cmds))
 	for _, argv := range cmds {
 		v, err := b.Node.Do(ctx, argv)

@@ -12,20 +12,41 @@ import (
 	"errors"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"memorydb/internal/obs"
 	"memorydb/internal/resp"
 )
 
+// ReadMode is a connection's read-consistency state, set by the
+// READONLY command and its staleness knobs:
+//
+//	READONLY              — replica reads allowed, linearizable ladder
+//	READONLY STALE <ms>   — degrade to bounded staleness before redirect
+//	READONLY EVENTUAL     — legacy eventual-consistency replica reads
+//	READWRITE             — back to primary-only (the zero value)
+type ReadMode struct {
+	// ReadOnly reflects the connection's READONLY state.
+	ReadOnly bool
+	// Eventual opts into eventually-consistent replica reads (no
+	// freshness claim).
+	Eventual bool
+	// Stale, when positive, is the bounded-staleness tolerance the
+	// client declared: a replica read whose linearizable freshness
+	// proof fails may still be served if the replica proved itself
+	// caught up within this bound.
+	Stale time.Duration
+}
+
 // Backend executes commands on behalf of connections.
 type Backend interface {
-	// Do executes one command. readonly reflects the connection's
-	// READONLY state.
-	Do(ctx context.Context, argv [][]byte, readonly bool) (resp.Value, error)
+	// Do executes one command under the connection's read mode.
+	Do(ctx context.Context, argv [][]byte, mode ReadMode) (resp.Value, error)
 	// DoBatch executes a MULTI/EXEC transaction atomically.
-	DoBatch(ctx context.Context, cmds [][][]byte, readonly bool) (resp.Value, error)
+	DoBatch(ctx context.Context, cmds [][][]byte, mode ReadMode) (resp.Value, error)
 }
 
 // Config parameterizes a server.
@@ -64,9 +85,9 @@ type Server struct {
 }
 
 type muxItem struct {
-	argv     [][]byte
-	readonly bool
-	replyCh  chan resp.Value
+	argv    [][]byte
+	mode    ReadMode
+	replyCh chan resp.Value
 }
 
 // New creates a server (not yet listening).
@@ -159,7 +180,7 @@ func (s *Server) muxWorker() {
 		case <-s.ctx.Done():
 			return
 		case item := <-s.muxQ:
-			v, err := s.cfg.Backend.Do(s.ctx, item.argv, item.readonly)
+			v, err := s.cfg.Backend.Do(s.ctx, item.argv, item.mode)
 			if err != nil {
 				v = resp.Errf("ERR backend: %v", err)
 			}
@@ -170,7 +191,7 @@ func (s *Server) muxWorker() {
 
 // connState holds per-connection protocol state.
 type connState struct {
-	readonly bool
+	mode     ReadMode
 	inMulti  bool
 	queued   [][][]byte
 	multiErr bool
@@ -236,10 +257,31 @@ func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bo
 	case "QUIT":
 		return resp.OK, true
 	case "READONLY":
-		st.readonly = true
+		mode := ReadMode{ReadOnly: true}
+		if len(argv) >= 2 {
+			switch strings.ToUpper(string(argv[1])) {
+			case "STALE":
+				if len(argv) != 3 {
+					return resp.Err("ERR wrong number of arguments for 'readonly|stale'"), false
+				}
+				ms, err := strconv.Atoi(string(argv[2]))
+				if err != nil || ms <= 0 {
+					return resp.Err("ERR invalid staleness bound"), false
+				}
+				mode.Stale = time.Duration(ms) * time.Millisecond
+			case "EVENTUAL":
+				if len(argv) != 2 {
+					return resp.Err("ERR wrong number of arguments for 'readonly|eventual'"), false
+				}
+				mode.Eventual = true
+			default:
+				return resp.Err("ERR syntax error"), false
+			}
+		}
+		st.mode = mode
 		return resp.OK, false
 	case "READWRITE":
-		st.readonly = false
+		st.mode = ReadMode{}
 		return resp.OK, false
 	case "MULTI":
 		if st.inMulti {
@@ -269,7 +311,7 @@ func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bo
 		if len(cmds) == 0 {
 			return resp.ArrayV(), false
 		}
-		v, err := s.cfg.Backend.DoBatch(s.ctx, cmds, st.readonly)
+		v, err := s.cfg.Backend.DoBatch(s.ctx, cmds, st.mode)
 		if err != nil {
 			return resp.Errf("ERR backend: %v", err), false
 		}
@@ -301,7 +343,7 @@ func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bo
 	}
 
 	if s.cfg.Multiplex {
-		item := muxItem{argv: argv, readonly: st.readonly, replyCh: make(chan resp.Value, 1)}
+		item := muxItem{argv: argv, mode: st.mode, replyCh: make(chan resp.Value, 1)}
 		select {
 		case s.muxQ <- item:
 		case <-s.ctx.Done():
@@ -314,7 +356,7 @@ func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bo
 			return resp.Err("ERR server shutting down"), true
 		}
 	}
-	v, err := s.cfg.Backend.Do(s.ctx, argv, st.readonly)
+	v, err := s.cfg.Backend.Do(s.ctx, argv, st.mode)
 	if err != nil {
 		return resp.Errf("ERR backend: %v", err), false
 	}

@@ -50,15 +50,16 @@ var crc32Table = crc32.MakeTable(crc32.Castagnoli)
 
 // recordCRC is the per-record integrity checksum stored alongside every
 // entry at append time. It covers the sequence number, type, writer
-// epoch and payload, so both payload rot and record misplacement are
-// detectable on read. The internal committed bit is excluded (it is
-// commit-state bookkeeping, not record content).
+// epoch, piggybacked watermark and payload, so both payload rot and
+// record misplacement are detectable on read. The internal committed
+// bit is excluded (it is commit-state bookkeeping, not record content).
 func recordCRC(e *Entry) uint32 {
-	var hdr [21]byte
+	var hdr [29]byte
 	binary.BigEndian.PutUint64(hdr[0:], e.ID.Seq)
 	hdr[8] = byte(e.Type)
 	binary.BigEndian.PutUint64(hdr[9:], e.EpochValue())
 	binary.BigEndian.PutUint32(hdr[17:], e.Records)
+	binary.BigEndian.PutUint64(hdr[21:], e.Watermark)
 	sum := crc32.Update(0, crc32Table, hdr[:])
 	return crc32.Update(sum, crc32Table, e.Payload)
 }

@@ -104,7 +104,15 @@ type Entry struct {
 	// payload is self-framing, but the count lets the log keep
 	// records-per-entry statistics without parsing payloads.
 	Records uint32
-	Payload []byte
+	// Watermark is the writer's committed (quorum-acked) watermark at the
+	// moment this entry was appended: every sequence number <= Watermark
+	// had already been acknowledged to clients. Tailing replicas read it
+	// to continuously learn how far behind the primary's ack frontier
+	// they are (bounded-staleness accounting); it is always < ID.Seq, so
+	// it cannot by itself prove a replica is caught up "now" — consistent
+	// reads capture ConsistentTail from the log service instead.
+	Watermark uint64
+	Payload   []byte
 	// acks is the number of AZ replicas that acknowledged this entry's
 	// append (set by StartAppend; drives the AZCopies metric).
 	acks uint8
@@ -759,6 +767,24 @@ func (l *Log) CommittedTail() EntryID {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return EntryID{Seq: l.committed}
+}
+
+// ConsistentTail is CommittedTail with an availability check: it is the
+// read-index primitive for linearizable replica reads. A replica that
+// wants to serve a read linearizably captures the committed tail HERE —
+// at the authoritative log service, after the read arrived — and waits
+// until its applied position covers it. Returning ErrUnavailable when
+// the service is down or below quorum is what makes the capture sound:
+// a partitioned replica cannot obtain a fresh tail, so it degrades
+// instead of serving a guess. (The piggybacked Entry.Watermark cannot
+// substitute: it is always behind the entry carrying it.)
+func (l *Log) ConsistentTail() (EntryID, error) {
+	if err := l.svc.readErr(); err != nil {
+		return ZeroID, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return EntryID{Seq: l.committed}, nil
 }
 
 // AssignedTail returns the ID a new append must follow. For a caught-up

@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Replica-read scaling check: runs the consistent-replica-read figure
+# (cmd/memorydb-bench -fig reads) and enforces the PR's acceptance bars
+# on runners with >= 4 vCPUs:
+#   - read throughput scales with the replica count (replicas=4 must
+#     reach at least 2.5x replicas=1 — near-linear minus proof overhead);
+#   - offloading reads protects the write path (replicas=1 primary write
+#     throughput within 5% of the write-only baseline).
+# On smaller runners the numbers are informational: the whole fleet
+# shares too few cores for either ratio to be meaningful, exactly like
+# the bench_shards 1.8x bar.
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=$(go run ./cmd/memorydb-bench -fig reads -duration 1s 2>&1)
+echo "$OUT"
+
+field() {
+    echo "$OUT" | awk -v label="$1" -v key="$2" '
+        $1 == label {
+            for (i = 2; i <= NF; i++) {
+                n = split($i, kv, "=")
+                if (n == 2 && kv[1] == key) print kv[2]
+            }
+        }'
+}
+
+BASE_W=$(field "write-only" "write_ops")
+R1_R=$(field "replicas=1" "read_ops")
+R1_W=$(field "replicas=1" "write_ops")
+R4_R=$(field "replicas=4" "read_ops")
+if [ -z "$BASE_W" ] || [ -z "$R1_R" ] || [ -z "$R1_W" ] || [ -z "$R4_R" ]; then
+    echo "bench_reads: could not parse figure output" >&2
+    exit 1
+fi
+
+NCPU=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+case "$NCPU" in ''|*[!0-9]*) NCPU=1;; esac
+
+awk -v basew="$BASE_W" -v r1r="$R1_R" -v r1w="$R1_W" -v r4r="$R4_R" -v ncpu="$NCPU" 'BEGIN {
+    scale = r4r / r1r
+    prot = r1w / basew
+    printf "replica reads: 1->4 replicas read scaling %.2fx; replicas=1 write throughput %.0f%% of write-only baseline\n", scale, prot * 100
+    if (ncpu >= 4) {
+        if (scale < 2.5) {
+            printf "bench_reads: FAIL — read scaling %.2fx < 2.5x on a %d-vCPU runner\n", scale, ncpu
+            exit 1
+        }
+        if (prot < 0.95) {
+            printf "bench_reads: FAIL — replica read offload left primary writes at %.0f%% of baseline (< 95%%) on a %d-vCPU runner\n", prot * 100, ncpu
+            exit 1
+        }
+    } else {
+        printf "bench_reads: %d vCPU runner — scaling/write-protection bars not enforced (needs >= 4 vCPUs)\n", ncpu
+    }
+}'

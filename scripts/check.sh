@@ -36,6 +36,19 @@ MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=2 go test -race -run Chaos ./internal/clus
 MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=1 go test -race -run CrashRestart ./internal/cluster/
 MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=2 go test -race -run CrashRestart ./internal/cluster/
 sh scripts/bench_shards.sh
+# Consistent replica-read gate (same as `make reads`): the replica-read
+# fault schedules — failover storm, bounded-staleness partition,
+# log-trim rebootstrap — must hold linearizability at two pinned seeds,
+# at one and eight execution shards, under the race detector: no stale
+# value is ever served as linearizable and bounded-stale serves stay
+# within their declared bound. Then the replica-read throughput figure
+# must show reads scaling with the replica count while the primary's
+# write throughput holds (bars enforced on >= 4-vCPU runners).
+MEMORYDB_SHARDS=1 MEMORYDB_CHAOS_SEED=1 go test -race -run ReplicaReads ./internal/cluster/
+MEMORYDB_SHARDS=1 MEMORYDB_CHAOS_SEED=2 go test -race -run ReplicaReads ./internal/cluster/
+MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=1 go test -race -run ReplicaReads ./internal/cluster/
+MEMORYDB_SHARDS=8 MEMORYDB_CHAOS_SEED=2 go test -race -run ReplicaReads ./internal/cluster/
+sh scripts/bench_reads.sh
 # Metrics-overhead guard: with sampling off the instrumented hot path
 # must record zero allocations per command (internal/obs) and cost no
 # more than 5% of write throughput against a NoObs node (internal/core).
