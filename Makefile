@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench crash obs shards reads soak
+.PHONY: check vet build test race bench crash obs shards reads soak forkless
 
-check: vet build test race crash obs shards reads soak
+check: vet build test race crash obs shards reads soak forkless
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +70,20 @@ reads:
 # log may never grow without bound.
 soak:
 	MEMORYDB_SOAK=1 $(GO) test -run TestSoakBoundedLog -count=1 ./internal/cluster/
+
+# Forkless-snapshot gate: the log-tailing builder's crash schedules
+# (crash mid-delta, crash mid-compaction, corrupt-delta-in-chain
+# fallback, restore from a deep full+delta chain) must restore the exact
+# acknowledged state at two pinned seeds, at one and eight execution
+# shards, under the race detector — zero trimmed-gap retries, zero
+# restore failures through quarantined chains. The snapshot package's
+# chain-fallback property test and builder-vs-trimmer race run alongside.
+forkless:
+	MEMORYDB_SHARDS=1 MEMORYDB_CRASH_SEED=1 $(GO) test -race -run 'SnapshotCrash' ./internal/cluster/
+	MEMORYDB_SHARDS=1 MEMORYDB_CRASH_SEED=2 $(GO) test -race -run 'SnapshotCrash' ./internal/cluster/
+	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=1 $(GO) test -race -run 'SnapshotCrash' ./internal/cluster/
+	MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=2 $(GO) test -race -run 'SnapshotCrash' ./internal/cluster/
+	$(GO) test -race -run 'Builder|ChainFallback' ./internal/snapshot/
 
 # Regenerate the paper figures (long; not part of the tier-1 gate).
 bench:

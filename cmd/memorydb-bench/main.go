@@ -11,6 +11,7 @@
 //	bw  single-shard pipelined write bandwidth (~100 MB/s claim)
 //	gc  group-commit ablation (batched vs per-mutation log appends)
 //	reads consistent replica reads: read/write throughput vs replica count
+//	fork forkless checkpointing vs fork/COW BGSave across dataset sizes
 //	all everything above
 package main
 
@@ -27,7 +28,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw gc reads all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw gc reads fork all")
 	duration := flag.Duration("duration", 400*time.Millisecond, "measurement window per data point")
 	clients := flag.Int("clients", 256, "concurrent client connections")
 	prefill := flag.Int("prefill", 5000, "keys pre-filled before measuring")
@@ -76,6 +77,9 @@ func main() {
 		case "reads":
 			fmt.Println("== Consistent replica reads: throughput vs replica count ==")
 			return bench.FigureReplicaReads(ctx, opts, os.Stdout)
+		case "fork":
+			fmt.Println("== Forkless checkpointing vs fork/COW BGSave across dataset sizes ==")
+			return bench.FigureForkless(os.Stdout), nil
 		default:
 			return nil, fmt.Errorf("unknown figure %q", name)
 		}
@@ -86,7 +90,7 @@ func main() {
 	jsonName := map[string]string{
 		"4a": "fig4a", "4b": "fig4b",
 		"5a": "fig5a", "5b": "fig5b", "5c": "fig5c",
-		"gc": "pipelined",
+		"gc": "pipelined", "fork": "fig6",
 	}
 	writeJSON := func(name string, rows any) error {
 		if *jsonDir == "" || rows == nil {
@@ -109,7 +113,7 @@ func main() {
 
 	var names []string
 	if *fig == "all" {
-		names = []string{"4a", "4b", "5a", "5b", "5c", "6", "7", "bw", "gc", "reads"}
+		names = []string{"4a", "4b", "5a", "5b", "5c", "6", "7", "bw", "gc", "reads", "fork"}
 	} else {
 		names = []string{*fig}
 	}

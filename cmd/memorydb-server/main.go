@@ -63,6 +63,10 @@ func main() {
 		"rotate transaction-log segments at this payload size (0 = 1MiB default)")
 	trimInterval := flag.Duration("trim-interval", envDuration("MEMORYDB_TRIM_INTERVAL", 0),
 		"run the snapshot scheduler and log trim coordinator at this cadence (0 = disabled)")
+	deltaInterval := flag.Int("delta-interval", envInt("MEMORYDB_DELTA_INTERVAL", 0),
+		"forkless builder: emit an incremental delta snapshot every N log entries (0 = disabled)")
+	compactEvery := flag.Int("compact-every", envInt("MEMORYDB_COMPACT_EVERY", 8),
+		"forkless builder: compact the full+delta chain into a new full snapshot after N deltas")
 	replicaReadTimeout := flag.Duration("replica-read-timeout", envDuration("MEMORYDB_REPLICA_READ_TIMEOUT", 0),
 		"max time a linearizable replica read waits for its freshness proof before degrading (0 = 50ms default)")
 	flag.Parse()
@@ -140,6 +144,24 @@ func main() {
 				}
 			}()
 			fmt.Printf("log trim coordinator running every %v\n", *trimInterval)
+		}
+		// Forkless snapshots: a log-tailing builder materializes the
+		// keyspace off the critical path and streams delta snapshots to
+		// S3 — the engine never forks (contrast Figure 6's BGSave
+		// collapse). Compaction bounds restore chains at -compact-every.
+		if *deltaInterval > 0 {
+			builder := &snapshot.Builder{
+				Manager: snaps, Log: logHandle, ShardID: "shard-0",
+				EngineVersion: 1,
+				DeltaInterval: uint64(*deltaInterval),
+				CompactEvery:  *compactEvery,
+				Obs:           metrics,
+			}
+			bctx, bcancel := context.WithCancel(context.Background())
+			defer bcancel()
+			go builder.Run(bctx)
+			fmt.Printf("forkless snapshot builder running (delta every %d entries, compact every %d deltas)\n",
+				*deltaInterval, *compactEvery)
 		}
 		backend = server.NodeBackend{Node: node}
 	case "redis":

@@ -171,3 +171,37 @@ func TestFigure6InvariantsViaBench(t *testing.T) {
 		t.Fatal("BGSave run never collapsed")
 	}
 }
+
+func TestFigureForklessFlatWhereForkCollapses(t *testing.T) {
+	rows := FigureForkless(nil)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	collapsed := 0
+	for _, r := range rows {
+		v := r.Values
+		// The forkless arm must stay flat at every size: bounded tail
+		// latency, throughput within a few percent of steady state, and a
+		// resident footprint that never doubles the dataset.
+		if v["forkless_peak_p100_ms"] > 50 {
+			t.Fatalf("%s: forkless p100 %.0fms not flat", r.Label, v["forkless_peak_p100_ms"])
+		}
+		if v["forkless_min_ops"] < 0.9*v["fork_min_ops"] && v["fork_peak_swap_pct"] == 0 {
+			t.Fatalf("%s: forkless throughput below healthy fork arm", r.Label)
+		}
+		if v["forkless_peak_mem_gb"] > 1.5*v["dataset_gb"] {
+			t.Fatalf("%s: forkless RSS %.1fGB ballooned past dataset %.0fGB",
+				r.Label, v["forkless_peak_mem_gb"], v["dataset_gb"])
+		}
+		// Fork collapse marker: swap engaged and tail latency in seconds.
+		if v["fork_peak_swap_pct"] > 0 && v["fork_peak_p100_ms"] > 1000 {
+			collapsed++
+			if v["forkless_peak_p100_ms"] > v["fork_peak_p100_ms"]/10 {
+				t.Fatalf("%s: forkless tail not clearly flat vs collapsed fork arm", r.Label)
+			}
+		}
+	}
+	if collapsed == 0 {
+		t.Fatal("no dataset size collapsed the fork arm — sweep too small to show the contrast")
+	}
+}

@@ -164,6 +164,46 @@ func Figure7(out io.Writer) []memsim.Sample {
 	return samples
 }
 
+// FigureForkless contrasts the two checkpointers across memory pressure:
+// for each dataset size on the paper's 16 GB host, the fork/COW BGSave
+// arm (Figure 6 dynamics) against the forkless log-tailing builder. The
+// fork arm's tail latency and RSS blow up once COW duplication spills
+// into swap; the forkless arm's write p100 and resident footprint stay
+// flat at every size because the engine never forks — snapshots are
+// built from the log, off the critical path.
+func FigureForkless(out io.Writer) []Row {
+	var rows []Row
+	if out != nil {
+		fmt.Fprintln(out, "dataset_gb   fork: p100_ms / min_ops / peak_mem_gb / swap_pct   forkless: p100_ms / min_ops / peak_mem_gb")
+	}
+	for _, gb := range []float64{6, 8, 10, 12, 14} {
+		cfg := memsim.DefaultRedisBGSave()
+		cfg.DatasetGB = gb
+		fork := memsim.SimulateBGSave(cfg, 10, 160)
+		forkless := memsim.SimulateForkless(cfg, 10, 60, 160)
+		row := Row{
+			Label: fmt.Sprintf("%gGB", gb),
+			Values: map[string]float64{
+				"dataset_gb":           gb,
+				"fork_peak_p100_ms":    memsim.MaxP100(fork),
+				"fork_min_ops":         memsim.MinThroughput(fork),
+				"fork_peak_mem_gb":     memsim.MaxMemUsedGB(fork),
+				"fork_peak_swap_pct":   memsim.PeakSwapPct(fork),
+				"forkless_peak_p100_ms": memsim.MaxP100(forkless),
+				"forkless_min_ops":      memsim.MinThroughput(forkless),
+				"forkless_peak_mem_gb":  memsim.MaxMemUsedGB(forkless),
+			},
+			Order: []string{"dataset_gb", "fork_peak_p100_ms", "fork_min_ops", "fork_peak_mem_gb",
+				"fork_peak_swap_pct", "forkless_peak_p100_ms", "forkless_min_ops", "forkless_peak_mem_gb"},
+		}
+		rows = append(rows, row)
+		if out != nil {
+			fmt.Fprintln(out, row.Format())
+		}
+	}
+	return rows
+}
+
 // FigureGroupCommit compares write-only throughput with group commit
 // enabled against per-mutation appends (MaxBatchRecords=1), reporting the
 // records-per-entry amortization the transaction log observed. This is the

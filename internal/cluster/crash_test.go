@@ -277,6 +277,36 @@ func TestCrashRestartRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Builder leg: the forkless checkpointer tails the same log through
+	// the off-box fault registry. An armed crash kills it mid-delta (its
+	// materialized copy dies; the next tick re-bootstraps from the durable
+	// chain), then enough cadences run to emit deltas and a chain-resetting
+	// compaction — touching every snapshot.delta.*/snapshot.compact/
+	// builder.lag site under this seed.
+	builder := &snapshot.Builder{
+		Manager: snaps, Log: sh.Log, ShardID: sh.ID, EngineVersion: 1,
+		DeltaInterval: 4, CompactEvery: 2, Faults: obFaults,
+	}
+	obFaults.Arm(faultpoint.SiteDeltaUpload, faultpoint.Crash, 0)
+	builderCrashed := false
+	for deadline := time.Now().Add(20 * time.Second); time.Now().Before(deadline) &&
+		snaps.Health().Compactions.Load() == 0; {
+		advance("builder")
+		if err := builder.Tick(ctx); errors.Is(err, snapshot.ErrBuilderCrashed) {
+			builderCrashed = true
+		}
+	}
+	if !builderCrashed {
+		t.Fatal("armed delta-upload crash never fired on the builder")
+	}
+	if builder.Stats().Rebootstraps == 0 {
+		t.Fatal("crashed builder never re-bootstrapped from the durable chain")
+	}
+	if snaps.Health().DeltasEmitted.Load() == 0 || snaps.Health().Compactions.Load() == 0 {
+		t.Fatalf("builder leg produced %d deltas, %d compactions — want both nonzero",
+			snaps.Health().DeltasEmitted.Load(), snaps.Health().Compactions.Load())
+	}
+
 	// Trim leg: with a verified snapshot in the store, the coordinator may
 	// drop every sealed segment it covers — exercising txlog.trim.* and
 	// forcing any tailer still below the base through the re-bootstrap

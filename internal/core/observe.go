@@ -110,6 +110,17 @@ func (n *Node) registerCounters() {
 	n.obs.RegisterCounter("log_segments_quarantined", label, func() int64 {
 		return n.cfg.Log.SegmentStats().Quarantined
 	})
+	// Forkless snapshot builder health, read off the shared manager: lag
+	// behind the committed tail, chain production counters, and the
+	// lag-exceeded-trim-horizon alarm count.
+	if snaps := n.cfg.Snapshots; snaps != nil {
+		h := snaps.Health()
+		n.obs.RegisterGauge("snapshot_builder_lag_entries", label, h.LagEntries.Load)
+		n.obs.RegisterCounter("snapshot_deltas_emitted_total", label, h.DeltasEmitted.Load)
+		n.obs.RegisterCounter("snapshot_compactions_total", label, h.Compactions.Load)
+		n.obs.RegisterGauge("snapshot_chain_depth", label, h.ChainDepth.Load)
+		n.obs.RegisterCounter("snapshot_builder_lag_alarms_total", label, h.LagAlarms.Load)
+	}
 	n.obs.RegisterGauge("shard_count", label, func() int64 {
 		return int64(len(n.shards))
 	})

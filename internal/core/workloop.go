@@ -501,6 +501,14 @@ func (n *Node) infoText() string {
 	fmt.Fprintf(&b, "log_segments_sealed_total:%d\r\n", segStats.Sealed)
 	fmt.Fprintf(&b, "log_segments_trimmed_total:%d\r\n", segStats.Trimmed)
 	fmt.Fprintf(&b, "log_segments_quarantined_total:%d\r\n", segStats.Quarantined)
+	if snaps := n.cfg.Snapshots; snaps != nil {
+		h := snaps.Health()
+		fmt.Fprintf(&b, "snapshot_builder_lag_entries:%d\r\n", h.LagEntries.Load())
+		fmt.Fprintf(&b, "snapshot_deltas_emitted_total:%d\r\n", h.DeltasEmitted.Load())
+		fmt.Fprintf(&b, "snapshot_compactions_total:%d\r\n", h.Compactions.Load())
+		fmt.Fprintf(&b, "snapshot_chain_depth:%d\r\n", h.ChainDepth.Load())
+		fmt.Fprintf(&b, "snapshot_builder_lag_alarms_total:%d\r\n", h.LagAlarms.Load())
+	}
 	fmt.Fprintf(&b, "shard_count:%d\r\n", len(n.shards))
 	fmt.Fprintf(&b, "barrier_ops:%d\r\n", st.BarrierOps)
 	fmt.Fprintf(&b, "cross_slot_ops:%d\r\n", st.CrossSlotOps)

@@ -214,6 +214,34 @@ func (e *Engine) Apply(record []byte) error {
 	return nil
 }
 
+// ApplyTracked is Apply for consumers that need change attribution (the
+// forkless snapshot builder): it returns the deduplicated set of keys the
+// record mutated. wholesale reports a command that rewrote the keyspace
+// without touching individual keys (FLUSHALL/FLUSHDB) — per-key deltas
+// cannot describe it, so the caller must fall back to a full snapshot.
+func (e *Engine) ApplyTracked(record []byte) (keys []string, wholesale bool, err error) {
+	cmds, err := DecodeRecord(record)
+	if err != nil {
+		return nil, false, err
+	}
+	e.applying = true
+	defer func() { e.applying = false }()
+	for _, argv := range cmds {
+		e.effects = nil
+		e.dirtyKeys = nil
+		if reply := e.dispatch(argv); reply.IsError() {
+			return nil, false, fmt.Errorf("engine: replicated command %s failed: %s",
+				strings.ToUpper(string(argv[0])), reply.Text())
+		}
+		switch strings.ToUpper(string(argv[0])) {
+		case "FLUSHALL", "FLUSHDB":
+			wholesale = true
+		}
+		keys = append(keys, e.dirtyKeys...)
+	}
+	return dedup(keys), wholesale, nil
+}
+
 func (e *Engine) dispatch(argv [][]byte) resp.Value {
 	if len(argv) == 0 {
 		return resp.Err("ERR empty command")

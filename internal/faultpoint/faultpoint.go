@@ -132,6 +132,20 @@ const (
 	// flips a byte of the stored payload while keeping the record's CRC —
 	// the bit-rot case read-time verification must catch.
 	SiteLogCorruptRecord = "txlog.corrupt_record"
+	// SiteDeltaBuild fires after the forkless builder serializes a delta
+	// snapshot but before upload; Corrupt flips a byte (bit rot in the
+	// delta image).
+	SiteDeltaBuild = "snapshot.delta.build"
+	// SiteDeltaUpload fires at the delta's S3 PUT; Corrupt truncates the
+	// object (a torn delta in the middle of a chain).
+	SiteDeltaUpload = "snapshot.delta.upload"
+	// SiteCompact fires when the builder compacts a full+delta chain into
+	// a new full snapshot; Crash kills the builder mid-compaction.
+	SiteCompact = "snapshot.compact"
+	// SiteBuilderLag fires on every builder lag check against the log's
+	// trim horizon; Delay stalls the builder (inducing lag), Error forces
+	// a re-bootstrap from the latest chain.
+	SiteBuilderLag = "builder.lag"
 )
 
 // AllSites returns the canonical instrumented sites, in a stable order.
@@ -144,6 +158,8 @@ func AllSites() []string {
 		SiteLogSealPre, SiteLogSealPost,
 		SiteLogTrimPre, SiteLogTrimPost,
 		SiteLogCorruptRecord,
+		SiteDeltaBuild, SiteDeltaUpload,
+		SiteCompact, SiteBuilderLag,
 	}
 }
 

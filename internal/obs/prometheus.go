@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 )
 
@@ -122,7 +123,13 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	}
 	sort.Strings(cnames)
 	for _, n := range cnames {
-		full := "memorydb_" + n + "_total"
+		// Registered names that already carry the conventional counter
+		// suffix (e.g. snapshot_deltas_emitted_total, which INFO reports
+		// verbatim) must not have it doubled on exposition.
+		full := "memorydb_" + n
+		if !strings.HasSuffix(n, "_total") {
+			full += "_total"
+		}
 		fmt.Fprintf(w, "# TYPE %s counter\n", full)
 		for _, c := range byCtr[n] {
 			if c.Label != "" {

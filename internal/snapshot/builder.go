@@ -1,0 +1,410 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/engine"
+	"memorydb/internal/faultpoint"
+	"memorydb/internal/obs"
+	"memorydb/internal/retry"
+	"memorydb/internal/txlog"
+)
+
+// BuilderHealth is the builder's exported health block, hung off the
+// shard's snapshot Manager so every node holding the manager can export
+// it (Prometheus gauges, INFO # Robustness) without holding the builder.
+type BuilderHealth struct {
+	// LagEntries is the builder's distance behind the committed tail.
+	LagEntries atomic.Int64
+	// DeltasEmitted / Compactions count snapshots produced.
+	DeltasEmitted atomic.Int64
+	Compactions   atomic.Int64
+	// ChainDepth is the current chain length at the newest emitted tip.
+	ChainDepth atomic.Int64
+	// LagAlarms counts times the builder fell behind the trim horizon.
+	LagAlarms atomic.Int64
+}
+
+// Builder is the forkless checkpointer (Taurus-style "the log is the
+// database"): instead of forking the engine and paying COW+swap for a
+// BGSave, it runs a dedicated transaction-log reader — exactly like a
+// replica tailer — into a private materialized keyspace that lives
+// entirely off the critical path. At a configurable log-distance cadence
+// it emits an *incremental delta* (only the objects changed since the
+// previous snapshot, plus tombstones for deletions), and every
+// CompactEvery deltas it compacts the chain by dumping its materialized
+// copy as a fresh full snapshot. The engine never forks, never pauses,
+// and write latency stays flat while snapshots stream out.
+type Builder struct {
+	Manager *Manager
+	Log     *txlog.Log
+	ShardID string
+	// EngineVersion stamps produced snapshots (pinned to the oldest
+	// running version during mixed-version upgrades, §7.1).
+	EngineVersion uint32
+	// DeltaInterval is the log-distance cadence: a delta is emitted once
+	// this many entries accumulated since the last snapshot (default 512).
+	DeltaInterval uint64
+	// CompactEvery bounds chain length: after this many deltas the next
+	// emit is a full snapshot, resetting the chain (default 8).
+	CompactEvery int
+	// Interval paces Run's ticks (default 25ms).
+	Interval time.Duration
+	Clock    clock.Clock
+	// Retry shapes S3 upload backoff, like the off-box path.
+	Retry retry.Policy
+	// Faults injects crash faults into the delta/compaction pipeline
+	// (snapshot.delta.build, snapshot.delta.upload, snapshot.compact,
+	// builder.lag). Production leaves it nil.
+	Faults *faultpoint.Registry
+	// Obs, when set, records snapshot_delta_build and
+	// snapshot_delta_upload durations into named histograms.
+	Obs *obs.Metrics
+	// AlarmFn pages when the builder falls behind the log's trim horizon
+	// — the monitoring hook for a checkpointer that stopped keeping up.
+	AlarmFn func(msg string)
+
+	mu       sync.Mutex
+	eng      *engine.Engine
+	reader   *txlog.Reader
+	pos      txlog.EntryID // last log entry applied to the private copy
+	lastEmit txlog.EntryID // position of the last emitted snapshot
+	// chain bookkeeping for the next emit's meta
+	chainDepth      uint32
+	deltasSinceFull int
+	dirty           map[string]struct{}
+	// needFull forces the next emit to be a full snapshot: set on
+	// bootstrap (no base yet) and on wholesale rewrites (FLUSHALL) that
+	// per-key deltas cannot describe.
+	needFull     bool
+	booted       bool
+	rebootstraps int64
+}
+
+// ErrBuilderCrashed reports that a fault schedule killed the builder
+// mid-run; its in-memory materialized copy is gone and the next tick
+// re-bootstraps from the durable chain, exactly like a restarted process.
+var ErrBuilderCrashed = errors.New("builder: crashed by fault schedule")
+
+func (b *Builder) clk() clock.Clock {
+	if b.Clock == nil {
+		b.Clock = clock.NewReal()
+	}
+	return b.Clock
+}
+
+func (b *Builder) deltaInterval() uint64 {
+	if b.DeltaInterval == 0 {
+		return 512
+	}
+	return b.DeltaInterval
+}
+
+func (b *Builder) compactEvery() int {
+	if b.CompactEvery == 0 {
+		return 8
+	}
+	return b.CompactEvery
+}
+
+func (b *Builder) mgr() *Manager {
+	pol := b.Retry
+	if pol.Clock == nil {
+		pol.Clock = b.clk()
+	}
+	return b.Manager.WithRetries(pol)
+}
+
+// BuilderStats is a test/inspection view of builder progress.
+type BuilderStats struct {
+	Pos             txlog.EntryID
+	LastEmit        txlog.EntryID
+	ChainDepth      uint32
+	DeltasSinceFull int
+	Rebootstraps    int64
+	DirtyKeys       int
+}
+
+// Stats returns the builder's current progress counters.
+func (b *Builder) Stats() BuilderStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BuilderStats{
+		Pos: b.pos, LastEmit: b.lastEmit,
+		ChainDepth: b.chainDepth, DeltasSinceFull: b.deltasSinceFull,
+		Rebootstraps: b.rebootstraps, DirtyKeys: len(b.dirty),
+	}
+}
+
+// bootstrap (re)builds the private materialized copy from the durable
+// chain — the same path a recovering replica takes — and points the
+// tailer at the chain tip.
+func (b *Builder) bootstrap() error {
+	eng := engine.New(b.clk())
+	pos := txlog.ZeroID
+	depth := uint32(0)
+	deltas := 0
+	db, chain, _, ok, err := b.mgr().LatestUsableChain(b.ShardID)
+	if err != nil {
+		return fmt.Errorf("builder: bootstrap: %w", err)
+	}
+	if ok {
+		eng.ResetDB(db)
+		pos = chain.Tip.LogPos
+		depth = chain.Tip.ChainDepth
+		deltas = chain.Depth
+	}
+	b.eng = eng
+	b.pos = pos
+	b.lastEmit = pos
+	b.chainDepth = depth
+	b.deltasSinceFull = deltas
+	b.dirty = make(map[string]struct{})
+	b.needFull = !ok
+	b.reader = b.Log.NewReader(pos)
+	b.booted = true
+	return nil
+}
+
+// rebootstrap drops the private copy and counts the restart; the caller's
+// next step rebuilds from the chain.
+func (b *Builder) rebootstrap() {
+	b.booted = false
+	b.rebootstraps++
+}
+
+// Tick performs one builder pass: check the trim horizon, drain every
+// committed entry into the private copy (tracking changed keys), and emit
+// a delta or compaction snapshot when the log-distance cadence is due.
+// Transient log unavailability ends the drain early; ErrTrimmed or a
+// quarantined segment under the tailer re-bootstraps from the chain, and
+// a crash decision kills the in-memory copy (ErrBuilderCrashed).
+func (b *Builder) Tick(ctx context.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tickLocked(ctx)
+}
+
+func (b *Builder) tickLocked(ctx context.Context) error {
+	// Lag gate: every pass consults builder.lag with the current horizon.
+	switch d := b.Faults.Hit(faultpoint.SiteBuilderLag); d.Kind {
+	case faultpoint.Crash:
+		b.rebootstrap()
+		return ErrBuilderCrashed
+	case faultpoint.Error:
+		// Injected loss of the materialized copy.
+		b.rebootstrap()
+	case faultpoint.Delay:
+		b.clk().Sleep(d.Delay)
+	}
+	if !b.booted {
+		if err := b.bootstrap(); err != nil {
+			return err
+		}
+	}
+	// A builder below the trim horizon has lost the suffix it was tailing
+	// — the alarmable condition the trim-safety invariant exists to
+	// prevent. Recover by re-bootstrapping from the chain (which the
+	// trimmer guaranteed is at or above the horizon).
+	if base := b.Log.TrimBase(); b.pos.Seq < base.Seq {
+		b.Manager.Health().LagAlarms.Add(1)
+		if b.AlarmFn != nil {
+			b.AlarmFn(fmt.Sprintf("builder: %s lag exceeded trim horizon (pos %d < base %d)",
+				b.ShardID, b.pos.Seq, base.Seq))
+		}
+		if err := b.bootstrap(); err != nil {
+			return err
+		}
+	}
+	if err := b.drain(); err != nil {
+		return err
+	}
+	health := b.Manager.Health()
+	health.LagEntries.Store(int64(b.Log.CommittedTail().Seq - b.pos.Seq))
+	if b.pos.Seq-b.lastEmit.Seq >= b.deltaInterval() {
+		return b.emit(ctx)
+	}
+	return nil
+}
+
+// drain applies every currently committed entry to the private copy.
+func (b *Builder) drain() error {
+	for {
+		e, ok, err := b.reader.TryNext()
+		if err != nil {
+			if errors.Is(err, txlog.ErrUnavailable) {
+				return nil // transient: cursor unchanged, retry next tick
+			}
+			if errors.Is(err, txlog.ErrTrimmed) || errors.Is(err, txlog.ErrCorruptSegment) {
+				b.rebootstrap()
+				return b.bootstrap()
+			}
+			return err
+		}
+		if !ok {
+			return nil // caught up
+		}
+		b.pos = e.ID
+		if e.Type != txlog.EntryData {
+			continue
+		}
+		keys, wholesale, err := b.eng.ApplyTracked(e.Payload)
+		if err != nil {
+			return fmt.Errorf("builder: apply at %v: %w", e.ID, err)
+		}
+		if wholesale {
+			// FLUSHALL-style rewrites invalidate per-key tracking; the
+			// next emit must be a full image.
+			b.needFull = true
+			b.dirty = make(map[string]struct{})
+		}
+		for _, k := range keys {
+			b.dirty[k] = struct{}{}
+		}
+	}
+}
+
+// emit produces the due snapshot: a compaction (full dump of the private
+// copy, resetting the chain) when forced or when the chain hit
+// CompactEvery, otherwise an incremental delta of the dirty keys.
+func (b *Builder) emit(ctx context.Context) error {
+	_ = ctx
+	full := b.needFull || b.deltasSinceFull >= b.compactEvery()
+	pos := b.pos
+	sum, err := b.Log.ChecksumAt(pos)
+	if err != nil {
+		return fmt.Errorf("builder: checksum at %v: %w", pos, err)
+	}
+	if full {
+		return b.emitFull(pos, sum)
+	}
+	return b.emitDelta(pos, sum)
+}
+
+func (b *Builder) emitFull(pos txlog.EntryID, sum uint64) error {
+	meta := Meta{
+		ShardID: b.ShardID, EngineVersion: b.EngineVersion,
+		LogPos: pos, LogChecksum: sum,
+		Kind: KindFull, BasePos: txlog.ZeroID, ChainDepth: 0,
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, b.eng.DB(), meta); err != nil {
+		return fmt.Errorf("builder: compact serialize: %w", err)
+	}
+	data := buf.Bytes()
+	// Crash-mid-compaction site: a crash here leaves the previous chain
+	// intact in S3 — restores keep working off the old links.
+	switch d := b.Faults.Hit(faultpoint.SiteCompact); d.Kind {
+	case faultpoint.Crash:
+		b.rebootstrap()
+		return ErrBuilderCrashed
+	case faultpoint.Error:
+		return errors.New("builder: compact: injected fault")
+	case faultpoint.Delay:
+		b.clk().Sleep(d.Delay)
+	case faultpoint.Corrupt:
+		data = b.Faults.FlipByte(data)
+	}
+	if err := b.mgr().SaveRaw(b.ShardID, pos, data); err != nil {
+		return fmt.Errorf("builder: compact upload: %w", err)
+	}
+	b.lastEmit = pos
+	b.chainDepth = 0
+	b.deltasSinceFull = 0
+	b.dirty = make(map[string]struct{})
+	b.needFull = false
+	health := b.Manager.Health()
+	health.Compactions.Add(1)
+	health.ChainDepth.Store(0)
+	return nil
+}
+
+func (b *Builder) emitDelta(pos txlog.EntryID, sum uint64) error {
+	buildStart := obs.Now()
+	keys := make([]string, 0, len(b.dirty))
+	for k := range b.dirty {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic bodies for a given dirty set
+	meta := Meta{
+		ShardID: b.ShardID, EngineVersion: b.EngineVersion,
+		LogPos: pos, LogChecksum: sum,
+		Kind: KindDelta, BasePos: b.lastEmit, ChainDepth: b.chainDepth + 1,
+	}
+	var buf bytes.Buffer
+	if err := WriteDelta(&buf, b.eng.DB(), keys, meta); err != nil {
+		return fmt.Errorf("builder: delta serialize: %w", err)
+	}
+	data := buf.Bytes()
+	if b.Obs != nil {
+		b.Obs.Named("snapshot_delta_build").ObserveNanos(obs.Now() - buildStart)
+	}
+	// Crash-mid-delta sites. Corrupt at the build site is silent bit rot
+	// inside a chain link; at the upload site it is a torn delta — both
+	// must be caught by chain resolution's per-link checksum, falling
+	// back to the longest intact prefix of the chain.
+	switch d := b.Faults.Hit(faultpoint.SiteDeltaBuild); d.Kind {
+	case faultpoint.Crash:
+		b.rebootstrap()
+		return ErrBuilderCrashed
+	case faultpoint.Error:
+		return errors.New("builder: delta build: injected fault")
+	case faultpoint.Delay:
+		b.clk().Sleep(d.Delay)
+	case faultpoint.Corrupt:
+		data = b.Faults.FlipByte(data)
+	}
+	uploadStart := obs.Now()
+	switch d := b.Faults.Hit(faultpoint.SiteDeltaUpload); d.Kind {
+	case faultpoint.Crash:
+		b.rebootstrap()
+		return ErrBuilderCrashed
+	case faultpoint.Error:
+		return errors.New("builder: delta upload: injected fault")
+	case faultpoint.Delay:
+		b.clk().Sleep(d.Delay)
+	case faultpoint.Corrupt:
+		data = b.Faults.TornWrite(data)
+	}
+	if err := b.mgr().SaveRaw(b.ShardID, pos, data); err != nil {
+		return fmt.Errorf("builder: delta upload: %w", err)
+	}
+	if b.Obs != nil {
+		b.Obs.Named("snapshot_delta_upload").ObserveNanos(obs.Now() - uploadStart)
+	}
+	b.lastEmit = pos
+	b.chainDepth++
+	b.deltasSinceFull++
+	b.dirty = make(map[string]struct{})
+	health := b.Manager.Health()
+	health.DeltasEmitted.Add(1)
+	health.ChainDepth.Store(int64(b.chainDepth))
+	return nil
+}
+
+// Run ticks until ctx is cancelled. Emit failures (including injected
+// crashes) are absorbed: the dirty set and cursor survive — or
+// re-bootstrap from the chain — and the next tick retries.
+func (b *Builder) Run(ctx context.Context) {
+	clk := b.clk()
+	interval := b.Interval
+	if interval <= 0 {
+		interval = 25 * time.Millisecond
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-clk.After(interval):
+			_ = b.Tick(ctx)
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package snapshot
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"memorydb/internal/clock"
+	"memorydb/internal/engine"
+	"memorydb/internal/s3"
+	"memorydb/internal/txlog"
+)
+
+// shardHarness is a minimal primary stand-in for builder tests: an engine
+// whose effects are appended to a real segmented log, plus a model map of
+// the expected final string keyspace.
+type shardHarness struct {
+	t     *testing.T
+	log   *txlog.Log
+	eng   *engine.Engine
+	after txlog.EntryID
+	want  map[string]string
+}
+
+func newShardHarness(t *testing.T, segEntries int) *shardHarness {
+	t.Helper()
+	svc := txlog.NewService(txlog.Config{SegmentEntries: segEntries})
+	log, err := svc.CreateLog("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &shardHarness{
+		t: t, log: log, eng: engine.New(clock.NewReal()),
+		want: make(map[string]string),
+	}
+}
+
+// do executes one command on the primary engine and appends its effects.
+func (h *shardHarness) do(args ...string) {
+	h.t.Helper()
+	argv := make([][]byte, len(args))
+	for i, a := range args {
+		argv[i] = []byte(a)
+	}
+	res := h.eng.Exec(argv)
+	if res.Reply.IsError() {
+		h.t.Fatalf("%v: %s", args, res.Reply.Text())
+	}
+	id, err := h.log.Append(context.Background(), h.after,
+		txlog.Entry{Type: txlog.EntryData, Payload: engine.EncodeRecord(res.Effects)})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.after = id
+	switch args[0] {
+	case "SET":
+		h.want[args[1]] = args[2]
+	case "DEL":
+		delete(h.want, args[1])
+	case "FLUSHALL":
+		h.want = make(map[string]string)
+	}
+}
+
+// checkRestore materializes the newest usable chain, replays the log
+// suffix above its tip, and requires the result to equal the model.
+func (h *shardHarness) checkRestore(mgr *Manager) Chain {
+	h.t.Helper()
+	db, chain, _, ok, err := mgr.LatestUsableChain("s1")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	replayFrom := txlog.ZeroID
+	eng := engine.New(clock.NewReal())
+	if ok {
+		eng.ResetDB(db)
+		replayFrom = chain.Tip.LogPos
+	}
+	r := h.log.NewReader(replayFrom)
+	for {
+		e, more, err := r.TryNext()
+		if err != nil {
+			h.t.Fatalf("replay above chain tip %v: %v", replayFrom, err)
+		}
+		if !more {
+			break
+		}
+		if e.Type != txlog.EntryData {
+			continue
+		}
+		if err := eng.Apply(e.Payload); err != nil {
+			h.t.Fatalf("replay apply at %v: %v", e.ID, err)
+		}
+	}
+	if got, want := eng.DB().Len(), len(h.want); got != want {
+		h.t.Fatalf("restored keyspace has %d keys, want %d", got, want)
+	}
+	for k, want := range h.want {
+		res := eng.Exec([][]byte{[]byte("GET"), []byte(k)})
+		if res.Reply.Text() != want {
+			h.t.Fatalf("restored GET %s = %q, want %q", k, res.Reply.Text(), want)
+		}
+	}
+	return chain
+}
+
+// TestBuilderDeltaAndCompactionCadence drives the forkless builder through
+// its full production cycle: a bootstrap full snapshot, DeltaInterval-paced
+// incremental deltas, and a chain-resetting compaction after CompactEvery
+// deltas — checking the health counters and chain meta at each step.
+func TestBuilderDeltaAndCompactionCadence(t *testing.T) {
+	h := newShardHarness(t, 8)
+	mgr := NewManager(s3.New(), "snaps")
+	b := &Builder{Manager: mgr, Log: h.log, ShardID: "s1", EngineVersion: 1,
+		DeltaInterval: 4, CompactEvery: 3}
+	ctx := context.Background()
+
+	// First cadence worth of writes: bootstrap found no chain, so the
+	// first emit must be a full snapshot.
+	for i := 0; i < 4; i++ {
+		h.do("SET", fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := b.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := mgr.Health().Compactions.Load(); got != 1 {
+		t.Fatalf("first emit produced %d compactions, want 1 (no chain to extend)", got)
+	}
+	chain := h.checkRestore(mgr)
+	if chain.Tip.Kind != KindFull || chain.Depth != 0 {
+		t.Fatalf("first emit = %v depth %d, want full depth 0", chain.Tip.Kind, chain.Depth)
+	}
+
+	// Three more cadences: each must extend the chain by one delta.
+	for d := 1; d <= 3; d++ {
+		for i := 0; i < 4; i++ {
+			h.do("SET", fmt.Sprintf("k%d-%d", d, i), "x")
+		}
+		if err := b.Tick(ctx); err != nil {
+			t.Fatal(err)
+		}
+		chain = h.checkRestore(mgr)
+		if chain.Tip.Kind != KindDelta || chain.Depth != d {
+			t.Fatalf("emit %d: tip %v depth %d, want delta depth %d", d, chain.Tip.Kind, chain.Depth, d)
+		}
+		if chain.Tip.BasePos.Seq == 0 {
+			t.Fatalf("delta %d has no parent link", d)
+		}
+	}
+	if got := mgr.Health().DeltasEmitted.Load(); got != 3 {
+		t.Fatalf("DeltasEmitted = %d, want 3", got)
+	}
+	if got := mgr.Health().ChainDepth.Load(); got != 3 {
+		t.Fatalf("ChainDepth gauge = %d, want 3", got)
+	}
+
+	// The fourth cadence hits CompactEvery: the chain resets to a fresh
+	// full snapshot at depth 0.
+	for i := 0; i < 4; i++ {
+		h.do("SET", fmt.Sprintf("c%d", i), "y")
+	}
+	if err := b.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	chain = h.checkRestore(mgr)
+	if chain.Tip.Kind != KindFull || chain.Depth != 0 {
+		t.Fatalf("post-compaction chain = %v depth %d, want full depth 0", chain.Tip.Kind, chain.Depth)
+	}
+	if got := mgr.Health().Compactions.Load(); got != 2 {
+		t.Fatalf("Compactions = %d, want 2", got)
+	}
+	if got := mgr.Health().ChainDepth.Load(); got != 0 {
+		t.Fatalf("ChainDepth gauge = %d after compaction, want 0", got)
+	}
+}
+
+// TestBuilderDeltaCarriesTombstones: a key deleted between emits must be
+// recorded in the next delta as a tombstone, so a chain restore does not
+// resurrect it from the base full snapshot.
+func TestBuilderDeltaCarriesTombstones(t *testing.T) {
+	h := newShardHarness(t, 8)
+	mgr := NewManager(s3.New(), "snaps")
+	b := &Builder{Manager: mgr, Log: h.log, ShardID: "s1", EngineVersion: 1,
+		DeltaInterval: 3, CompactEvery: 10}
+	ctx := context.Background()
+
+	h.do("SET", "keep", "1")
+	h.do("SET", "doomed", "2")
+	h.do("SET", "pad0", "x")
+	if err := b.Tick(ctx); err != nil { // full: contains "doomed"
+		t.Fatal(err)
+	}
+	h.do("DEL", "doomed")
+	h.do("SET", "pad1", "x")
+	h.do("SET", "pad2", "x")
+	if err := b.Tick(ctx); err != nil { // delta: tombstone for "doomed"
+		t.Fatal(err)
+	}
+	chain := h.checkRestore(mgr)
+	if chain.Tip.Kind != KindDelta {
+		t.Fatalf("second emit kind = %v, want delta", chain.Tip.Kind)
+	}
+	db, _, _, ok, err := mgr.LatestUsableChain("s1")
+	if err != nil || !ok {
+		t.Fatalf("chain restore: ok=%v err=%v", ok, err)
+	}
+	if _, present := db.Peek("doomed"); present {
+		t.Fatal("deleted key resurrected by chain restore — delta lacks its tombstone")
+	}
+	if _, present := db.Peek("keep"); !present {
+		t.Fatal("kept key missing after chain restore")
+	}
+}
+
+// TestBuilderFlushAllForcesFull: wholesale rewrites invalidate per-key
+// dirty tracking, so the next emit after FLUSHALL must be a full snapshot
+// even though the chain is nowhere near CompactEvery.
+func TestBuilderFlushAllForcesFull(t *testing.T) {
+	h := newShardHarness(t, 8)
+	mgr := NewManager(s3.New(), "snaps")
+	b := &Builder{Manager: mgr, Log: h.log, ShardID: "s1", EngineVersion: 1,
+		DeltaInterval: 3, CompactEvery: 100}
+	ctx := context.Background()
+
+	for i := 0; i < 3; i++ {
+		h.do("SET", fmt.Sprintf("a%d", i), "1")
+	}
+	if err := b.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.do("SET", "b0", "2")
+	h.do("FLUSHALL")
+	h.do("SET", "after-flush", "3")
+	if err := b.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	chain := h.checkRestore(mgr)
+	if chain.Tip.Kind != KindFull {
+		t.Fatalf("emit after FLUSHALL = %v, want full", chain.Tip.Kind)
+	}
+	db, _, _, _, err := mgr.LatestUsableChain("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("post-FLUSHALL snapshot has %d keys, want 1", db.Len())
+	}
+}
+
+// TestChainFallbackAnyDamagedSuffix is the chain-resolution property test:
+// for every length j of damaged newest links and every damage mode (bit
+// rot, torn truncation, missing file), resolution must quarantine or skip
+// the damaged suffix and restore from the longest intact prefix — and the
+// chain restore plus log replay must still reproduce the exact keyspace.
+// Damaging every link (j = depth+1 reaches the base full snapshot) must
+// degrade to pure log replay (ok=false), never a hard failure.
+func TestChainFallbackAnyDamagedSuffix(t *testing.T) {
+	const depth = 4
+	for _, mode := range []string{"corrupt", "torn", "missing"} {
+		for j := 1; j <= depth+1; j++ {
+			t.Run(fmt.Sprintf("%s-%d", mode, j), func(t *testing.T) {
+				h := newShardHarness(t, 8)
+				mgr := NewManager(s3.New(), "snaps")
+				b := &Builder{Manager: mgr, Log: h.log, ShardID: "s1", EngineVersion: 1,
+					DeltaInterval: 3, CompactEvery: 100}
+				ctx := context.Background()
+				// Build full + depth deltas, mixing SETs, overwrites, DELs.
+				for d := 0; d <= depth; d++ {
+					h.do("SET", fmt.Sprintf("link%d", d), fmt.Sprintf("v%d", d))
+					h.do("SET", "rolling", fmt.Sprintf("r%d", d))
+					if d%2 == 1 {
+						h.do("DEL", fmt.Sprintf("link%d", d-1))
+					} else {
+						h.do("SET", "pad", fmt.Sprintf("p%d", d))
+					}
+					if err := b.Tick(ctx); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Damage the newest j links.
+				keys, err := mgr.store.List(mgr.prefix + "/s1/")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(keys) != depth+1 {
+					t.Fatalf("chain has %d links, want %d", len(keys), depth+1)
+				}
+				for i := 0; i < j; i++ {
+					k := keys[len(keys)-1-i]
+					switch mode {
+					case "corrupt":
+						data, err := mgr.store.Get(k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						data[len(data)/3] ^= 0xff
+						if err := mgr.store.Put(k, data); err != nil {
+							t.Fatal(err)
+						}
+					case "torn":
+						data, err := mgr.store.Get(k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := mgr.store.Put(k, data[:len(data)*2/3]); err != nil {
+							t.Fatal(err)
+						}
+					case "missing":
+						if err := mgr.store.Delete(k); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				db, chain, _, ok, err := mgr.LatestUsableChain("s1")
+				if err != nil {
+					t.Fatalf("resolution failed hard: %v", err)
+				}
+				if j <= depth {
+					if !ok {
+						t.Fatalf("no usable chain with %d intact links remaining", depth+1-j)
+					}
+					if wantDepth := depth - j; chain.Depth != wantDepth {
+						t.Fatalf("restored chain depth %d, want %d", chain.Depth, wantDepth)
+					}
+					_ = db
+				} else if ok {
+					t.Fatal("every link damaged but resolution still claimed a chain")
+				}
+				// The survivor prefix plus log replay reproduces the keyspace.
+				h.checkRestore(mgr)
+				if mode != "missing" && mgr.TornDetected() == 0 {
+					t.Fatal("damaged links left TornDetected at 0")
+				}
+			})
+		}
+	}
+}
+
+// TestBuilderTrimRace runs the builder, the trim coordinator, and a paced
+// writer concurrently (meaningful under -race): because the trimmer gates
+// on the chain *base*, the builder's tailer — which is always at or above
+// the chain tip — must never observe a trimmed gap, re-bootstrap, or raise
+// a lag alarm, no matter how the ticks interleave.
+func TestBuilderTrimRace(t *testing.T) {
+	h := newShardHarness(t, 4)
+	mgr := NewManager(s3.New(), "snaps")
+	b := &Builder{Manager: mgr, Log: h.log, ShardID: "s1", EngineVersion: 1,
+		DeltaInterval: 4, CompactEvery: 3}
+	tr := &Trimmer{Manager: mgr}
+	tr.AddShard(Shard{ShardID: "s1", Log: h.log})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // builder ticks as fast as it can
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := b.Tick(ctx); err != nil {
+				t.Errorf("builder tick: %v", err)
+				return
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	go func() { // trimmer races the builder
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr.Tick()
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+	for i := 0; i < 400; i++ {
+		h.do("SET", fmt.Sprintf("race-%d", i%40), fmt.Sprintf("v%d", i))
+		time.Sleep(50 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if trimmed, _ := tr.Stats(); trimmed == 0 {
+		t.Fatal("race never trimmed a segment — segment threshold too large to exercise the invariant")
+	}
+	if mgr.Health().DeltasEmitted.Load() == 0 {
+		t.Fatal("race never emitted a delta")
+	}
+	st := b.Stats()
+	if st.Rebootstraps != 0 {
+		t.Fatalf("builder re-bootstrapped %d times — trim passed its tailer", st.Rebootstraps)
+	}
+	if got := mgr.Health().LagAlarms.Load(); got != 0 {
+		t.Fatalf("builder raised %d lag alarms during the race", got)
+	}
+	// Final settle: one more tick drains the tail, and the chain restores
+	// the exact keyspace.
+	if err := b.Tick(ctx); err != nil {
+		t.Fatal(err)
+	}
+	h.checkRestore(mgr)
+}

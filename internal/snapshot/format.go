@@ -20,11 +20,35 @@ import (
 	"memorydb/internal/txlog"
 )
 
-// Magic values framing a snapshot file.
+// Magic values framing a snapshot file. V1 framed self-contained full
+// snapshots only; V2 adds the chain fields (kind, base position, chain
+// depth) the forkless builder needs for incremental deltas. The decoder
+// accepts both, so pre-chain snapshots remain restorable.
 var (
-	magicHeader = []byte("MDBSNAP1")
-	magicFooter = []byte("MDBSNAPE")
+	magicHeaderV1 = []byte("MDBSNAP1")
+	magicHeaderV2 = []byte("MDBSNAP2")
+	magicFooter   = []byte("MDBSNAPE")
 )
+
+// Kind distinguishes self-contained full snapshots from incremental
+// deltas that only make sense applied on top of their parent.
+type Kind uint8
+
+const (
+	// KindFull is a complete keyspace image; restore starts here.
+	KindFull Kind = 0
+	// KindDelta holds only the objects changed (and tombstones for keys
+	// deleted) since the parent snapshot at Meta.BasePos.
+	KindDelta Kind = 1
+)
+
+// String names the kind for alarms and INFO.
+func (k Kind) String() string {
+	if k == KindDelta {
+		return "delta"
+	}
+	return "full"
+}
 
 // Meta is the snapshot's provenance: which shard, which engine version
 // produced it, and exactly which transaction log prefix it captures.
@@ -36,6 +60,14 @@ type Meta struct {
 	// LogChecksum is the log's running checksum as of LogPos; restore
 	// rehearsal chains from this value (§7.2.1).
 	LogChecksum uint64
+	// Kind marks this file as a full image or an incremental delta.
+	Kind Kind
+	// BasePos is the parent snapshot's LogPos for a delta (the chain
+	// link); ZeroID for a full snapshot.
+	BasePos txlog.EntryID
+	// ChainDepth is the number of deltas between this file and the
+	// chain's full base (0 for a full snapshot).
+	ChainDepth uint32
 }
 
 // Errors returned by the decoder.
@@ -52,16 +84,17 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 // snapshot must not second-guess it with its own clock.
 func timeZero() time.Time { return time.Time{} }
 
-// Write serializes db and meta to w. Everything before the stored sum —
-// header, meta, body length, and body — is covered by a CRC64 in the
-// footer, so a flipped byte anywhere in the file (not just the body; a
-// corrupted LogPos or LogChecksum would silently poison the restore
-// rehearsal) is detected before a restore is attempted.
-func Write(w io.Writer, db *store.DB, meta Meta) error {
+// writeFile frames meta+body with the V2 header and whole-file CRC64.
+// Everything before the stored sum — header, meta, body length, and body
+// — is covered, so a flipped byte anywhere in the file (not just the
+// body; a corrupted LogPos, BasePos or LogChecksum would silently poison
+// the restore rehearsal or snap the chain) is detected before a restore
+// is attempted.
+func writeFile(w io.Writer, meta Meta, body []byte) error {
 	bw := bufio.NewWriterSize(w, 256<<10)
 	h := crc64.New(crcTable)
 	mw := io.MultiWriter(bw, h)
-	if _, err := mw.Write(magicHeader); err != nil {
+	if _, err := mw.Write(magicHeaderV2); err != nil {
 		return err
 	}
 	if err := writeString(mw, meta.ShardID); err != nil {
@@ -76,25 +109,19 @@ func Write(w io.Writer, db *store.DB, meta Meta) error {
 	if err := binary.Write(mw, binary.BigEndian, meta.LogChecksum); err != nil {
 		return err
 	}
-
-	var body bytes.Buffer
-	var encodeErr error
-	// Snapshot writers run on quiescent copies (off-box replicas), so a
-	// plain iteration is a consistent cut.
-	db.ForEach(timeZero(), func(key string, obj *store.Object, expireAt int64) bool {
-		if err := encodeObject(&body, key, obj, expireAt); err != nil {
-			encodeErr = err
-			return false
-		}
-		return true
-	})
-	if encodeErr != nil {
-		return encodeErr
-	}
-	if err := binary.Write(mw, binary.BigEndian, uint64(body.Len())); err != nil {
+	if err := binary.Write(mw, binary.BigEndian, uint8(meta.Kind)); err != nil {
 		return err
 	}
-	if _, err := mw.Write(body.Bytes()); err != nil {
+	if err := binary.Write(mw, binary.BigEndian, meta.BasePos.Seq); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.BigEndian, meta.ChainDepth); err != nil {
+		return err
+	}
+	if err := binary.Write(mw, binary.BigEndian, uint64(len(body))); err != nil {
+		return err
+	}
+	if _, err := mw.Write(body); err != nil {
 		return err
 	}
 	if err := binary.Write(bw, binary.BigEndian, h.Sum64()); err != nil {
@@ -106,66 +133,154 @@ func Write(w io.Writer, db *store.DB, meta Meta) error {
 	return bw.Flush()
 }
 
+// Write serializes db and meta to w as a full snapshot body.
+func Write(w io.Writer, db *store.DB, meta Meta) error {
+	var body bytes.Buffer
+	var encodeErr error
+	// Snapshot writers run on quiescent copies (off-box replicas, the
+	// builder's private keyspace), so a plain iteration is a consistent
+	// cut.
+	db.ForEach(timeZero(), func(key string, obj *store.Object, expireAt int64) bool {
+		if err := encodeObject(&body, key, obj, expireAt); err != nil {
+			encodeErr = err
+			return false
+		}
+		return true
+	})
+	if encodeErr != nil {
+		return encodeErr
+	}
+	return writeFile(w, meta, body.Bytes())
+}
+
+// WriteDelta serializes an incremental snapshot: for each key in keys,
+// the current object in db (replacing whatever the parent chain held) or
+// a tombstone if the key no longer exists. meta must carry Kind=KindDelta
+// and the parent link in BasePos.
+func WriteDelta(w io.Writer, db *store.DB, keys []string, meta Meta) error {
+	var body bytes.Buffer
+	for _, key := range keys {
+		obj, ok := db.Peek(key)
+		if !ok {
+			if err := encodeTombstone(&body, key); err != nil {
+				return err
+			}
+			continue
+		}
+		expireAt, _ := db.ExpireAt(key)
+		if err := encodeObject(&body, key, obj, expireAt); err != nil {
+			return err
+		}
+	}
+	return writeFile(w, meta, body.Bytes())
+}
+
 // Read parses a snapshot, returning a freshly built keyspace and its
-// meta. The whole-file checksum (header + meta + body) is verified before
-// any object is returned.
+// meta. For a delta file the returned DB holds only the changed objects
+// (tombstones deleting from an empty keyspace are no-ops); chain restores
+// use ReadInto to layer deltas onto their base.
 func Read(r io.Reader) (*store.DB, Meta, error) {
+	db := store.NewDB()
+	meta, err := ReadInto(r, db)
+	if err != nil {
+		return nil, meta, err
+	}
+	return db, meta, nil
+}
+
+// ReadInto parses a snapshot and applies its records onto db: objects
+// replace existing keys, tombstones delete them — exactly the layering a
+// full+delta chain restore needs. The whole-file checksum (header + meta
+// + body) is verified before any record is applied, so a torn or
+// bit-rotted file never half-applies.
+func ReadInto(r io.Reader, db *store.DB) (Meta, error) {
+	meta, body, err := readFile(r)
+	if err != nil {
+		return meta, err
+	}
+	return meta, applyBody(body, db)
+}
+
+// applyBody decodes a verified body's records into db.
+func applyBody(body []byte, db *store.DB) error {
+	rd := bytes.NewReader(body)
+	for rd.Len() > 0 {
+		if err := decodeObject(rd, db); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFile verifies a snapshot file's framing and whole-file checksum and
+// returns its meta plus the still-encoded body. Chain resolution uses
+// this to validate and order every link before applying any of them.
+func readFile(r io.Reader) (Meta, []byte, error) {
 	br := bufio.NewReaderSize(r, 256<<10)
 	h := crc64.New(crcTable)
 	tr := io.TeeReader(br, h)
 	var meta Meta
-	hdr := make([]byte, len(magicHeader))
+	hdr := make([]byte, len(magicHeaderV2))
 	if _, err := io.ReadFull(tr, hdr); err != nil {
-		return nil, meta, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
+		return meta, nil, fmt.Errorf("%w: short header: %v", ErrBadSnapshot, err)
 	}
-	if !bytes.Equal(hdr, magicHeader) {
-		return nil, meta, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
+	v2 := bytes.Equal(hdr, magicHeaderV2)
+	if !v2 && !bytes.Equal(hdr, magicHeaderV1) {
+		return meta, nil, fmt.Errorf("%w: bad magic", ErrBadSnapshot)
 	}
 	shardID, err := readString(tr)
 	if err != nil {
-		return nil, meta, err
+		return meta, nil, err
 	}
 	meta.ShardID = shardID
 	if err := binary.Read(tr, binary.BigEndian, &meta.EngineVersion); err != nil {
-		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if err := binary.Read(tr, binary.BigEndian, &meta.LogPos.Seq); err != nil {
-		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if err := binary.Read(tr, binary.BigEndian, &meta.LogChecksum); err != nil {
-		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if v2 {
+		var kind uint8
+		if err := binary.Read(tr, binary.BigEndian, &kind); err != nil {
+			return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		if kind > uint8(KindDelta) {
+			return meta, nil, fmt.Errorf("%w: unknown snapshot kind %d", ErrBadSnapshot, kind)
+		}
+		meta.Kind = Kind(kind)
+		if err := binary.Read(tr, binary.BigEndian, &meta.BasePos.Seq); err != nil {
+			return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+		if err := binary.Read(tr, binary.BigEndian, &meta.ChainDepth); err != nil {
+			return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
 	}
 	var bodyLen uint64
 	if err := binary.Read(tr, binary.BigEndian, &bodyLen); err != nil {
-		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if bodyLen > 16<<30 {
-		return nil, meta, fmt.Errorf("%w: implausible body length %d", ErrBadSnapshot, bodyLen)
+		return meta, nil, fmt.Errorf("%w: implausible body length %d", ErrBadSnapshot, bodyLen)
 	}
 	body := make([]byte, bodyLen)
 	if _, err := io.ReadFull(tr, body); err != nil {
-		return nil, meta, fmt.Errorf("%w: short body: %v", ErrBadSnapshot, err)
+		return meta, nil, fmt.Errorf("%w: short body: %v", ErrBadSnapshot, err)
 	}
 	var storedSum uint64
 	if err := binary.Read(br, binary.BigEndian, &storedSum); err != nil {
-		return nil, meta, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		return meta, nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	ftr := make([]byte, len(magicFooter))
 	if _, err := io.ReadFull(br, ftr); err != nil || !bytes.Equal(ftr, magicFooter) {
-		return nil, meta, fmt.Errorf("%w: bad footer", ErrBadSnapshot)
+		return meta, nil, fmt.Errorf("%w: bad footer", ErrBadSnapshot)
 	}
 	if h.Sum64() != storedSum {
-		return nil, meta, ErrChecksum
+		return meta, nil, ErrChecksum
 	}
-
-	db := store.NewDB()
-	rd := bytes.NewReader(body)
-	for rd.Len() > 0 {
-		if err := decodeObject(rd, db); err != nil {
-			return nil, meta, err
-		}
-	}
-	return db, meta, nil
+	return meta, body, nil
 }
 
 // object kinds on the wire (decoupled from store.Kind ordering).
@@ -176,7 +291,22 @@ const (
 	wireSet    byte = 4
 	wireZSet   byte = 5
 	wireStream byte = 6
+	// wireTombstone marks a key deleted since the parent snapshot; it
+	// carries no payload and only appears in delta bodies.
+	wireTombstone byte = 7
 )
+
+// encodeTombstone writes a deletion record for key (delta bodies only).
+func encodeTombstone(w *bytes.Buffer, key string) error {
+	if err := writeString(w, key); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.BigEndian, int64(0)); err != nil {
+		return err
+	}
+	w.WriteByte(wireTombstone)
+	return nil
+}
 
 func encodeObject(w *bytes.Buffer, key string, obj *store.Object, expireAt int64) error {
 	if err := writeString(w, key); err != nil {
@@ -283,6 +413,10 @@ func decodeObject(r *bytes.Reader, db *store.DB) error {
 	kind, err := r.ReadByte()
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if kind == wireTombstone {
+		db.Delete(key, timeZero())
+		return nil
 	}
 	obj := &store.Object{}
 	switch kind {

@@ -24,6 +24,13 @@ type Manager struct {
 	// LatestUsable across all shards. Shared (by pointer) with every
 	// WithRetries derivative so the count survives rewrapping.
 	torn *atomic.Int64
+	// health carries the forkless builder's exported gauges/counters,
+	// shared with derivatives so nodes can read them off any handle.
+	health *BuilderHealth
+	// AlarmFn, when set, is invoked each time chain resolution
+	// quarantines a damaged link — the same monitoring hook the
+	// scheduler's verification failures page through.
+	AlarmFn func(msg string)
 }
 
 // NewManager returns a manager writing under prefix. st is typically a
@@ -33,13 +40,26 @@ func NewManager(st s3.Interface, prefix string) *Manager {
 	if prefix == "" {
 		prefix = "snapshots"
 	}
-	return &Manager{store: st, prefix: prefix, torn: new(atomic.Int64)}
+	return &Manager{store: st, prefix: prefix, torn: new(atomic.Int64), health: &BuilderHealth{}}
 }
 
 // WithRetries returns a Manager reading and writing through a retrying
 // wrapper with the given policy, sharing the underlying store.
 func (m *Manager) WithRetries(pol retry.Policy) *Manager {
-	return &Manager{store: s3.WithRetry(m.store, pol), prefix: m.prefix, torn: m.torn}
+	return &Manager{store: s3.WithRetry(m.store, pol), prefix: m.prefix,
+		torn: m.torn, health: m.health, AlarmFn: m.AlarmFn}
+}
+
+// Health returns the builder health block shared by every derivative of
+// this manager — the node-side observability reads lag, delta and
+// compaction counts from here.
+func (m *Manager) Health() *BuilderHealth { return m.health }
+
+// alarm forwards a quarantine description to AlarmFn when wired.
+func (m *Manager) alarm(msg string) {
+	if m.AlarmFn != nil {
+		m.AlarmFn(msg)
+	}
 }
 
 // TornDetected returns how many corrupt or torn snapshot versions this
@@ -73,45 +93,225 @@ func (m *Manager) Latest(shardID string) (*store.DB, Meta, bool, error) {
 	return db, meta, ok, err
 }
 
+// Chain describes a resolved restore chain: the full snapshot at its
+// base, zero or more deltas, and the tip whose LogPos restore replays
+// from. Depth is the number of deltas layered on the base.
+type Chain struct {
+	Tip   Meta
+	Base  Meta
+	Depth int
+}
+
+// MaxChainDepth bounds chain resolution: a chain longer than this (the
+// builder compacts far earlier) indicates a corrupted parent link loop
+// and is treated as damage, not followed forever.
+const MaxChainDepth = 64
+
+// errChainDamaged marks a candidate tip whose chain cannot be completed
+// (torn/corrupt/missing link); resolution falls back to an older tip.
+var errChainDamaged = errors.New("snapshot: damaged chain link")
+
 // LatestUsable walks the shard's snapshot versions newest → oldest and
-// returns the first one that deserializes with a valid body checksum.
-// A version whose bytes are damaged — truncated by a torn write, or
-// silently corrupted at rest — fails the §7.2.1 checksum gates
-// (ErrBadSnapshot / ErrChecksum) and is skipped, falling back to the
-// next-older version; exhausting every version falls back to pure log
-// replay (ok=false), never a hard restore failure. skipped reports how
-// many damaged versions were passed over (also accumulated in
-// TornDetected). Only genuine storage errors abort the walk: a restore
-// must not silently time-travel past a snapshot that is merely
-// unreachable right now.
+// returns the materialized keyspace of the first *restorable chain*: a
+// full snapshot for a self-contained version, or full+deltas layered in
+// order for an incremental tip. A version whose chain is damaged — a
+// link truncated by a torn write, silently corrupted at rest, or missing
+// — fails the §7.2.1 checksum gates and is skipped, falling back to the
+// next-older tip; damaged *parent* links are quarantined (removed +
+// alarmed) so no later restore retries a chain through them, while a
+// damaged candidate tip is left in place so every recovering node counts
+// it independently. Exhausting every version falls back to
+// pure log replay (ok=false), never a hard restore failure. skipped
+// reports how many unusable tips were passed over (damaged files are
+// also accumulated in TornDetected). Only genuine storage errors abort
+// the walk: a restore must not silently time-travel past a snapshot that
+// is merely unreachable right now.
 func (m *Manager) LatestUsable(shardID string) (*store.DB, Meta, int, bool, error) {
+	db, chain, skipped, ok, err := m.LatestUsableChain(shardID)
+	return db, chain.Tip, skipped, ok, err
+}
+
+// LatestUsableChain is LatestUsable exposing the whole chain: trim
+// coordination needs the *base* position (trimming past it would strand
+// the deltas above), and observability reports the depth.
+func (m *Manager) LatestUsableChain(shardID string) (*store.DB, Chain, int, bool, error) {
 	keys, err := m.store.List(m.prefix + "/" + shardID + "/")
 	if err != nil {
-		return nil, Meta{}, 0, false, err
+		return nil, Chain{}, 0, false, err
+	}
+	index := make(map[uint64]string, len(keys))
+	for _, k := range keys {
+		if seq, ok := seqOfKey(k); ok {
+			index[seq] = k
+		}
 	}
 	skipped := 0
 	for i := len(keys) - 1; i >= 0; i-- {
-		data, err := m.store.Get(keys[i])
+		files, err := m.walkChain(shardID, index, keys[i])
+		if err != nil {
+			if errors.Is(err, errChainDamaged) {
+				skipped++
+				continue
+			}
+			return nil, Chain{}, skipped, false, err
+		}
+		if files == nil {
+			// Tip vanished between List and Get (quarantine or trim races
+			// are benign): not even a skip.
+			continue
+		}
+		db := store.NewDB()
+		applied := true
+		for _, f := range files {
+			if err := applyBody(f.body, db); err != nil {
+				// The CRC passed but the body does not decode — treat as
+				// damage at that link and fall back.
+				m.torn.Add(1)
+				m.quarantine(shardID, f.meta.LogPos, fmt.Sprintf("body decode failed: %v", err))
+				applied = false
+				break
+			}
+		}
+		if !applied {
+			skipped++
+			continue
+		}
+		tip, base := files[len(files)-1].meta, files[0].meta
+		return db, Chain{Tip: tip, Base: base, Depth: len(files) - 1}, skipped, true, nil
+	}
+	return nil, Chain{}, skipped, false, nil
+}
+
+// NewestChain resolves the chain ending at the newest stored version
+// *without falling back*: verification must judge the snapshot just
+// produced, not whatever older survivor a restore would settle for. A
+// damaged link fails the call (after quarantining it); ok=false means the
+// shard has no snapshot at all.
+func (m *Manager) NewestChain(shardID string) (*store.DB, Chain, bool, error) {
+	keys, err := m.store.List(m.prefix + "/" + shardID + "/")
+	if err != nil {
+		return nil, Chain{}, false, err
+	}
+	if len(keys) == 0 {
+		return nil, Chain{}, false, nil
+	}
+	index := make(map[uint64]string, len(keys))
+	for _, k := range keys {
+		if seq, ok := seqOfKey(k); ok {
+			index[seq] = k
+		}
+	}
+	files, err := m.walkChain(shardID, index, keys[len(keys)-1])
+	if err != nil {
+		return nil, Chain{}, false, err
+	}
+	if files == nil {
+		return nil, Chain{}, false, nil
+	}
+	db := store.NewDB()
+	for _, f := range files {
+		if err := applyBody(f.body, db); err != nil {
+			m.torn.Add(1)
+			m.quarantine(shardID, f.meta.LogPos, fmt.Sprintf("body decode failed: %v", err))
+			return nil, Chain{}, false, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+		}
+	}
+	tip, base := files[len(files)-1].meta, files[0].meta
+	return db, Chain{Tip: tip, Base: base, Depth: len(files) - 1}, true, nil
+}
+
+// chainFile is one verified link: its meta plus the still-encoded body.
+type chainFile struct {
+	meta Meta
+	body []byte
+}
+
+// walkChain fetches and checksum-verifies the chain ending at tipKey,
+// returning its links ordered base → tip. A damaged *parent* link (bad
+// CRC, malformed frame, implausible parent pointer) is quarantined via the
+// Remove/alarm path — every delta above it is already unrestorable, so no
+// later restore should retry it. A damaged candidate *tip* is only
+// skipped, not removed: every resolver (each recovering node) must see and
+// count it independently, exactly like the flat-version fallback always
+// has. A link missing from the store fails the walk without quarantining
+// (the file is already gone). (nil, nil) means the tip itself disappeared
+// between List and Get. Genuine storage errors are returned verbatim.
+func (m *Manager) walkChain(shardID string, index map[uint64]string, tipKey string) ([]chainFile, error) {
+	var down []chainFile // tip → base while walking
+	key := tipKey
+	for {
+		if len(down) > MaxChainDepth {
+			m.torn.Add(1)
+			m.quarantine(shardID, down[len(down)-1].meta.LogPos,
+				fmt.Sprintf("chain deeper than %d links", MaxChainDepth))
+			return nil, errChainDamaged
+		}
+		data, err := m.store.Get(key)
 		if err != nil {
 			if errors.Is(err, s3.ErrNoSuchKey) {
-				// Deleted between List and Get (quarantine or trim races
-				// are benign): treat like any other unusable version.
-				continue
+				if len(down) == 0 {
+					return nil, nil
+				}
+				// A parent link was quarantined or lost: every delta above
+				// it is unrestorable from this tip.
+				return nil, errChainDamaged
 			}
-			return nil, Meta{}, skipped, false, err
+			return nil, err
 		}
-		db, meta, err := Read(bytes.NewReader(data))
+		meta, body, err := readFile(bytes.NewReader(data))
 		if err != nil {
 			if errors.Is(err, ErrBadSnapshot) || errors.Is(err, ErrChecksum) {
-				skipped++
 				m.torn.Add(1)
-				continue
+				if len(down) > 0 {
+					m.quarantineKey(shardID, key, fmt.Sprintf("checksum/framing: %v", err))
+				}
+				return nil, errChainDamaged
 			}
-			return nil, Meta{}, skipped, false, err
+			return nil, err
 		}
-		return db, meta, skipped, true, nil
+		down = append(down, chainFile{meta: meta, body: body})
+		if meta.Kind == KindFull {
+			break
+		}
+		if meta.BasePos.Seq >= meta.LogPos.Seq {
+			// A delta claiming a parent at or above itself is corrupt
+			// provenance even with a valid CRC.
+			m.torn.Add(1)
+			m.quarantineKey(shardID, key, fmt.Sprintf("delta base %d not below tip %d",
+				meta.BasePos.Seq, meta.LogPos.Seq))
+			return nil, errChainDamaged
+		}
+		parent, ok := index[meta.BasePos.Seq]
+		if !ok {
+			return nil, errChainDamaged
+		}
+		key = parent
 	}
-	return nil, Meta{}, skipped, false, nil
+	// Reverse to base → tip application order.
+	for i, j := 0, len(down)-1; i < j; i, j = i+1, j-1 {
+		down[i], down[j] = down[j], down[i]
+	}
+	return down, nil
+}
+
+// quarantine removes a damaged chain link and pages through AlarmFn —
+// the same Remove/alarm path the scheduler uses for snapshots that fail
+// their restore rehearsal.
+func (m *Manager) quarantine(shardID string, pos txlog.EntryID, reason string) {
+	_ = m.Remove(shardID, pos)
+	m.alarm(fmt.Sprintf("snapshot: quarantined %s seq %d: %s", shardID, pos.Seq, reason))
+}
+
+func (m *Manager) quarantineKey(shardID, key, reason string) {
+	_ = m.store.Delete(key)
+	seq, _ := seqOfKey(key)
+	m.alarm(fmt.Sprintf("snapshot: quarantined %s seq %d: %s", shardID, seq, reason))
+}
+
+// seqOfKey parses the log position encoded in a snapshot key.
+func seqOfKey(key string) (uint64, bool) {
+	seq, err := strconv.ParseUint(key[strings.LastIndexByte(key, '/')+1:], 10, 64)
+	return seq, err == nil
 }
 
 // Remove deletes the snapshot version at pos (idempotent). The scheduler

@@ -60,7 +60,7 @@ func TestQuickCorruptionAlwaysDetected(t *testing.T) {
 	pristine := buf.Bytes()
 	// The header region (magic + meta) is guarded by structure checks;
 	// the body by CRC64. Flip one byte at a sample of positions.
-	headerLen := len(magicHeader) + 4 + len("q") + 4 + 8 + 8 + 8
+	headerLen := len(magicHeaderV2) + 4 + len("q") + 4 + 8 + 8 + 1 + 8 + 4 + 8
 	for pos := headerLen; pos < len(pristine)-10; pos += 7 {
 		corrupted := append([]byte(nil), pristine...)
 		corrupted[pos] ^= 0x01

@@ -83,20 +83,25 @@ func (t *Trimmer) tickShard(sh Shard) {
 		return
 	}
 
-	// The verified gate: LatestUsable re-checks body checksums and walks
-	// back to the newest snapshot that actually loads. Only that position
-	// may authorize a trim.
-	_, meta, _, usable, err := t.Manager.LatestUsable(sh.ShardID)
+	// The verified gate: LatestUsableChain re-checks every link's
+	// checksum and walks back to the newest chain that actually loads.
+	// Only that chain's *base* (its full snapshot) may authorize a trim:
+	// restoring past a damaged tip delta falls back to an older prefix of
+	// the chain and needs log replay from that lower position, so
+	// trimming to the tip would strand every delta above the base. The
+	// horizon advances to the tip only when the builder compacts (the new
+	// full becomes its own base).
+	_, chain, _, usable, err := t.Manager.LatestUsableChain(sh.ShardID)
 	t.mu.Lock()
 	t.passes++
 	t.mu.Unlock()
 	if err != nil || !usable {
 		return
 	}
-	n := sh.Log.Trim(meta.LogPos)
+	n := sh.Log.Trim(chain.Base.LogPos)
 	t.mu.Lock()
 	t.trimmed += int64(n)
-	t.lastPos[sh.ShardID] = meta.LogPos.Seq
+	t.lastPos[sh.ShardID] = chain.Tip.LogPos.Seq
 	t.mu.Unlock()
 }
 

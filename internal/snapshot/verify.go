@@ -1,7 +1,6 @@
 package snapshot
 
 import (
-	"bytes"
 	"context"
 	"encoding/binary"
 	"fmt"
@@ -12,15 +11,18 @@ import (
 	"memorydb/internal/txlog"
 )
 
-// Verify rehearses restoring the freshest snapshot of shardID on an
-// off-box cluster (paper §7.2.1):
+// Verify rehearses restoring the freshest snapshot chain of shardID on
+// an off-box cluster (paper §7.2.1):
 //
-//  1. validate the snapshot body against its own stored data checksum;
-//  2. confirm the snapshot's stored log checksum matches the log's
-//     running checksum at the snapshot's positional identifier — i.e. the
-//     snapshot is equivalent to its corresponding log prefix;
+//  1. validate every link of the newest chain — full base plus each
+//     delta — against its own whole-file checksum, and materialize the
+//     layered keyspace; the newest tip must resolve, no falling back to
+//     an older survivor;
+//  2. confirm the tip's stored log checksum matches the log's running
+//     checksum at the tip's positional identifier — i.e. the chain is
+//     equivalent to its corresponding log prefix;
 //  3. replay the subsequent transaction log, recomputing the running
-//     checksum from the snapshot's stored value and comparing it against
+//     checksum from the tip's stored value and comparing it against
 //     every checksum entry encountered.
 //
 // Only snapshots that pass all three gates should be made available for
@@ -29,19 +31,16 @@ func Verify(ctx context.Context, m *Manager, shardID string, log *txlog.Log, clk
 	if clk == nil {
 		clk = clock.NewReal()
 	}
-	raw, _, ok, err := m.LatestRaw(shardID)
+	// Gate 1: every link's checksum is validated during chain resolution.
+	db, chain, ok, err := m.NewestChain(shardID)
 	if err != nil {
-		return err
+		return fmt.Errorf("snapshot: content validation failed: %w", err)
 	}
 	if !ok {
 		return fmt.Errorf("snapshot: no snapshot to verify for %q", shardID)
 	}
-	// Gate 1: the body checksum is validated inside Read.
-	db, meta, err := Read(bytes.NewReader(raw))
-	if err != nil {
-		return fmt.Errorf("snapshot: content validation failed: %w", err)
-	}
-	// Gate 2: snapshot checksum vs the log prefix it claims to capture.
+	meta := chain.Tip
+	// Gate 2: tip checksum vs the log prefix the chain claims to capture.
 	want, err := log.ChecksumAt(meta.LogPos)
 	if err != nil {
 		return fmt.Errorf("snapshot: log prefix unavailable at %v: %w", meta.LogPos, err)
@@ -51,8 +50,8 @@ func Verify(ctx context.Context, m *Manager, shardID string, log *txlog.Log, clk
 			meta.LogPos, meta.LogChecksum, want)
 	}
 	// Gate 3: restore rehearsal — replay the suffix, chaining the running
-	// checksum from the snapshot's stored value and comparing against
-	// every injected checksum entry.
+	// checksum from the tip's stored value and comparing against every
+	// checksum entry encountered.
 	eng := engine.New(clk)
 	eng.ResetDB(db)
 	running := meta.LogChecksum

@@ -58,3 +58,16 @@ MEMORYDB_OBS_GUARD=1 go test -run TestObsOverheadGuard -count=1 ./internal/obs/ 
 # the live transaction log past twice the segment threshold — trimming
 # has to keep up, not just happen once.
 MEMORYDB_SOAK=1 go test -run TestSoakBoundedLog -count=1 ./internal/cluster/
+# Forkless-snapshot gate (same as `make forkless`): the log-tailing
+# builder's crash schedules — crash mid-delta, crash mid-compaction,
+# corrupt-delta-in-chain fallback, restore from a deep full+delta chain —
+# must restore the exact acknowledged state at two pinned seeds, at one
+# and eight execution shards, under the race detector, with zero
+# trimmed-gap retries and zero restore failures through quarantined
+# chains; plus the chain-fallback property test and the builder-vs-trim
+# race in the snapshot package.
+MEMORYDB_SHARDS=1 MEMORYDB_CRASH_SEED=1 go test -race -run 'SnapshotCrash' ./internal/cluster/
+MEMORYDB_SHARDS=1 MEMORYDB_CRASH_SEED=2 go test -race -run 'SnapshotCrash' ./internal/cluster/
+MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=1 go test -race -run 'SnapshotCrash' ./internal/cluster/
+MEMORYDB_SHARDS=8 MEMORYDB_CRASH_SEED=2 go test -race -run 'SnapshotCrash' ./internal/cluster/
+go test -race -run 'Builder|ChainFallback' ./internal/snapshot/
