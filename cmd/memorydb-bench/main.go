@@ -21,11 +21,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
+	"strings"
 	"time"
 
 	"memorydb/internal/bench"
+	"memorydb/internal/obs"
 )
+
+// benchMeta stamps every BENCH_*.json artifact with enough provenance to
+// compare runs: which commit produced it, when, and on how much hardware
+// (GOMAXPROCS plus the sharded arm's execution-shard count, which derives
+// from it). Rows carry the measurements; meta says what produced them.
+type benchMeta struct {
+	GitCommit   string `json:"git_commit"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	ShardCount  int    `json:"shard_count"`
+}
+
+// gitCommit resolves the producing commit: the VCS stamp embedded by
+// `go build` when present, else `git rev-parse HEAD` (covers `go run`
+// and `go test` binaries, which skip VCS stamping), else "unknown".
+func gitCommit() string {
+	if _, commit := obs.BuildID(); commit != "unknown" {
+		return commit
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
 
 func main() {
 	fig := flag.String("fig", "all", "figure to regenerate: 4a 4b 5a 5b 5c 6 7 bw gc reads fork all")
@@ -92,11 +122,21 @@ func main() {
 		"5a": "fig5a", "5b": "fig5b", "5c": "fig5c",
 		"gc": "pipelined", "fork": "fig6",
 	}
+	meta := benchMeta{
+		GitCommit:   gitCommit(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		ShardCount:  bench.ShardedArmShards(),
+	}
 	writeJSON := func(name string, rows any) error {
 		if *jsonDir == "" || rows == nil {
 			return nil
 		}
-		data, err := json.MarshalIndent(rows, "", "  ")
+		data, err := json.MarshalIndent(struct {
+			Meta benchMeta `json:"meta"`
+			Rows any       `json:"rows"`
+		}{meta, rows}, "", "  ")
 		if err != nil {
 			return err
 		}

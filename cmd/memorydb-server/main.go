@@ -18,8 +18,15 @@
 //	    http://<addr>/metrics (empty = disabled)
 //	-slowlog-threshold / MEMORYDB_SLOWLOG_THRESHOLD — end-to-end latency
 //	    above which a command is recorded in the slowlog
-//	-trace-sample / MEMORYDB_TRACE_SAMPLE — fraction of commands traced
-//	    into the in-memory ring (0 disables sampling entirely)
+//	-trace-sample / MEMORYDB_TRACE_SAMPLE — fraction of commands traced:
+//	    drives both the per-command slowlog tracer and the distributed
+//	    span collector behind TRACE GET/RECENT (0 disables sampling;
+//	    span collection stays armed so TRACE RESET + live sampling knobs
+//	    keep working)
+//	-flight-events / MEMORYDB_FLIGHT_EVENTS — per-node flight-recorder
+//	    ring size (0 = 512); DEBUG FLIGHT DUMP renders it
+//	pprof — when -metrics-addr is set, the standard /debug/pprof/
+//	    handlers (profile, heap, goroutine, trace) share its mux
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -43,6 +51,7 @@ import (
 	"memorydb/internal/s3"
 	"memorydb/internal/server"
 	"memorydb/internal/snapshot"
+	"memorydb/internal/trace"
 	"memorydb/internal/txlog"
 )
 
@@ -57,6 +66,8 @@ func main() {
 		"record commands slower than this in the slowlog")
 	traceSample := flag.Float64("trace-sample", envFloat("MEMORYDB_TRACE_SAMPLE", 0),
 		"fraction of commands to trace (0 disables sampling)")
+	flightEvents := flag.Int("flight-events", envInt("MEMORYDB_FLIGHT_EVENTS", 0),
+		"flight-recorder ring size per node (0 = 512)")
 	shards := flag.Int("shards", envInt("MEMORYDB_SHARDS", 0),
 		"execution shards per node (0 = GOMAXPROCS)")
 	segmentBytes := flag.Int("segment-bytes", envInt("MEMORYDB_SEGMENT_BYTES", 0),
@@ -78,6 +89,11 @@ func main() {
 		SlowlogThreshold: *slowlogThresh,
 		TraceSampleRate:  *traceSample,
 	})
+	// The distributed span collector and the log service's flight ring are
+	// shared by every component in the process, so one sampled command's
+	// spans — front-end, workloop stages, log quorum acks — assemble into
+	// a single tree behind TRACE GET.
+	collector := trace.NewCollector(*traceSample, 1, 0)
 
 	var backend server.Backend
 	switch *mode {
@@ -86,6 +102,8 @@ func main() {
 			Clock:         clock.NewReal(),
 			CommitLatency: fixedOr(*commitLat),
 			SegmentBytes:  *segmentBytes,
+			Trace:         collector,
+			Flight:        trace.NewFlight("txlog", *flightEvents),
 		})
 		logHandle, err := svc.CreateLog("shard-0")
 		if err != nil {
@@ -108,6 +126,8 @@ func main() {
 			Obs:                metrics,
 			Shards:             *shards,
 			ReplicaReadTimeout: *replicaReadTimeout,
+			Trace:              collector,
+			FlightEvents:       *flightEvents,
 		})
 		if err != nil {
 			log.Fatalf("create node: %v", err)
@@ -156,6 +176,7 @@ func main() {
 				DeltaInterval: uint64(*deltaInterval),
 				CompactEvery:  *compactEvery,
 				Obs:           metrics,
+				Flight:        node.FlightRecorder(),
 			}
 			bctx, bcancel := context.WithCancel(context.Background())
 			defer bcancel()
@@ -172,7 +193,7 @@ func main() {
 		log.Fatalf("unknown mode %q", *mode)
 	}
 
-	srv := server.New(server.Config{Addr: *addr, Backend: backend, Multiplex: *multiplex, Obs: metrics})
+	srv := server.New(server.Config{Addr: *addr, Backend: backend, Multiplex: *multiplex, Obs: metrics, Trace: collector})
 	if err := srv.Start(); err != nil {
 		log.Fatalf("listen: %v", err)
 	}
@@ -182,6 +203,14 @@ func main() {
 	if *metricsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.Handler(metrics))
+		// Standard pprof surface on the same mux: CPU/heap/goroutine
+		// profiles and the runtime execution tracer, for production
+		// debugging next to the metrics scrape.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		msrv := &http.Server{Addr: *metricsAddr, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {

@@ -62,6 +62,7 @@ func TestChaosAcknowledgedWritesSurvive(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Stop()
+	dumpTimelineOnFailure(t, c)
 	for _, sh := range c.Shards() {
 		if _, err := sh.WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
 			t.Fatal(err)
@@ -218,6 +219,7 @@ func chaosCluster(t *testing.T, seed int64) (*txlog.Service, *Cluster) {
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Stop)
+	dumpTimelineOnFailure(t, c)
 	for _, sh := range c.Shards() {
 		if _, err := sh.WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
 			t.Fatal(err)

@@ -20,6 +20,7 @@ import (
 	"memorydb/internal/netsim"
 	"memorydb/internal/resp"
 	"memorydb/internal/snapshot"
+	"memorydb/internal/trace"
 	"memorydb/internal/txlog"
 )
 
@@ -58,6 +59,15 @@ type Config struct {
 	// accounting spans the node's whole identity, not one incarnation.
 	Faults    bool
 	FaultSeed int64
+	// Trace, when set, is shared by every node (and the log service, when
+	// it carries the same collector): one command's spans land in one
+	// place regardless of which process emitted them, so TRACE GET on any
+	// node assembles the full cross-node tree.
+	Trace *trace.Collector
+	// FlightEvents sizes each node's flight-recorder ring (0 = default).
+	// Rings are identity-keyed like fault registries: a restarted node
+	// continues its predecessor's timeline.
+	FlightEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +108,9 @@ type Cluster struct {
 	// link — clients still reach the node — which is exactly the
 	// asymmetric partition the chaos nemesis needs.
 	partitions map[string]*netsim.Flag
+	// flights maps nodeID → its flight-recorder ring, identity-keyed like
+	// faults (see flight.go).
+	flights map[string]*trace.Flight
 }
 
 // Shard is one replication group: a transaction log plus its nodes.
@@ -301,6 +314,8 @@ func (c *Cluster) addNodeAs(sh *Shard, nodeID, az string) (*core.Node, error) {
 		RetrySeed:          c.cfg.RetrySeed,
 		Faults:             faults,
 		Partition:          c.nodePartition(nodeID),
+		Trace:              c.cfg.Trace,
+		Flight:             c.nodeFlight(nodeID),
 	})
 	if err != nil {
 		return nil, err

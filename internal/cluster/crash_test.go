@@ -77,6 +77,7 @@ func crashCluster(t *testing.T, seed int64) (*Cluster, *snapshot.Manager, *fault
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Stop)
+	dumpTimelineOnFailure(t, c)
 	if _, err := c.Shards()[0].WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
 		t.Fatal(err)
 	}

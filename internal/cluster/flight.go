@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"memorydb/internal/trace"
+)
+
+// Flight-recorder plumbing. Each node identity gets one ring, keyed like
+// the fault registries: a restarted node's replacement process keeps
+// appending to its predecessor's ring, so the merged timeline shows the
+// whole identity's history (kill → restart → rejoin) in one place.
+
+// nodeFlight returns (creating on first use) nodeID's flight ring.
+func (c *Cluster) nodeFlight(nodeID string) *trace.Flight {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.flights == nil {
+		c.flights = make(map[string]*trace.Flight)
+	}
+	f, ok := c.flights[nodeID]
+	if !ok {
+		f = trace.NewFlight(nodeID, c.cfg.FlightEvents)
+		c.flights[nodeID] = f
+	}
+	return f
+}
+
+// NodeFlight exposes nodeID's flight-recorder ring.
+func (c *Cluster) NodeFlight(nodeID string) *trace.Flight {
+	return c.nodeFlight(nodeID)
+}
+
+// MergedTimeline merges every node's flight ring — plus the shared log
+// service's, which records segment seals, trims and quarantines — into
+// one causally-ordered cluster timeline. This is the black-box readout:
+// call it when a test fails, a node demotes unexpectedly, or an operator
+// runs DEBUG FLIGHT DUMP and wants more than one node's view.
+func (c *Cluster) MergedTimeline() []trace.Event {
+	c.mu.RLock()
+	flights := make([]*trace.Flight, 0, len(c.flights)+1)
+	for _, f := range c.flights {
+		flights = append(flights, f)
+	}
+	c.mu.RUnlock()
+	if c.cfg.LogService != nil {
+		flights = append(flights, c.cfg.LogService.Flight())
+	}
+	return trace.Merge(flights...)
+}
+
+// TimelineReport renders MergedTimeline as a readable incident report.
+func (c *Cluster) TimelineReport() string {
+	return trace.FormatTimeline(c.MergedTimeline())
+}

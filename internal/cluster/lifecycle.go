@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"memorydb/internal/core"
+	"memorydb/internal/trace"
 )
 
 // Crash lifecycle. ReplaceNode models the control plane's deliberate
@@ -44,6 +45,7 @@ func (c *Cluster) Kill(nodeID string) error {
 	if n.Stopped() {
 		return fmt.Errorf("cluster: node %q already terminated", nodeID)
 	}
+	c.nodeFlight(nodeID).Record(trace.EvKill, 0, "process crash-frozen by nemesis")
 	n.Freeze()
 	return nil
 }
@@ -63,6 +65,7 @@ func (c *Cluster) Restart(nodeID string) (*core.Node, error) {
 		return nil, fmt.Errorf("cluster: node %q is alive; Kill it first", nodeID)
 	}
 	az := n.AZ()
+	c.nodeFlight(nodeID).Record(trace.EvRestart, 0, "replacement process provisioned under same identity")
 	n.Stop()
 	sh.mu.Lock()
 	for i, m := range sh.nodes {
@@ -87,6 +90,7 @@ func (c *Cluster) Resurrect(nodeID string) error {
 	if n.Stopped() {
 		return fmt.Errorf("cluster: node %q was terminated, not frozen", nodeID)
 	}
+	c.nodeFlight(nodeID).Record(trace.EvResurrect, 0, "frozen process thawed in place (zombie)")
 	n.Thaw()
 	return nil
 }

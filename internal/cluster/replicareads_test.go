@@ -55,6 +55,7 @@ func replicaReadCluster(t *testing.T, seed int64, numShards, replicas int) (*txl
 		t.Fatal(err)
 	}
 	t.Cleanup(c.Stop)
+	dumpTimelineOnFailure(t, c)
 	for _, sh := range c.Shards() {
 		if _, err := sh.WaitForPrimary(c.Clock(), 3*time.Second); err != nil {
 			t.Fatal(err)

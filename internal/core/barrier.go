@@ -8,6 +8,7 @@ import (
 	"memorydb/internal/engine"
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/resp"
+	"memorydb/internal/trace"
 	"memorydb/internal/txlog"
 )
 
@@ -74,6 +75,7 @@ func (n *Node) runBarrier(t *task) {
 		t.name = name
 		n.obsDequeued(t)
 	}
+	n.flight.Recordf(trace.EvBarrier, 0, "all-shard barrier for %s", name)
 	release, ok := n.holdShards(n.shards)
 	if !ok {
 		return
@@ -193,15 +195,26 @@ func (n *Node) issueBarrierEntry(t *task, res engine.Result, trk trackerIface) {
 	epoch := n.epoch
 	n.mu.Unlock()
 	payload := engine.AppendRecord(nil, res.Effects)
-	n.seqMu.Lock()
-	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
+	entry := txlog.Entry{
 		Type:          txlog.EntryData,
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
 		Records:       1,
 		Watermark:     trk.Committed(),
 		Payload:       payload,
-	}, &n.stats.AppendsRetried)
+	}
+	// A sampled barrier mutation stamps its context on the entry like a
+	// group-commit flush does, so AZ acks and replica applies attach.
+	var appendSpanID uint64
+	var appendStart int64
+	if t.tr != nil {
+		appendSpanID = t.tr.c.NewSpanID()
+		entry.TraceID = t.tr.sc.TraceID
+		entry.TraceSpan = appendSpanID
+		appendStart = trace.Now()
+	}
+	n.seqMu.Lock()
+	p, err := n.startAppendRetry(n.lastIssued, entry, &n.stats.AppendsRetried)
 	if err != nil {
 		n.seqMu.Unlock()
 		n.stats.AppendsFailed.Add(1)
@@ -224,6 +237,9 @@ func (n *Node) issueBarrierEntry(t *task, res engine.Result, trk trackerIface) {
 	seq := p.ID().Seq
 	n.stats.BatchFlushes.Add(1)
 	n.stats.BatchedRecords.Add(1)
+	if t.tr != nil {
+		t.tr.c.EmitWithID(appendSpanID, t.tr.sc, "append", n.cfg.NodeID, -1, appendStart, trace.Now())
+	}
 	trk.RegisterWrite(seq, res.Keys, func(aborted bool) {
 		if aborted {
 			t.reply(errDemoted)
@@ -269,6 +285,8 @@ func (n *Node) installState(newEng *engine.Engine, newApplied txlog.EntryID, set
 		for _, sh := range n.shards {
 			eng := engine.NewShared(n.clk, db)
 			eng.SetObs(n.obs)
+			eng.SetTrace(n.trace)
+			eng.SetFlight(n.flight)
 			sh.eng = eng
 		}
 	}
@@ -308,6 +326,13 @@ func (n *Node) applyEntry(e txlog.Entry) error {
 		n.stalled = true
 		n.mu.Unlock()
 		return errUpgradeStall
+	}
+	// A traced entry extends the originating command's span tree onto this
+	// node: the apply interval parents to the primary's append span.
+	var applyStart int64
+	traced := n.trace != nil && e.TraceID != 0
+	if traced {
+		applyStart = trace.Now()
 	}
 	if len(n.shards) == 1 {
 		// Single shard: round-trip through the workloop, exactly the
@@ -350,5 +375,9 @@ func (n *Node) applyEntry(e txlog.Entry) error {
 	n.appliedSeq.Store(e.ID.Seq)
 	n.readGate.Advance(e.ID.Seq)
 	n.stats.EntriesApplied.Add(1)
+	if traced {
+		n.trace.Emit(trace.SpanContext{TraceID: e.TraceID, SpanID: e.TraceSpan},
+			"replica_apply", n.cfg.NodeID, -1, -1, applyStart, trace.Now())
+	}
 	return nil
 }

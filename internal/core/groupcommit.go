@@ -9,6 +9,7 @@ import (
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/obs"
 	"memorydb/internal/resp"
+	"memorydb/internal/trace"
 	"memorydb/internal/txlog"
 )
 
@@ -59,6 +60,9 @@ type gatedReply struct {
 	// execDone is the mutation's engine-execution stamp (obs.Now nanos,
 	// 0 when unstamped) — batch residency is measured from it at flush.
 	execDone int64
+	// tr carries the originating task's tracing state into the flush
+	// (nil unless the task was sampled).
+	tr *taskSpan
 }
 
 // groupCommit is one shard's workloop-owned batching buffer.
@@ -109,7 +113,7 @@ func (n *Node) bufferMutation(sh *nodeShard, t *task, res engine.Result) {
 	gc := &sh.gc
 	gc.payload = engine.AppendRecord(gc.payload, res.Effects)
 	gc.records++
-	gc.writes = append(gc.writes, gatedReply{keys: res.Keys, val: res.Reply, send: t.reply, execDone: t.execDone})
+	gc.writes = append(gc.writes, gatedReply{keys: res.Keys, val: res.Reply, send: t.reply, execDone: t.execDone, tr: t.tr})
 	if gc.keys == nil {
 		gc.keys = make(map[string]struct{}, 16)
 	}
@@ -178,15 +182,29 @@ func (n *Node) flushPending(sh *nodeShard) bool {
 		for _, w := range gc.writes {
 			if w.execDone != 0 {
 				n.obs.Stage(obs.StageBatchWait).ObserveNanos(flushStart - w.execDone)
+				if w.tr != nil {
+					w.tr.c.Emit(w.tr.sc, "batch_wait", n.cfg.NodeID, -1, sh.idx, w.execDone, flushStart)
+				}
 			}
 		}
 	}
 	payload := gc.payload
-	// Sequencer critical section: the append is issued, the chain
-	// checksum advances, and a due checksum entry is injected before any
-	// other shard can slot in an append.
-	n.seqMu.Lock()
-	p, err := n.startAppendRetry(n.lastIssued, txlog.Entry{
+	// The first traced write in the batch owns the batch-level spans: the
+	// append and quorum intervals are shared by every buffered reply, so
+	// one trace records them, and the entry carries that trace's context
+	// into the log so per-AZ acks and remote replica applies attach to
+	// the same tree. The append span's ID is allocated up front — it must
+	// be on the entry before the append is issued, but the span itself is
+	// only emitted once the append returns.
+	var ownerTr *taskSpan
+	var appendSpanID uint64
+	for _, w := range gc.writes {
+		if w.tr != nil {
+			ownerTr = w.tr
+			break
+		}
+	}
+	entry := txlog.Entry{
 		Type:          txlog.EntryData,
 		Epoch:         epoch,
 		EngineVersion: n.cfg.EngineVersion,
@@ -195,7 +213,17 @@ func (n *Node) flushPending(sh *nodeShard) bool {
 		// replicas continuously learn the primary's ack frontier.
 		Watermark: trk.Committed(),
 		Payload:   payload,
-	}, &n.stats.AppendsRetried)
+	}
+	if ownerTr != nil {
+		appendSpanID = ownerTr.c.NewSpanID()
+		entry.TraceID = ownerTr.sc.TraceID
+		entry.TraceSpan = appendSpanID
+	}
+	// Sequencer critical section: the append is issued, the chain
+	// checksum advances, and a due checksum entry is injected before any
+	// other shard can slot in an append.
+	n.seqMu.Lock()
+	p, err := n.startAppendRetry(n.lastIssued, entry, &n.stats.AppendsRetried)
 	if err != nil {
 		n.seqMu.Unlock()
 		// Transient failures were already absorbed by the retry loop
@@ -207,6 +235,9 @@ func (n *Node) flushPending(sh *nodeShard) bool {
 		// error only once the node has stepped down; resync discards the
 		// un-logged local mutations.
 		n.stats.AppendsFailed.Add(1)
+		if errors.Is(err, txlog.ErrConditionFailed) {
+			n.flight.Recordf(trace.EvFencing, epoch, "shard %d append fenced by newer writer", sh.idx)
+		}
 		n.demote()
 		if errors.Is(err, txlog.ErrConditionFailed) {
 			n.abortPending(sh, errDemoted)
@@ -236,6 +267,9 @@ func (n *Node) flushPending(sh *nodeShard) bool {
 		appendDone = obs.Now()
 		n.obs.Stage(obs.StageAppend).ObserveNanos(appendDone - flushStart)
 		ackAt = new(atomic.Int64)
+		if ownerTr != nil {
+			ownerTr.c.EmitWithID(appendSpanID, ownerTr.sc, "append", n.cfg.NodeID, sh.idx, flushStart, appendDone)
+		}
 	}
 	for _, w := range gc.writes {
 		w := w
@@ -246,7 +280,11 @@ func (n *Node) flushPending(sh *nodeShard) bool {
 			}
 			if ackAt != nil {
 				if at := ackAt.Load(); at != 0 {
-					n.obs.Stage(obs.StageTrackerRelease).ObserveNanos(obs.Now() - at)
+					now := obs.Now()
+					n.obs.Stage(obs.StageTrackerRelease).ObserveNanos(now - at)
+					if w.tr != nil {
+						w.tr.c.Emit(w.tr.sc, "tracker_release", n.cfg.NodeID, -1, sh.idx, at, now)
+					}
 				}
 			}
 			w.send(w.val)
@@ -270,6 +308,12 @@ func (n *Node) flushPending(sh *nodeShard) bool {
 				now := obs.Now()
 				ackAt.Store(now)
 				n.obs.Stage(obs.StageQuorumWait).ObserveNanos(now - appendDone)
+				if ownerTr != nil {
+					// Child of the append span, sibling of the per-AZ acks
+					// the log service emitted for the same entry.
+					ownerTr.c.Emit(trace.SpanContext{TraceID: ownerTr.sc.TraceID, SpanID: appendSpanID},
+						"quorum_wait", n.cfg.NodeID, -1, sh.idx, appendDone, now)
+				}
 			}
 			// Two crash gates inside the committed-but-unacknowledged
 			// window: the entry is quorum-durable, but a kill at either

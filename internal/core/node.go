@@ -29,6 +29,7 @@ import (
 	"memorydb/internal/retry"
 	"memorydb/internal/snapshot"
 	"memorydb/internal/store"
+	"memorydb/internal/trace"
 	"memorydb/internal/tracker"
 	"memorydb/internal/txlog"
 )
@@ -149,6 +150,21 @@ type Config struct {
 	// operational alarms (snapshot quarantines, primaryless shards) are
 	// visible next to the latency outliers they usually explain.
 	Alarms *obs.AlarmLog
+	// Trace, when set, enables cross-node causal tracing: sampled
+	// commands carry a span context from submit through group commit
+	// onto the log entry, and this node's stages (plus replica applies
+	// of remote entries) are recorded as spans into the shared
+	// collector. Nil disables tracing entirely (zero overhead).
+	Trace *trace.Collector
+	// Flight, when set, is this node's black-box flight recorder ring.
+	// Nil creates a private one — the recorder is always on. The cluster
+	// layer passes identity-keyed rings so a restarted node continues
+	// its predecessor's timeline.
+	Flight *trace.Flight
+	// FlightEvents sizes the private flight ring created when Flight is
+	// nil. Defaults to the MEMORYDB_FLIGHT_EVENTS environment variable
+	// when set, otherwise trace.DefaultFlightEvents.
+	FlightEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -212,6 +228,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards > store.NumParts {
 		c.Shards = store.NumParts
+	}
+	if c.FlightEvents == 0 {
+		if env := os.Getenv("MEMORYDB_FLIGHT_EVENTS"); env != "" {
+			if v, err := strconv.Atoi(env); err == nil {
+				c.FlightEvents = v
+			}
+		}
 	}
 	return c
 }
@@ -307,6 +330,11 @@ type Node struct {
 	// recording is lock-free, so every goroutine may record; the map-backed
 	// per-command lookup is RWMutex-guarded inside obs.
 	obs *obs.Metrics
+
+	// trace is the causal-tracing collector (nil = tracing off); flight
+	// is the always-on black-box event ring.
+	trace  *trace.Collector
+	flight *trace.Flight
 }
 
 // Stats are cumulative node counters. Fields are atomics rather than a
@@ -468,6 +496,26 @@ func NewNode(cfg Config) (*Node, error) {
 		}
 	}
 	n.stopCtx, n.stopFn = context.WithCancel(context.Background())
+	n.trace = cfg.Trace
+	n.flight = cfg.Flight
+	if n.flight == nil {
+		n.flight = trace.NewFlight(cfg.NodeID, cfg.FlightEvents)
+	}
+	n.gEng.SetTrace(n.trace)
+	n.gEng.SetFlight(n.flight)
+	for _, sh := range n.shards {
+		sh.eng.SetTrace(n.trace)
+		sh.eng.SetFlight(n.flight)
+	}
+	if cfg.Faults != nil {
+		// Injected faults that actually fire land on the flight timeline,
+		// so a failed chaos run's report shows the nemesis next to the
+		// transitions it caused.
+		fl := n.flight
+		cfg.Faults.SetObserver(func(site string, k faultpoint.Kind) {
+			fl.Recordf(trace.EvFaultFire, 0, "%s (%s)", site, k)
+		})
+	}
 	if !cfg.NoObs {
 		n.obs = cfg.Obs
 		if n.obs == nil {
@@ -489,6 +537,12 @@ func NewNode(cfg Config) (*Node, error) {
 
 // Obs returns the node's observability registry (nil when disabled).
 func (n *Node) Obs() *obs.Metrics { return n.obs }
+
+// FlightRecorder returns the node's black-box event ring (never nil).
+func (n *Node) FlightRecorder() *trace.Flight { return n.flight }
+
+// TraceCollector returns the node's span collector (nil = tracing off).
+func (n *Node) TraceCollector() *trace.Collector { return n.trace }
 
 // ID returns the node ID.
 func (n *Node) ID() string { return n.cfg.NodeID }
@@ -594,6 +648,7 @@ func (n *Node) setRole(role election.Role, epoch uint64) {
 	if cb != nil {
 		cb(n.cfg.NodeID, role, epoch)
 	}
+	n.flight.Record(trace.EvRoleChange, epoch, role.String())
 	switch role {
 	case election.RolePrimary:
 		n.stats.Promotions.Add(1)

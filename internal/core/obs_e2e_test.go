@@ -14,6 +14,7 @@ import (
 	"memorydb/internal/election"
 	"memorydb/internal/netsim"
 	"memorydb/internal/obs"
+	"memorydb/internal/trace"
 )
 
 // TestObsStageSumsApproxE2E drives serialized writes (so every
@@ -207,5 +208,85 @@ func TestObsOverheadGuardWorkloop(t *testing.T) {
 		ratios, median, 100*(median-1))
 	if median > 1.05 {
 		t.Fatalf("instrumentation overhead too high: median ratio %.4f (>1.05)", median)
+	}
+}
+
+// TestObsOverheadGuardTracing holds the distributed-tracing addition to
+// the same 5% bar as the base metrics guard: an instrumented node with
+// the trace collector sampling at 1% and the flight recorder armed (the
+// production observability posture) must stay within 5% of an identical
+// instrumented node with tracing off. Comparing tracing-on against
+// tracing-off — rather than against NoObs — isolates exactly what the
+// tracing layer adds; the obs-vs-NoObs gap is the base guard's job. The
+// name shares the TestObsOverheadGuard prefix so scripts/check.sh's
+// single -run pattern arms both guards.
+func TestObsOverheadGuardTracing(t *testing.T) {
+	if os.Getenv("MEMORYDB_OBS_GUARD") != "1" {
+		t.Skip("set MEMORYDB_OBS_GUARD=1 to run the throughput-overhead guard")
+	}
+
+	run := func(tracing bool) time.Duration {
+		svc := testService(t, netsim.Zero{})
+		log, _ := svc.CreateLog("shard-guard-tr")
+		cfg := Config{
+			NodeID:      "node-a",
+			ShardID:     log.ShardID(),
+			Log:         log,
+			Lease:       120 * time.Millisecond,
+			Backoff:     160 * time.Millisecond,
+			RenewEvery:  30 * time.Millisecond,
+			ReplicaPoll: time.Millisecond,
+		}
+		if tracing {
+			cfg.Trace = trace.NewCollector(0.01, 1, 0)
+			cfg.Flight = trace.NewFlight("node-a", 0)
+		}
+		n, err := NewNode(cfg)
+		if err != nil {
+			t.Fatalf("NewNode: %v", err)
+		}
+		n.Start()
+		defer n.Stop()
+		waitRole(t, n, election.RolePrimary, 2*time.Second)
+
+		const goroutines, perG = 8, 2000
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < perG; i++ {
+					argv := [][]byte{[]byte("SET"), []byte(fmt.Sprintf("g%d-%d", g, i)), []byte("v")}
+					if _, err := n.Do(context.Background(), argv); err != nil {
+						t.Errorf("SET: %v", err)
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		return time.Since(start)
+	}
+
+	// Same paired-ratio methodology as the base guard: back-to-back pairs
+	// so machine-wide drift divides out, order alternated, median taken.
+	const pairs = 7
+	ratios := make([]float64, 0, pairs)
+	for i := 0; i < pairs; i++ {
+		var traced, plain time.Duration
+		if i%2 == 0 {
+			traced, plain = run(true), run(false)
+		} else {
+			plain, traced = run(false), run(true)
+		}
+		ratios = append(ratios, float64(traced)/float64(plain))
+	}
+	sort.Float64s(ratios)
+	median := ratios[pairs/2]
+	t.Logf("paired tracing+flight/plain ratios %v, median %.4f (%.2f%% overhead)",
+		ratios, median, 100*(median-1))
+	if median > 1.05 {
+		t.Fatalf("tracing+flight overhead too high: median ratio %.4f (>1.05)", median)
 	}
 }

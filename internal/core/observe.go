@@ -33,7 +33,7 @@ func (n *Node) obsFinish(t *task) {
 	if t.execDone != 0 && t.deq != 0 {
 		exec = t.execDone - t.deq
 	}
-	n.obs.FinishCommand(t.name, t.argv, total, queue, exec)
+	n.obs.FinishCommand(t.name, t.argv, total, queue, exec, t.shard)
 }
 
 // obsDequeued stamps a client task's dequeue and records its queue wait,
@@ -49,6 +49,9 @@ func (n *Node) obsDequeued(t *task) {
 			ss.QueueWait.ObserveNanos(t.deq - t.enq)
 		}
 	}
+	if t.tr != nil {
+		t.tr.c.Emit(t.tr.sc, "queue_wait", n.cfg.NodeID, -1, t.shard, t.enq, t.deq)
+	}
 }
 
 // obsExecuted stamps engine-execution completion.
@@ -59,6 +62,9 @@ func (n *Node) obsExecuted(t *task) {
 		if ss := n.obs.ShardStage(t.shard); ss != nil {
 			ss.Execute.ObserveNanos(t.execDone - t.deq)
 		}
+	}
+	if t.tr != nil {
+		t.tr.c.Emit(t.tr.sc, "execute", n.cfg.NodeID, -1, t.shard, t.deq, t.execDone)
 	}
 }
 
@@ -121,6 +127,14 @@ func (n *Node) registerCounters() {
 		n.obs.RegisterGauge("snapshot_chain_depth", label, h.ChainDepth.Load)
 		n.obs.RegisterCounter("snapshot_builder_lag_alarms_total", label, h.LagAlarms.Load)
 	}
+	// Tracing/flight health: span volume plus the black box's write count.
+	if n.trace != nil {
+		n.obs.RegisterCounter("trace_traces_sampled", label, n.trace.SampledCount)
+		n.obs.RegisterCounter("trace_spans_recorded", label, n.trace.SpanCount)
+	}
+	n.obs.RegisterCounter("flight_events_recorded", label, func() int64 {
+		return int64(n.flight.Total())
+	})
 	n.obs.RegisterGauge("shard_count", label, func() int64 {
 		return int64(len(n.shards))
 	})
@@ -204,8 +218,8 @@ func (n *Node) obsInfoSections() string {
 	fmt.Fprintf(&b, "slowlog_total:%d\r\n", sl.Total())
 	fmt.Fprintf(&b, "slowlog_len:%d\r\n", sl.Len())
 	for i, e := range sl.Recent(8) {
-		fmt.Fprintf(&b, "slowlog_entry_%d:id=%d,cmd=%s,usec=%d,queue_usec=%d,exec_usec=%d,commit_usec=%d\r\n",
-			i, e.ID, e.Cmd, usec(e.Total), usec(e.Queue), usec(e.Exec), usec(e.Commit))
+		fmt.Fprintf(&b, "slowlog_entry_%d:id=%d,cmd=%s,usec=%d,queue_usec=%d,exec_usec=%d,commit_usec=%d,shard=%d\r\n",
+			i, e.ID, e.Cmd, usec(e.Total), usec(e.Queue), usec(e.Exec), usec(e.Commit), e.Shard)
 	}
 	if n.cfg.Alarms != nil {
 		fmt.Fprintf(&b, "alarms_total:%d\r\n", n.cfg.Alarms.Total())

@@ -6,6 +6,7 @@ import (
 	"memorydb/internal/election"
 	"memorydb/internal/engine"
 	"memorydb/internal/snapshot"
+	"memorydb/internal/trace"
 	"memorydb/internal/tracker"
 	"memorydb/internal/txlog"
 )
@@ -167,6 +168,7 @@ func (n *Node) runReplica() {
 			// advance staleness accounting.
 			if !n.readGate.NoteWatermark(e.EpochValue(), e.Watermark) {
 				n.stats.WatermarksFenced.Add(1)
+				n.flight.Recordf(trace.EvWatermarkFence, e.ID.Seq, "stale watermark from epoch %d rejected", e.EpochValue())
 			}
 			switch e.Type {
 			case txlog.EntryLease, txlog.EntryLeadership:
@@ -224,6 +226,7 @@ func (n *Node) runReplica() {
 // Returns false when the node stopped instead.
 func (n *Node) rebootstrapTailer() bool {
 	n.stats.ReaderRebootstraps.Add(1)
+	n.flight.Record(trace.EvTailerRebootstrap, n.applied.Seq, "tailer position trimmed or quarantined; restoring from snapshot")
 	for {
 		err := n.resync()
 		if err == nil {
@@ -342,6 +345,8 @@ func (n *Node) resync() error {
 	}
 	eng := engine.New(n.clk)
 	eng.SetObs(n.obs)
+	eng.SetTrace(n.trace)
+	eng.SetFlight(n.flight)
 	from := txlog.ZeroID
 	if n.cfg.Snapshots != nil {
 		db, meta, skipped, ok, err := n.cfg.Snapshots.LatestUsable(n.cfg.ShardID)

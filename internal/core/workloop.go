@@ -11,6 +11,7 @@ import (
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/obs"
 	"memorydb/internal/resp"
+	"memorydb/internal/trace"
 	"memorydb/internal/txlog"
 )
 
@@ -43,6 +44,10 @@ type task struct {
 	// data is never silently returned as consistent.
 	readVerified bool
 	reply        func(v resp.Value)
+
+	// tr is the task's tracing state; nil unless the task was sampled
+	// (or arrived with a span context minted by the server front-end).
+	tr *taskSpan
 
 	// shard is the execution shard the task was routed to, -1 on the
 	// barrier path (per-shard stage histograms are skipped there).
@@ -102,10 +107,23 @@ func (n *Node) DoBatch(ctx context.Context, cmds [][][]byte) (resp.Value, error)
 
 func (n *Node) submit(ctx context.Context, t *task) (resp.Value, error) {
 	ch := make(chan resp.Value, 1)
-	if n.obs != nil {
+	if n.trace != nil {
+		n.traceStart(ctx, t)
+	}
+	// The reply closure only calls traceFinish when the task was actually
+	// sampled: with tracing off (or a sampling miss) the closures below
+	// are instruction-identical to an untraced build, so the obs-overhead
+	// guard measures metrics cost alone.
+	switch {
+	case n.obs != nil && t.tr != nil:
+		t.enq = obs.Now()
+		t.reply = func(v resp.Value) { n.obsFinish(t); t.traceFinish(); ch <- v }
+	case n.obs != nil:
 		t.enq = obs.Now()
 		t.reply = func(v resp.Value) { n.obsFinish(t); ch <- v }
-	} else {
+	case t.tr != nil:
+		t.reply = func(v resp.Value) { t.traceFinish(); ch <- v }
+	default:
 		t.reply = func(v resp.Value) { ch <- v }
 	}
 	if sh, barrier := n.route(t); barrier {
@@ -629,8 +647,12 @@ func (n *Node) demote() {
 	epoch := n.epoch
 	cb := n.cfg.OnRoleChange
 	n.mu.Unlock()
+	if pc := trk.PendingCount(); pc > 0 {
+		n.flight.Recordf(trace.EvAbort, uint64(pc), "aborting %d gated replies on step-down", pc)
+	}
 	trk.Abort()
 	n.stats.Demotions.Add(1)
+	n.flight.Record(trace.EvDemotion, epoch, "lease lost or fenced")
 	select {
 	case n.roleChanged <- struct{}{}:
 	default:
@@ -684,7 +706,7 @@ func gatesOnFullKeyspace(name string) bool {
 // READONLY state.
 func isAlwaysLocal(name string) bool {
 	switch name {
-	case "PING", "ECHO", "TIME", "COMMAND", "LATENCY", "SLOWLOG":
+	case "PING", "ECHO", "TIME", "COMMAND", "LATENCY", "SLOWLOG", "TRACE", "DEBUG":
 		return true
 	}
 	return false

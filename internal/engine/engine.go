@@ -23,6 +23,7 @@ import (
 	"memorydb/internal/obs"
 	"memorydb/internal/resp"
 	"memorydb/internal/store"
+	"memorydb/internal/trace"
 )
 
 // Version is the current engine version, stamped onto replication records
@@ -126,6 +127,11 @@ type Engine struct {
 	// introspection commands. The engine only reads from it.
 	obs *obs.Metrics
 
+	// trace / flight, when set by the owning node, back the TRACE and
+	// DEBUG FLIGHT introspection commands. The engine only reads them.
+	trace  *trace.Collector
+	flight *trace.Flight
+
 	// Per-command scratch state, reset by Exec.
 	effects   [][]byte
 	dirtyKeys []string
@@ -135,6 +141,12 @@ type Engine struct {
 // SetObs attaches the observability registry the LATENCY and SLOWLOG
 // commands report from. Nil detaches (the commands then return an error).
 func (e *Engine) SetObs(m *obs.Metrics) { e.obs = m }
+
+// SetTrace attaches the span collector the TRACE command reports from.
+func (e *Engine) SetTrace(c *trace.Collector) { e.trace = c }
+
+// SetFlight attaches the flight recorder DEBUG FLIGHT reports from.
+func (e *Engine) SetFlight(f *trace.Flight) { e.flight = f }
 
 // New returns an engine over a fresh keyspace.
 func New(clk clock.Clock) *Engine {

@@ -79,6 +79,7 @@ func cmdLatency(e *Engine, argv [][]byte) resp.Value {
 				resp.Int64(t.Seq),
 				resp.BulkStr(t.Cmd),
 				usecV(t.Total), usecV(t.Queue), usecV(t.Exec), usecV(t.Commit),
+				resp.Int64(int64(t.Shard)),
 			))
 		}
 		return resp.ArrayV(rows...)
@@ -91,7 +92,8 @@ func cmdLatency(e *Engine, argv [][]byte) resp.Value {
 
 // cmdSlowlog: SLOWLOG GET [n] | LEN | RESET | THRESHOLD [usec].
 // GET returns entries newest first as
-// [id, unix_seconds, total_usec, [args...], [queue_usec, exec_usec, commit_usec]].
+// [id, unix_seconds, total_usec, [args...],
+//  [queue_usec, exec_usec, commit_usec], shard].
 func cmdSlowlog(e *Engine, argv [][]byte) resp.Value {
 	if e.obs == nil {
 		return errObsDisabled
@@ -120,6 +122,7 @@ func cmdSlowlog(e *Engine, argv [][]byte) resp.Value {
 				usecV(en.Total),
 				resp.BulkArray(en.Args...),
 				resp.ArrayV(usecV(en.Queue), usecV(en.Exec), usecV(en.Commit)),
+				resp.Int64(int64(en.Shard)),
 			))
 		}
 		return resp.ArrayV(rows...)

@@ -64,9 +64,9 @@ func TestSlowlogCommandSurface(t *testing.T) {
 	e.SetObs(m)
 
 	// Below threshold: ignored. Above: retained.
-	m.FinishCommand("GET", [][]byte{[]byte("GET"), []byte("k")}, int64(100*time.Microsecond), 0, 0)
+	m.FinishCommand("GET", [][]byte{[]byte("GET"), []byte("k")}, int64(100*time.Microsecond), 0, 0, 0)
 	m.FinishCommand("SET", [][]byte{[]byte("SET"), []byte("k"), []byte("v")},
-		int64(3*time.Millisecond), int64(time.Millisecond), int64(500*time.Microsecond))
+		int64(3*time.Millisecond), int64(time.Millisecond), int64(500*time.Microsecond), 0)
 
 	if v := do("SLOWLOG", "LEN"); v.Int != 1 {
 		t.Fatalf("SLOWLOG LEN = %v, want 1", v)

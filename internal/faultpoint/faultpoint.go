@@ -187,9 +187,23 @@ type site struct {
 // off-box snapshot runner) and decides, deterministically from its seed,
 // what each hit does.
 type Registry struct {
-	mu    sync.Mutex
-	rng   *rand.Rand
-	sites map[string]*site
+	mu       sync.Mutex
+	rng      *rand.Rand
+	sites    map[string]*site
+	observer func(site string, k Kind)
+}
+
+// SetObserver installs a callback invoked after every fault decision
+// that actually fires (Kind != None), outside the registry lock. The
+// flight recorder uses it to put injected faults on the cluster
+// timeline. The callback must not call back into the registry.
+func (r *Registry) SetObserver(fn func(site string, k Kind)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.observer = fn
+	r.mu.Unlock()
 }
 
 // New returns a registry with every canonical site pre-registered (so
@@ -218,22 +232,28 @@ func (r *Registry) Hit(name string) Decision {
 		return Decision{}
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s := r.siteLocked(name)
 	s.hits++
+	var d Decision
 	for i, a := range s.armed {
 		if s.hits > a.after {
 			s.armed = append(s.armed[:i], s.armed[i+1:]...)
 			s.fired[a.kind]++
-			return Decision{Kind: a.kind, Delay: a.delay}
+			d = Decision{Kind: a.kind, Delay: a.delay}
+			break
 		}
 	}
-	if s.prob > 0 && len(s.kinds) > 0 && r.rng.Float64() < s.prob {
+	if d.Kind == None && s.prob > 0 && len(s.kinds) > 0 && r.rng.Float64() < s.prob {
 		k := s.kinds[r.rng.Intn(len(s.kinds))]
 		s.fired[k]++
-		return Decision{Kind: k, Delay: s.delay}
+		d = Decision{Kind: k, Delay: s.delay}
 	}
-	return Decision{}
+	obs := r.observer
+	r.mu.Unlock()
+	if d.Kind != None && obs != nil {
+		obs(name, d.Kind)
+	}
+	return d
 }
 
 // Arm schedules a one-shot fault at the named site: it fires on the first

@@ -24,7 +24,7 @@ func TestObsOverheadGuardAllocs(t *testing.T) {
 		m.Stage(StageAppend).ObserveNanos(1500)
 		m.Stage(StageQuorumWait).ObserveNanos(40000)
 		m.Stage(StageTrackerRelease).ObserveNanos(900)
-		m.FinishCommand("SET", argv, Now()-start+45000, 120, 300)
+		m.FinishCommand("SET", argv, Now()-start+45000, 120, 300, 0)
 	})
 	if allocs != 0 {
 		t.Fatalf("record path allocates %v per command with sampling off; budget is 0", allocs)
@@ -40,7 +40,7 @@ func BenchmarkObsRecordPath(b *testing.B) {
 			start := Now()
 			m.Stage(StageQueueWait).ObserveNanos(120)
 			m.Stage(StageExecute).ObserveNanos(300)
-			m.FinishCommand("SET", argv, Now()-start+45000, 120, 300)
+			m.FinishCommand("SET", argv, Now()-start+45000, 120, 300, 0)
 		}
 	})
 }

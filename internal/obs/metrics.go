@@ -286,9 +286,12 @@ func (m *Metrics) counterSnapshot() []Counter {
 // histograms, slowlog check, and (if sampled) a trace-ring entry. The
 // stage inputs are nanoseconds; commit time — everything between engine
 // execution and reply delivery (batch wait, append, quorum, release) —
-// is derived as total-queue-exec. With sampling off and the command
-// under the slowlog threshold this path performs zero allocations.
-func (m *Metrics) FinishCommand(name string, argv [][]byte, totalNanos, queueNanos, execNanos int64) {
+// is derived as total-queue-exec. shard is the execution shard that
+// handled the command (-1 for the barrier path), retained on slowlog and
+// trace entries so hot-shard skew shows up in LATENCY TRACES / SLOWLOG
+// output. With sampling off and the command under the slowlog threshold
+// this path performs zero allocations.
+func (m *Metrics) FinishCommand(name string, argv [][]byte, totalNanos, queueNanos, execNanos int64, shard int) {
 	if m == nil {
 		return
 	}
@@ -300,8 +303,8 @@ func (m *Metrics) FinishCommand(name string, argv [][]byte, totalNanos, queueNan
 	if commit < 0 {
 		commit = 0
 	}
-	m.Slow.maybeNote(name, argv, totalNanos, queueNanos, execNanos, commit)
-	m.Traces.maybeRecord(name, totalNanos, queueNanos, execNanos, commit)
+	m.Slow.maybeNote(name, argv, totalNanos, queueNanos, execNanos, commit, shard)
+	m.Traces.maybeRecord(name, totalNanos, queueNanos, execNanos, commit, shard)
 }
 
 // ResetLatency zeroes every stage and per-command histogram (the RESP

@@ -17,7 +17,7 @@ func TestTracerDeterministicSampling(t *testing.T) {
 	run := func() []Trace {
 		tr := newTracer(0.25, 1234, 64)
 		for i := 0; i < 400; i++ {
-			tr.maybeRecord(fmt.Sprintf("CMD%d", i), int64(i+1), 0, 0, int64(i+1))
+			tr.maybeRecord(fmt.Sprintf("CMD%d", i), int64(i+1), 0, 0, int64(i+1), 0)
 		}
 		return tr.Recent(64)
 	}
@@ -36,7 +36,7 @@ func TestTracerDeterministicSampling(t *testing.T) {
 	// Sanity: ~25% of 400 should be sampled, not everything.
 	tr := newTracer(0.25, 1234, 1024)
 	for i := 0; i < 400; i++ {
-		tr.maybeRecord("X", 1, 0, 0, 1)
+		tr.maybeRecord("X", 1, 0, 0, 1, 0)
 	}
 	if s := tr.Sampled(); s < 50 || s > 200 {
 		t.Fatalf("sampled %d of 400 at rate 0.25", s)
@@ -46,7 +46,7 @@ func TestTracerDeterministicSampling(t *testing.T) {
 func TestTracerRateZeroSamplesNothing(t *testing.T) {
 	tr := newTracer(0, 99, 16)
 	for i := 0; i < 1000; i++ {
-		tr.maybeRecord("SET", 1000, 10, 10, 980)
+		tr.maybeRecord("SET", 1000, 10, 10, 980, 0)
 	}
 	if tr.Sampled() != 0 || len(tr.Recent(16)) != 0 {
 		t.Fatalf("rate-0 tracer recorded traces")
@@ -56,7 +56,7 @@ func TestTracerRateZeroSamplesNothing(t *testing.T) {
 func TestTracerRingWraps(t *testing.T) {
 	tr := newTracer(1.0, 5, 8)
 	for i := 0; i < 20; i++ {
-		tr.maybeRecord("C", int64(i+1), 0, 0, 0)
+		tr.maybeRecord("C", int64(i+1), 0, 0, 0, 0)
 	}
 	rec := tr.Recent(100)
 	if len(rec) != 8 {
@@ -73,11 +73,11 @@ func TestTracerRingWraps(t *testing.T) {
 func TestSlowlogThreshold(t *testing.T) {
 	s := newSlowlog(5*time.Millisecond, 4)
 	argv := [][]byte{[]byte("SET"), []byte("k"), []byte("v")}
-	s.maybeNote("SET", argv, int64(time.Millisecond), 0, 0, 0) // below
+	s.maybeNote("SET", argv, int64(time.Millisecond), 0, 0, 0, 0) // below
 	if s.Len() != 0 || s.Total() != 0 {
 		t.Fatal("below-threshold command was logged")
 	}
-	s.maybeNote("SET", argv, int64(7*time.Millisecond), int64(time.Millisecond), int64(2*time.Millisecond), int64(4*time.Millisecond))
+	s.maybeNote("SET", argv, int64(7*time.Millisecond), int64(time.Millisecond), int64(2*time.Millisecond), int64(4*time.Millisecond), 0)
 	if s.Len() != 1 || s.Total() != 1 {
 		t.Fatal("above-threshold command was not logged")
 	}
@@ -92,7 +92,7 @@ func TestSlowlogThreshold(t *testing.T) {
 	// Ring bound: 10 slow entries in a 4-ring keep the newest 4; IDs
 	// keep counting.
 	for i := 0; i < 10; i++ {
-		s.maybeNote("GET", nil, int64(time.Duration(10+i)*time.Millisecond), 0, 0, 0)
+		s.maybeNote("GET", nil, int64(time.Duration(10+i)*time.Millisecond), 0, 0, 0, 0)
 	}
 	if s.Len() != 4 || s.Total() != 11 {
 		t.Fatalf("len=%d total=%d want 4/11", s.Len(), s.Total())
@@ -103,7 +103,7 @@ func TestSlowlogThreshold(t *testing.T) {
 	}
 	// Threshold is adjustable at runtime.
 	s.SetThreshold(time.Second)
-	s.maybeNote("GET", nil, int64(500*time.Millisecond), 0, 0, 0)
+	s.maybeNote("GET", nil, int64(500*time.Millisecond), 0, 0, 0, 0)
 	if s.Total() != 11 {
 		t.Fatal("raised threshold did not filter")
 	}
@@ -136,7 +136,7 @@ func TestAlarmLogRing(t *testing.T) {
 
 func TestFinishCommandRecordsEverything(t *testing.T) {
 	m := New(Options{SlowlogThreshold: 5 * time.Millisecond, TraceSampleRate: 1.0, TraceSeed: 1})
-	m.FinishCommand("SET", [][]byte{[]byte("SET"), []byte("k")}, int64(10*time.Millisecond), int64(time.Millisecond), int64(2*time.Millisecond))
+	m.FinishCommand("SET", [][]byte{[]byte("SET"), []byte("k")}, int64(10*time.Millisecond), int64(time.Millisecond), int64(2*time.Millisecond), 0)
 	if m.Stage(StageE2E).Count() != 1 {
 		t.Fatal("e2e histogram not recorded")
 	}

@@ -166,6 +166,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) {
 	fmt.Fprintf(w, "memorydb_slowlog_entries_total %d\n", m.Slow.Total())
 	fmt.Fprintf(w, "# TYPE memorydb_traces_sampled_total counter\n")
 	fmt.Fprintf(w, "memorydb_traces_sampled_total %d\n", m.Traces.Sampled())
+	writeRuntimeMetrics(w)
 }
 
 // Handler serves the registry at any path (mount it at /metrics) in

@@ -16,6 +16,9 @@ type Trace struct {
 	// Total = Queue + Exec + Commit (commit spans batch residency,
 	// append, quorum wait and tracker release).
 	Total, Queue, Exec, Commit time.Duration
+	// Shard is the execution shard that handled the command (-1 for the
+	// all-shard barrier path).
+	Shard int
 }
 
 // Tracer samples a fixed fraction of completed commands into a bounded
@@ -72,7 +75,7 @@ func (t *Tracer) Sampled() int64 {
 }
 
 // maybeRecord draws the sampling coin and, on a hit, appends a trace.
-func (t *Tracer) maybeRecord(cmd string, total, queue, exec, commit int64) {
+func (t *Tracer) maybeRecord(cmd string, total, queue, exec, commit int64, shard int) {
 	if t == nil {
 		return
 	}
@@ -103,6 +106,7 @@ func (t *Tracer) maybeRecord(cmd string, total, queue, exec, commit int64) {
 		Queue:  time.Duration(queue),
 		Exec:   time.Duration(exec),
 		Commit: time.Duration(commit),
+		Shard:  shard,
 	}
 	t.ring[t.nextIdx] = tr
 	t.nextIdx++

@@ -19,6 +19,7 @@ import (
 
 	"memorydb/internal/obs"
 	"memorydb/internal/resp"
+	"memorydb/internal/trace"
 )
 
 // ReadMode is a connection's read-consistency state, set by the
@@ -67,6 +68,12 @@ type Config struct {
 	// (serializing+flushing the reply). Share the node's registry so the
 	// full pipeline lands in one place.
 	Obs *obs.Metrics
+	// Trace, when set, mints a span context at command parse for sampled
+	// commands; the context rides the backend ctx so every downstream
+	// component (workloop stages, log quorum, remote replica applies)
+	// attaches to the same trace. Share the node's collector so TRACE GET
+	// sees the full tree.
+	Trace *trace.Collector
 }
 
 // Server accepts RESP connections.
@@ -85,8 +92,11 @@ type Server struct {
 }
 
 type muxItem struct {
-	argv    [][]byte
-	mode    ReadMode
+	argv [][]byte
+	mode ReadMode
+	// ctx carries a sampled command's span context into the dispatcher
+	// pool; nil means use the server ctx (unsampled).
+	ctx     context.Context
 	replyCh chan resp.Value
 }
 
@@ -180,7 +190,11 @@ func (s *Server) muxWorker() {
 		case <-s.ctx.Done():
 			return
 		case item := <-s.muxQ:
-			v, err := s.cfg.Backend.Do(s.ctx, item.argv, item.mode)
+			ctx := item.ctx
+			if ctx == nil {
+				ctx = s.ctx
+			}
+			v, err := s.cfg.Backend.Do(ctx, item.argv, item.mode)
 			if err != nil {
 				v = resp.Errf("ERR backend: %v", err)
 			}
@@ -311,7 +325,11 @@ func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bo
 		if len(cmds) == 0 {
 			return resp.ArrayV(), false
 		}
-		v, err := s.cfg.Backend.DoBatch(s.ctx, cmds, st.mode)
+		ctx, root, traced := s.mintSpan("cmd:EXEC")
+		v, err := s.cfg.Backend.DoBatch(ctx, cmds, st.mode)
+		if traced {
+			s.cfg.Trace.Finish(root)
+		}
 		if err != nil {
 			return resp.Errf("ERR backend: %v", err), false
 		}
@@ -342,8 +360,12 @@ func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bo
 		return resp.Queued, false
 	}
 
+	ctx, root, traced := s.mintSpan("cmd:" + name)
 	if s.cfg.Multiplex {
 		item := muxItem{argv: argv, mode: st.mode, replyCh: make(chan resp.Value, 1)}
+		if traced {
+			item.ctx = ctx
+		}
 		select {
 		case s.muxQ <- item:
 		case <-s.ctx.Done():
@@ -351,14 +373,37 @@ func (s *Server) handle(st *connState, argv [][]byte) (reply resp.Value, quit bo
 		}
 		select {
 		case v := <-item.replyCh:
+			if traced {
+				// The root covers queue wait in the dispatch pool too.
+				s.cfg.Trace.Finish(root)
+			}
 			return v, false
 		case <-s.ctx.Done():
 			return resp.Err("ERR server shutting down"), true
 		}
 	}
-	v, err := s.cfg.Backend.Do(s.ctx, argv, st.mode)
+	v, err := s.cfg.Backend.Do(ctx, argv, st.mode)
+	if traced {
+		s.cfg.Trace.Finish(root)
+	}
 	if err != nil {
 		return resp.Errf("ERR backend: %v", err), false
 	}
 	return v, false
+}
+
+// mintSpan draws the sampling coin at command parse. On a hit it returns
+// a ctx carrying the fresh trace's span context (the backend's stages
+// become children) plus the front-end root span, finished when the reply
+// is ready to write.
+func (s *Server) mintSpan(name string) (context.Context, trace.Span, bool) {
+	if s.cfg.Trace == nil {
+		return s.ctx, trace.Span{}, false
+	}
+	sc, ok := s.cfg.Trace.Sample()
+	if !ok {
+		return s.ctx, trace.Span{}, false
+	}
+	root := s.cfg.Trace.Root(sc, name, "server")
+	return trace.NewContext(s.ctx, sc), root, true
 }

@@ -15,6 +15,7 @@ import (
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/obs"
 	"memorydb/internal/retry"
+	"memorydb/internal/trace"
 	"memorydb/internal/txlog"
 )
 
@@ -71,6 +72,9 @@ type Builder struct {
 	// AlarmFn pages when the builder falls behind the log's trim horizon
 	// — the monitoring hook for a checkpointer that stopped keeping up.
 	AlarmFn func(msg string)
+	// Flight, when set, records builder-lag incidents on the node's
+	// black-box timeline alongside the page.
+	Flight *trace.Flight
 
 	mu       sync.Mutex
 	eng      *engine.Engine
@@ -216,6 +220,7 @@ func (b *Builder) tickLocked(ctx context.Context) error {
 	// trimmer guaranteed is at or above the horizon).
 	if base := b.Log.TrimBase(); b.pos.Seq < base.Seq {
 		b.Manager.Health().LagAlarms.Add(1)
+		b.Flight.Recordf(trace.EvBuilderLag, b.pos.Seq, "%s lag exceeded trim horizon (base %d)", b.ShardID, base.Seq)
 		if b.AlarmFn != nil {
 			b.AlarmFn(fmt.Sprintf("builder: %s lag exceeded trim horizon (pos %d < base %d)",
 				b.ShardID, b.pos.Seq, base.Seq))

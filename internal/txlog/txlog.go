@@ -32,6 +32,7 @@ import (
 	"memorydb/internal/clock"
 	"memorydb/internal/faultpoint"
 	"memorydb/internal/netsim"
+	"memorydb/internal/trace"
 )
 
 // EntryID uniquely identifies a log entry. Seq 0 is the sentinel "before
@@ -113,6 +114,15 @@ type Entry struct {
 	// reads capture ConsistentTail from the log service instead.
 	Watermark uint64
 	Payload   []byte
+	// TraceID / TraceSpan carry the causal-tracing context of the sampled
+	// command whose group-commit batch produced this entry (0 = not
+	// sampled). TraceSpan names the batch's append span, so the per-AZ
+	// quorum acks here and the tailer applies on replica nodes attach
+	// under it. Advisory metadata: deliberately outside the record CRC,
+	// so a trace-instrumented writer and a plain one produce
+	// byte-identical durable records.
+	TraceID   uint64
+	TraceSpan uint64
 	// acks is the number of AZ replicas that acknowledged this entry's
 	// append (set by StartAppend; drives the AZCopies metric).
 	acks uint8
@@ -198,6 +208,12 @@ type Config struct {
 	// failed CRC verification). It may be called with the log lock held
 	// and must not call back into the log.
 	AlarmFn func(msg string)
+	// Trace, when set, records per-AZ acknowledgement spans for entries
+	// stamped with a trace context (Entry.TraceID != 0).
+	Trace *trace.Collector
+	// Flight, when set, receives the service's segment-lifecycle events
+	// (seal, trim, quarantine) on the cluster flight timeline.
+	Flight *trace.Flight
 }
 
 func (c Config) withDefaults() Config {
@@ -252,6 +268,10 @@ func NewService(cfg Config) *Service {
 // SetUnavailable injects (or clears) a whole-service outage.
 func (s *Service) SetUnavailable(down bool) { s.down.Set(down) }
 
+// Flight returns the service's flight recorder ring (nil unless
+// configured) so harnesses can merge it into the cluster timeline.
+func (s *Service) Flight() *trace.Flight { return s.cfg.Flight }
+
 // AZ returns the i-th zone replica for fault injection (0-based).
 func (s *Service) AZ(i int) *AZReplica { return s.azs[i] }
 
@@ -300,22 +320,40 @@ func (s *Service) readErr() error {
 	return nil
 }
 
+// azAck is one zone's acknowledgement of an append: which zone, and
+// its drawn latency. The slice quorumAck returns is what per-AZ ack
+// spans are built from when the entry is traced.
+type azAck struct {
+	az  int
+	lat time.Duration
+}
+
 // quorumAck samples one append across the zone replicas: every zone draws
 // an acknowledgement (or drops it — down/flaky), and the append commits at
 // the Quorum-th fastest ack. ok=false means quorum was not reached and the
-// append must be rejected as unavailable.
-func (s *Service) quorumAck() (commit time.Duration, acks int, ok bool) {
-	var lat []time.Duration
-	for _, az := range s.azs {
-		if d, acked := az.ack(); acked {
-			lat = append(lat, d)
+// append must be rejected as unavailable. acked is sorted fastest-first.
+func (s *Service) quorumAck() (commit time.Duration, acked []azAck, ok bool) {
+	for i, az := range s.azs {
+		if d, ok := az.ack(); ok {
+			acked = append(acked, azAck{az: i, lat: d})
 		}
 	}
-	if len(lat) < s.cfg.Quorum {
-		return 0, len(lat), false
+	if len(acked) < s.cfg.Quorum {
+		return 0, acked, false
 	}
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	return lat[s.cfg.Quorum-1], len(lat), true
+	sort.Slice(acked, func(i, j int) bool { return acked[i].lat < acked[j].lat })
+	return acked[s.cfg.Quorum-1].lat, acked, true
+}
+
+// azNodeName labels a zone replica on span trees without allocating for
+// the common zone counts.
+var azNodeNames = [...]string{"az-0", "az-1", "az-2", "az-3", "az-4", "az-5", "az-6", "az-7"}
+
+func azNodeName(i int) string {
+	if i >= 0 && i < len(azNodeNames) {
+		return azNodeNames[i]
+	}
+	return fmt.Sprintf("az-%d", i)
 }
 
 // CreateLog provisions the log for shardID. Creating an existing log is an
@@ -521,10 +559,11 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 	// sequence number, so a below-quorum service rejects the append with no
 	// state change (the caller's position is intact and a retry is safe).
 	// Once assigned, the entry is guaranteed to commit.
-	commitLat, acks, ok := l.svc.quorumAck()
+	commitLat, acked, ok := l.svc.quorumAck()
 	if !ok {
 		return nil, ErrUnavailable
 	}
+	acks := len(acked)
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -584,6 +623,19 @@ func (l *Log) StartAppend(after EntryID, e Entry) (*Pending, error) {
 	p := &Pending{id: e.ID, acks: acks, azTotal: l.svc.cfg.AZCount, done: make(chan struct{})}
 	clk := l.svc.cfg.Clock
 	l.mu.Unlock()
+
+	// Traced entry: attach one span per acknowledging zone under the
+	// batch's append span, so the trace tree shows which AZs carried the
+	// quorum and how fast each acked.
+	if e.TraceID != 0 {
+		if c := l.svc.cfg.Trace; c != nil {
+			parent := trace.SpanContext{TraceID: e.TraceID, SpanID: e.TraceSpan}
+			now := trace.Now()
+			for _, a := range acked {
+				c.Emit(parent, "az_ack", azNodeName(a.az), a.az, -1, now, now+int64(a.lat))
+			}
+		}
+	}
 
 	go func() {
 		// Quorum commit: the append is durable at the quorum-th fastest
@@ -716,7 +768,9 @@ func (l *Log) finalizeSeals() {
 		}
 		target.sealed = true
 		l.sealedTotal++
+		sealedMax := target.maxSeq()
 		l.mu.Unlock()
+		l.svc.cfg.Flight.Record(trace.EvSegmentSeal, sealedMax, l.shardID)
 		// Every zone replica stores (or, if down, misses) the sealed
 		// segment — the segment-granular per-AZ state.
 		l.svc.noteSeal()
@@ -836,6 +890,7 @@ func (l *Log) quarantineLocked(s *segment, reason string) {
 		fn(fmt.Sprintf("txlog %s: quarantined segment [%d,%d]: %s",
 			l.shardID, s.minSeq(), s.maxSeq(), reason))
 	}
+	l.svc.cfg.Flight.Record(trace.EvSegmentQuarantine, s.maxSeq(), reason)
 }
 
 // verifyRecordLocked re-checks the stored record at seq against its
@@ -940,7 +995,11 @@ func (l *Log) Trim(upTo EntryID) int {
 		// Re-slice so the dropped segments' backing array is released.
 		l.segs = append([]*segment(nil), l.segs...)
 	}
+	newBase := l.trimBase()
 	l.mu.Unlock()
+	if n > 0 {
+		l.svc.cfg.Flight.Record(trace.EvSegmentTrim, newBase, l.shardID)
+	}
 	faults.Hit(faultpoint.SiteLogTrimPost)
 	return n
 }
